@@ -1,0 +1,62 @@
+"""Alternative implementations used only by ablation benchmarks.
+
+These are the *rejected* design choices of Section IV, implemented so the
+ablations measure real code rather than straw men.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.formats.partial_sym import PartiallySymmetricTensor
+from repro.symmetry.iou import rank_iou_array
+from repro.symmetry.tables import get_tables
+
+
+def times_core_fullsym(y: PartiallySymmetricTensor, factor: np.ndarray) -> np.ndarray:
+    """S³TTMcTC with the core stored *fully* symmetric (``C_f``).
+
+    The paper rejects this layout (Section IV-A): multiplying
+    ``Y_p(1) C_f`` needs a per-entry index mapping from ``(r, iou)`` pairs
+    to positions in the order-``N`` compact enumeration — the overhead the
+    partially symmetric ``C_p`` avoids. Memory saved by ``C_f`` is
+    ``S_{N,R}`` vs ``R·S_{N-1,R}`` (small either way).
+
+    Returns the same ``A ∈ R^{I×R}`` as
+    :func:`repro.core.s3ttmc_tc.times_core`.
+    """
+    factor = np.asarray(factor, dtype=np.float64)
+    rank = y.sym_dim
+    order = y.sym_order + 1
+    core_p = factor.T @ y.data  # (R, S_{N-1,R}) — same first GEMM
+
+    # Compress C_p into the fully symmetric layout C_f: every order-N IOU
+    # entry appears in C_p once per distinct leading value; pick the
+    # canonical representative (r = smallest index).
+    tables_n = get_tables(order, rank)
+    tables_prev = get_tables(order - 1, rank)
+    c_f = np.zeros(tables_n.size, dtype=np.float64)
+    # For row r of C_p, full index = sorted((r,) + iou): compute its rank.
+    for r in range(rank):
+        extended = np.concatenate(
+            [np.full((tables_prev.size, 1), r, dtype=np.int64), tables_prev.indices],
+            axis=1,
+        )
+        extended.sort(axis=1)
+        locs = rank_iou_array(extended, rank)
+        c_f[locs] = core_p[r]
+
+    # A = Y_p(1) M C_(1)ᵀ with C read back through the index mapping —
+    # the per-entry (sort + rank) cost is exactly the overhead under test.
+    p = tables_prev.multiplicity.astype(np.float64)
+    a = np.empty((y.nrows, rank), dtype=np.float64)
+    for r in range(rank):
+        extended = np.concatenate(
+            [np.full((tables_prev.size, 1), r, dtype=np.int64), tables_prev.indices],
+            axis=1,
+        )
+        extended.sort(axis=1)
+        locs = rank_iou_array(extended, rank)
+        column = c_f[locs] * p
+        a[:, r] = y.data @ column
+    return a

@@ -1,0 +1,125 @@
+"""Shared infrastructure for the figure/table benchmarks.
+
+Every benchmark regenerates one figure or table of the paper as a plain
+text table (printed and written under ``results/``). Cells are:
+
+* measured mean seconds (default ``REPRO_BENCH_REPEATS=1`` repeats under
+  the scaled memory budget);
+* ``OOM`` when the closed-form footprint or an actual allocation exceeds
+  the budget — the reproduction of the paper's OOM bars;
+* ``~X s`` (estimated) when the closed-form *flop* count exceeds
+  ``REPRO_BENCH_MAX_GFLOPS``: the cell is extrapolated from the measured
+  flop rate of the same kernel family on this machine. Estimation keeps
+  single-core pure-Python runtimes sane while still reporting the paper's
+  relative ordering; estimated cells are marked and logged.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.bench.records import Measurement, SeriesTable
+from repro.decomp.hosvd import random_init
+from repro.perfmodel.memory import kernel_footprint, suggest_nz_batch
+from repro.perfmodel.predict import RateCalibration, kernel_flops_model
+from repro.runtime.budget import MemoryBudget, MemoryLimitError
+
+BUDGET_GB = float(os.environ.get("REPRO_BENCH_BUDGET_GB", "1.5"))
+REPEATS = int(os.environ.get("REPRO_BENCH_REPEATS", "1"))
+MAX_GFLOPS = float(os.environ.get("REPRO_BENCH_MAX_GFLOPS", "8.0"))
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+class EstimatedMeasurement(Measurement):
+    """A cell extrapolated from a calibrated flop rate, rendered ``~X s``."""
+
+    def render(self) -> str:  # noqa: D102
+        base = super().render()
+        return f"~{base}" if self.ok else base
+
+
+def measure_cell(
+    family: str,
+    build: Optional[Callable[[], Callable[[], object]]],
+    *,
+    order: int,
+    dim: int,
+    rank: int,
+    unnz: int,
+    calibration: RateCalibration,
+    budget_gb: float = BUDGET_GB,
+    repeats: int = REPEATS,
+    max_gflops: float = MAX_GFLOPS,
+) -> Measurement:
+    """One benchmark cell with OOM pre-flight, work guard and timing.
+
+    ``build`` prepares the timed callable *inside* the budget (format/plan
+    construction — untimed, like the paper's pre-built formats) and returns
+    the kernel invocation to time. When the pre-flight footprint exceeds
+    the budget, the construction itself OOMs, or the flop model exceeds
+    the work guard, no timing happens.
+    """
+    footprint_name = {
+        "symprop": "symprop",
+        "symprop-tc": "symprop",
+        "css": "css",
+        "splatt": "splatt",
+        "hoqri-nary": "hoqri-nary",
+    }[family]
+    budget_bytes = int(budget_gb * 2**30)
+    batch = 1
+    if footprint_name in ("symprop", "css"):
+        layout = "compact" if footprint_name == "symprop" else "full"
+        suggested = suggest_nz_batch(order, rank, layout, budget_bytes)
+        batch = suggested if suggested else 1
+    footprint = kernel_footprint(
+        footprint_name, dim, order, rank, unnz, nz_batch=batch
+    )
+    if not footprint.fits(budget_bytes):
+        return Measurement.out_of_memory(note=f"{family} footprint")
+
+    flops = kernel_flops_model(family, order, rank, unnz, dim)
+    if flops > max_gflops * 1e9:
+        rate = calibration.rate(family)
+        if rate is None:
+            return Measurement(note="skipped: over work guard, no calibration")
+        return EstimatedMeasurement(seconds=flops / rate, note="estimated")
+
+    try:
+        with MemoryBudget(gigabytes=budget_gb):
+            fn = build()
+            times = []
+            for _ in range(max(1, repeats)):
+                tick = time.perf_counter()
+                fn()
+                times.append(time.perf_counter() - tick)
+    except MemoryLimitError as exc:
+        return Measurement.out_of_memory(note=exc.label)
+    seconds = sum(times) / len(times)
+    calibration.record(family, flops, seconds)
+    return Measurement.from_seconds(seconds)
+
+
+def orthonormal_factor(dim: int, rank: int, seed: int = 0) -> np.ndarray:
+    return random_init(dim, rank, np.random.default_rng(seed))
+
+
+def save_table(table: SeriesTable, name: str) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(table.render() + "\n", encoding="utf-8")
+    print()
+    table.print()
+
+
+def save_text(text: str, name: str) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+    print()
+    print(text)

@@ -1,0 +1,56 @@
+"""Ablation: dense symmetric storage layouts (Section VII related work).
+
+Compares entrywise compact storage (what SymProp's intermediates use, [16])
+against BCSS blocked storage ([15]) and full storage across orders and
+block sizes — quantifying the related-work claim that blocked storage
+"could consume more storage space for some high-order tensors", and the
+paper's own ``I^N / S_{N,I} → N!`` compression limit.
+"""
+
+from _common import save_table
+
+from repro.bench.records import SeriesTable
+from repro.formats.bcss import bcss_storage_entries
+from repro.symmetry.combinatorics import (
+    dense_size,
+    storage_compression_ratio,
+    sym_storage_size,
+)
+
+
+def test_ablation_storage_layouts(benchmark):
+    def run():
+        table = SeriesTable(
+            "Ablation: dense symmetric storage (entries, dim=64)", "order"
+        )
+        dim = 64
+        for order in (2, 3, 4, 5, 6):
+            row = str(order)
+            table.set("full I^N", row, dense_size(order, dim))
+            table.set("compact S_{N,I}", row, sym_storage_size(order, dim))
+            for block in (4, 8, 16):
+                table.set(
+                    f"BCSS b={block}", row, bcss_storage_entries(order, dim, block)
+                )
+            table.set(
+                "full/compact", row, round(storage_compression_ratio(order, dim), 2)
+            )
+        return table
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_table(table, "ablation_storage_layouts")
+
+    import math
+
+    for order in (2, 3, 4, 5, 6):
+        row = str(order)
+        compact = table.get("compact S_{N,I}", row)
+        full = table.get("full I^N", row)
+        assert compact <= full
+        # compression approaches N! from below
+        assert table.get("full/compact", row) <= math.factorial(order)
+        # BCSS always >= compact; overhead grows with order
+        for block in (4, 8, 16):
+            assert table.get(f"BCSS b={block}", row) >= compact
+    # the related-work caveat: at order 6 large blocks waste storage badly
+    assert table.get("BCSS b=16", "6") > 10 * table.get("compact S_{N,I}", "6")

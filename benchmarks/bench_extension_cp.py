@@ -1,0 +1,56 @@
+"""Extension benchmark: symmetry propagation carried to CP (MTTKRP).
+
+Not a paper figure — this quantifies the future-work direction the paper's
+conclusion proposes: the same sub-multiset lattice with the elementwise
+``R``-vector layout computes the sparse symmetric MTTKRP at
+``(2l−1)·C(N,l)·R·unnz`` per level, versus ``S_{l,R}`` (Tucker/SymProp)
+and ``R^l`` (Tucker/CSS) — so the CP kernel scales to even higher orders
+than S³TTMc-SP.
+"""
+
+import time
+
+from _common import orthonormal_factor, save_table
+
+from repro.bench.records import SeriesTable
+from repro.core import KernelStats, s3ttmc
+from repro.cp import symmetric_mttkrp
+from repro.data.synthetic import random_sparse_symmetric
+
+CONFIGS = [(5, 4), (7, 4), (9, 4), (11, 4)]
+DIM, UNNZ = 300, 500
+
+
+def test_extension_cp_mttkrp(benchmark):
+    def run():
+        table = SeriesTable(
+            "Extension: CP (MTTKRP) vs Tucker (S3TTMc) kernel cost", "order"
+        )
+        for order, rank in CONFIGS:
+            tensor = random_sparse_symmetric(order, DIM, UNNZ, seed=1)
+            factor = orthonormal_factor(DIM, rank)
+            cp_stats, tk_stats = KernelStats(), KernelStats()
+            tick = time.perf_counter()
+            symmetric_mttkrp(tensor, factor, stats=cp_stats)
+            t_cp = time.perf_counter() - tick
+            tick = time.perf_counter()
+            s3ttmc(tensor, factor, stats=tk_stats)
+            t_tucker = time.perf_counter() - tick
+            row = str(order)
+            table.set("MTTKRP time", row, f"{t_cp*1e3:.1f} ms")
+            table.set("S3TTMc time", row, f"{t_tucker*1e3:.1f} ms")
+            table.set("MTTKRP Gflop", row, round(cp_stats.kernel_flops / 1e9, 4))
+            table.set("S3TTMc Gflop", row, round(tk_stats.kernel_flops / 1e9, 4))
+            table.set(
+                "flop ratio",
+                row,
+                round(tk_stats.kernel_flops / max(cp_stats.kernel_flops, 1), 2),
+            )
+        return table
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_table(table, "extension_cp_mttkrp")
+    # The Tucker/CP flop gap widens with order (S_{l,R} vs R per level).
+    ratios = [table.get("flop ratio", str(o)) for o, _ in CONFIGS]
+    assert all(r >= 1.0 for r in ratios)
+    assert ratios[-1] > ratios[0]

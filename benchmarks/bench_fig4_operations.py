@@ -1,0 +1,93 @@
+"""Figure 4: kernel runtimes across all Table III datasets.
+
+Series: S³TTMc-SP and S³TTMcTC-SP (this work), S³TTMc-CSS (full
+intermediates) and TTMc-SPLATT (general CSF over the expanded tensor).
+OOM cells reproduce the paper's out-of-memory bars under the scaled
+budget; cells over the single-core work guard are extrapolated from the
+calibrated flop rate (rendered ``~``).
+
+Expected shape (checked in EXPERIMENTS.md): SP ≤ CSS everywhere with the
+gap growing in order/rank; SPLATT competitive at order 5–6, OOM beyond;
+TC adds a small overhead on top of S³TTMc.
+"""
+
+from _common import (
+    BUDGET_GB,
+    RateCalibration,
+    measure_cell,
+    orthonormal_factor,
+    save_table,
+)
+
+from repro.baselines.css_ttmc import css_s3ttmc
+from repro.baselines.splatt import csf_ttmc
+from repro.bench.records import SeriesTable
+from repro.core import s3ttmc, s3ttmc_tc
+from repro.core.plan import get_plan
+from repro.data.datasets import DATASETS, dataset_names
+from repro.formats.csf import CSFTensor
+from repro.perfmodel.memory import suggest_nz_batch
+
+
+def build_fig4_table(datasets) -> SeriesTable:
+    table = SeriesTable("Figure 4: operation runtime per dataset", "dataset")
+    calibration = RateCalibration()
+    budget_bytes = int(BUDGET_GB * 2**30)
+    for name in dataset_names():
+        spec = DATASETS[name]
+        tensor = datasets[name]
+        factor = orthonormal_factor(spec.dim, spec.rank)
+        common = dict(
+            order=spec.order,
+            dim=spec.dim,
+            rank=spec.rank,
+            unnz=tensor.unnz,
+            calibration=calibration,
+        )
+
+        def build_sp():
+            batch = suggest_nz_batch(spec.order, spec.rank, "compact", budget_bytes)
+            plan = get_plan(tensor, "global", batch)
+            return lambda: s3ttmc(tensor, factor, plan=plan)
+
+        def build_sp_tc():
+            batch = suggest_nz_batch(spec.order, spec.rank, "compact", budget_bytes)
+            plan = get_plan(tensor, "global", batch)
+            return lambda: s3ttmc_tc(tensor, factor, plan=plan)
+
+        def build_css():
+            batch = suggest_nz_batch(spec.order, spec.rank, "full", budget_bytes)
+            plan = get_plan(tensor, "global", batch)
+            return lambda: css_s3ttmc(tensor, factor, plan=plan)
+
+        def build_splatt():
+            csf = CSFTensor.from_symmetric(tensor)
+            return lambda: csf_ttmc(csf, factor)
+
+        table.set("S3TTMc-SP", name, measure_cell("symprop", build_sp, **common))
+        table.set(
+            "S3TTMcTC-SP", name, measure_cell("symprop-tc", build_sp_tc, **common)
+        )
+        table.set("S3TTMc-CSS", name, measure_cell("css", build_css, **common))
+        table.set("TTMc-SPLATT", name, measure_cell("splatt", build_splatt, **common))
+    return table
+
+
+def test_fig4_operations(benchmark, datasets):
+    table = benchmark.pedantic(
+        lambda: build_fig4_table(datasets), rounds=1, iterations=1
+    )
+    save_table(table, "fig4_operations")
+
+    # Shape assertions from the paper's findings:
+    # (a) SP never OOMs; SPLATT OOMs on every order >= 7 dataset.
+    for name in table.rows:
+        sp = table.get("S3TTMc-SP", name)
+        assert sp.ok, f"SP should run on {name}"
+    for name in ("L7", "L10", "H12", "walmart-trips", "stackoverflow", "amazon-reviews"):
+        assert table.get("TTMc-SPLATT", name).oom, f"SPLATT should OOM on {name}"
+    # (b) SP beats CSS wherever both ran.
+    for name in table.rows:
+        ratio = table.speedup("S3TTMc-CSS", "S3TTMc-SP", name)
+        if ratio is not None:
+            assert ratio > 1.0, f"SP slower than CSS on {name}: {ratio:.2f}x"

@@ -1,0 +1,177 @@
+"""Figure 5: parameter sweeps around the order-7 synthetic base case.
+
+Paper base: order 7, dim 400, 10 K IOU non-zeros, rank 4 (we scale the
+non-zero counts; order/dim/rank axes are faithful). Four sweeps:
+
+(a) rank      — CSS/SPLATT OOM at high rank, SP grows slowly;
+(b) order     — SPLATT dies first, CSS next, SP reaches order 13+
+                (a feasibility row runs SP at the highest order with a
+                small non-zero count to demonstrate it actually executes);
+(c) #IOUs     — all kernels linear; SPLATT OOMs at the largest count;
+(d) dimension — kernel flops are dim-independent; TC's GEMM part grows
+                linearly with dim.
+"""
+
+import numpy as np
+import pytest
+from _common import (
+    BUDGET_GB,
+    RateCalibration,
+    measure_cell,
+    orthonormal_factor,
+    save_table,
+)
+
+from repro.baselines.css_ttmc import css_s3ttmc
+from repro.baselines.splatt import csf_ttmc
+from repro.bench.records import SeriesTable
+from repro.core import s3ttmc, s3ttmc_tc
+from repro.core.plan import get_plan
+from repro.data.synthetic import random_sparse_symmetric
+from repro.formats.csf import CSFTensor
+from repro.perfmodel.memory import suggest_nz_batch
+
+BASE_ORDER = 7
+BASE_DIM = 400
+BASE_UNNZ = 1_000  # paper: 10 K; scaled for single-core pure Python
+BASE_RANK = 4
+
+BUDGET_BYTES = int(BUDGET_GB * 2**30)
+
+
+def _sweep_point(table, row, tensor, rank, calibration):
+    factor = orthonormal_factor(tensor.dim, rank)
+    common = dict(
+        order=tensor.order,
+        dim=tensor.dim,
+        rank=rank,
+        unnz=tensor.unnz,
+        calibration=calibration,
+    )
+
+    def build_sp():
+        batch = suggest_nz_batch(tensor.order, rank, "compact", BUDGET_BYTES)
+        plan = get_plan(tensor, "global", batch)
+        return lambda: s3ttmc(tensor, factor, plan=plan)
+
+    def build_sp_tc():
+        batch = suggest_nz_batch(tensor.order, rank, "compact", BUDGET_BYTES)
+        plan = get_plan(tensor, "global", batch)
+        return lambda: s3ttmc_tc(tensor, factor, plan=plan)
+
+    def build_css():
+        batch = suggest_nz_batch(tensor.order, rank, "full", BUDGET_BYTES)
+        plan = get_plan(tensor, "global", batch)
+        return lambda: css_s3ttmc(tensor, factor, plan=plan)
+
+    def build_splatt():
+        csf = CSFTensor.from_symmetric(tensor)
+        return lambda: csf_ttmc(csf, factor)
+
+    table.set("S3TTMc-SP", row, measure_cell("symprop", build_sp, **common))
+    table.set("S3TTMcTC-SP", row, measure_cell("symprop-tc", build_sp_tc, **common))
+    table.set("S3TTMc-CSS", row, measure_cell("css", build_css, **common))
+    table.set("TTMc-SPLATT", row, measure_cell("splatt", build_splatt, **common))
+
+
+@pytest.fixture(scope="module")
+def base_tensor():
+    return random_sparse_symmetric(BASE_ORDER, BASE_DIM, BASE_UNNZ, seed=42)
+
+
+def test_fig5a_sweep_rank(benchmark, base_tensor):
+    ranks = [2, 4, 8, 12, 16]
+
+    def run():
+        table = SeriesTable("Figure 5(a): sweep Tucker rank (order-7 base)", "rank")
+        calibration = RateCalibration()
+        for rank in ranks:
+            _sweep_point(table, str(rank), base_tensor, rank, calibration)
+        return table
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_table(table, "fig5a_sweep_rank")
+    # CSS and SPLATT OOM at rank 16 (paper: both die at rank >= 16).
+    assert table.get("S3TTMc-CSS", "16").oom
+    assert table.get("TTMc-SPLATT", "16").oom
+    assert table.get("S3TTMc-SP", "16").ok
+    # SP/CSS gap grows with rank wherever CSS ran or was estimated.
+    ratios = [
+        table.speedup("S3TTMc-CSS", "S3TTMc-SP", str(r))
+        for r in ranks
+        if table.get("S3TTMc-CSS", str(r)).ok
+    ]
+    assert all(r > 1 for r in ratios if r is not None)
+
+
+def test_fig5b_sweep_order(benchmark):
+    orders = [4, 6, 8, 10, 12]
+
+    def run():
+        table = SeriesTable("Figure 5(b): sweep tensor order (rank 4)", "order")
+        calibration = RateCalibration()
+        for order in orders:
+            unnz = 300 if order >= 10 else BASE_UNNZ
+            tensor = random_sparse_symmetric(order, BASE_DIM, unnz, seed=7)
+            _sweep_point(table, str(order), tensor, BASE_RANK, calibration)
+        # Feasibility row: SP actually executes at order 13 where both
+        # baselines are far past OOM ("four/six orders higher").
+        tensor13 = random_sparse_symmetric(13, BASE_DIM, 50, seed=7)
+        _sweep_point(table, "13 (feasibility)", tensor13, BASE_RANK, calibration)
+        return table
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_table(table, "fig5b_sweep_order")
+    assert table.get("S3TTMc-SP", "13 (feasibility)").ok
+    assert table.get("TTMc-SPLATT", "13 (feasibility)").oom
+    assert table.get("S3TTMc-CSS", "13 (feasibility)").oom
+    # SPLATT dies at a lower order than CSS (paper: 8 vs 10).
+    splatt_dead = min(
+        int(o) for o in map(str, orders) if table.get("TTMc-SPLATT", o).oom
+    )
+    css_dead = min(
+        (int(o) for o in map(str, orders) if table.get("S3TTMc-CSS", o).oom),
+        default=99,
+    )
+    assert splatt_dead < css_dead
+
+
+def test_fig5c_sweep_nnz(benchmark):
+    counts = [250, 500, 1_000, 2_000, 4_000]
+
+    def run():
+        table = SeriesTable("Figure 5(c): sweep #IOU non-zeros", "unnz")
+        calibration = RateCalibration()
+        for unnz in counts:
+            tensor = random_sparse_symmetric(BASE_ORDER, BASE_DIM, unnz, seed=9)
+            _sweep_point(table, str(unnz), tensor, BASE_RANK, calibration)
+        return table
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_table(table, "fig5c_sweep_nnz")
+    # Linear scaling: 16x the non-zeros within ~4-40x the time (generous
+    # bounds around linear; constant overheads flatten the small end).
+    small = table.get("S3TTMc-SP", "250")
+    large = table.get("S3TTMc-SP", "4000")
+    assert small.ok and large.ok
+    assert large.seconds / small.seconds < 40
+
+
+def test_fig5d_sweep_dim(benchmark):
+    dims = [100, 400, 1_600, 6_400]
+
+    def run():
+        table = SeriesTable("Figure 5(d): sweep dimension size", "dim")
+        calibration = RateCalibration()
+        for dim in dims:
+            tensor = random_sparse_symmetric(BASE_ORDER, dim, BASE_UNNZ, seed=11)
+            _sweep_point(table, str(dim), tensor, BASE_RANK, calibration)
+        return table
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_table(table, "fig5d_sweep_dim")
+    # Kernel flops are dim-independent: 64x the dim costs < 5x the time.
+    small = table.get("S3TTMc-SP", "100")
+    large = table.get("S3TTMc-SP", "6400")
+    assert small.ok and large.ok
+    assert large.seconds / small.seconds < 5

@@ -1,0 +1,18 @@
+"""Benchmark fixtures: cached dataset loads."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from repro.data.datasets import DATASETS
+
+
+@pytest.fixture(scope="session")
+def datasets():
+    """All Table III stand-ins, loaded once per benchmark session."""
+    return {name: spec.load(seed=0) for name, spec in DATASETS.items()}

@@ -1,0 +1,46 @@
+"""HOOI vs HOQRI convergence on a genuinely low-rank symmetric tensor.
+
+Reproduces the Figure-9 protocol in miniature: a fully sampled planted
+rank-3 symmetric Tucker model with mild noise, decomposed by both
+algorithms from the same HOSVD start. Expected behaviour (as in the
+paper): both converge to the same error level; HOOI needs fewer
+iterations, HOQRI less time per iteration.
+
+Run:  python examples/convergence_study.py
+"""
+
+import time
+
+from repro import hooi, hoqri, planted_lowrank
+from repro.decomp import hosvd_init
+
+ORDER, DIM, RANK, NOISE = 3, 20, 3, 0.05
+
+x = planted_lowrank(ORDER, DIM, RANK, None, noise=NOISE, seed=2)
+print(f"planted tensor: {x} (rank {RANK} + {NOISE:.0%} noise, fully sampled)")
+
+u0 = hosvd_init(x, RANK)
+
+tick = time.perf_counter()
+res_hooi = hooi(x, RANK, max_iters=50, init=u0, tol=1e-12)
+t_hooi = time.perf_counter() - tick
+tick = time.perf_counter()
+res_hoqri = hoqri(x, RANK, max_iters=300, init=u0, tol=1e-12)
+t_hoqri = time.perf_counter() - tick
+
+print(f"\n{'iteration':>9s} {'HOOI error':>12s} {'HOQRI error':>12s}")
+span = max(res_hooi.iterations, res_hoqri.iterations)
+for it in sorted({1, 2, 3, 5, 8, 12, 20, 30, span} & set(range(1, span + 1))):
+    hooi_err = res_hooi.trace.relative_error[min(it, res_hooi.iterations) - 1]
+    hoqri_err = res_hoqri.trace.relative_error[min(it, res_hoqri.iterations) - 1]
+    print(f"{it:>9d} {hooi_err:>12.6f} {hoqri_err:>12.6f}")
+
+print(f"\nHOOI : {res_hooi.iterations:3d} iterations, {t_hooi:6.2f} s, "
+      f"final error {res_hooi.relative_error:.6f}")
+print(f"HOQRI: {res_hoqri.iterations:3d} iterations, {t_hoqri:6.2f} s, "
+      f"final error {res_hoqri.relative_error:.6f}")
+
+gap = abs(res_hooi.relative_error - res_hoqri.relative_error)
+assert gap < 0.01, f"algorithms diverged: {gap}"
+print(f"\nboth reached the same error level (gap {gap:.2e}), "
+      "with the planted noise floor visible in the residual.")

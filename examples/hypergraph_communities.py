@@ -1,0 +1,59 @@
+"""Hypergraph community detection via sparse symmetric Tucker decomposition.
+
+The application motivating the paper (Section I): a hypergraph becomes a
+sparse symmetric adjacency tensor — one IOU non-zero per hyperedge, dummy
+nodes unifying cardinalities — whose Tucker factor embeds every node;
+clustering the factor rows recovers communities.
+
+Run:  python examples/hypergraph_communities.py
+"""
+
+import numpy as np
+
+from repro import hoqri
+from repro.hypergraph import (
+    adjacency_tensor,
+    cluster_factor,
+    normalized_mutual_information,
+    planted_partition_hypergraph,
+)
+
+N_NODES = 120
+N_EDGES = 1500
+N_COMMUNITIES = 4
+RANK = 4
+
+# 1. A hypergraph with planted communities (cardinalities 2-4, 92% of
+#    hyperedges drawn within one community).
+hypergraph, truth = planted_partition_hypergraph(
+    N_NODES,
+    N_EDGES,
+    N_COMMUNITIES,
+    min_cardinality=2,
+    max_cardinality=4,
+    p_intra=0.92,
+    seed=1,
+)
+print(f"hypergraph: {hypergraph}")
+print(f"cardinality histogram: {dict(sorted(hypergraph.cardinality_histogram().items()))}")
+
+# 2. The symmetric adjacency tensor (order = max cardinality, dummy-padded).
+tensor = adjacency_tensor(hypergraph, order=4)
+print(f"adjacency tensor: {tensor} "
+      f"({tensor.dim - hypergraph.n_nodes} dummy nodes)")
+
+# 3. Tucker decomposition with HOQRI — scalable at this order thanks to
+#    the symmetry-propagated S3TTMcTC kernel.
+result = hoqri(tensor, rank=RANK, max_iters=80, seed=1)
+print(f"\nHOQRI: error {result.relative_error:.4f} after {result.iterations} iterations")
+
+# 4. Cluster the factor rows (dummy rows dropped) and score against truth.
+predicted = cluster_factor(
+    result.factor, N_COMMUNITIES, n_real_nodes=hypergraph.n_nodes, seed=1
+)
+nmi = normalized_mutual_information(predicted, truth)
+sizes = np.bincount(predicted, minlength=N_COMMUNITIES)
+print(f"recovered community sizes: {sizes.tolist()}")
+print(f"NMI vs planted communities: {nmi:.3f}")
+assert nmi > 0.5, "expected to recover most of the planted structure"
+print("community structure recovered.")

@@ -1,0 +1,57 @@
+"""Spectral hypergraph analysis with rank-1 SymProp kernels.
+
+Two computations built on the symmetric tensor–vector apply (which is the
+S³TTMc kernel with a one-column factor):
+
+1. Z-eigenvector centrality of a hypergraph with a planted hub structure —
+   the tensor generalization of eigenvector centrality;
+2. a Z-eigenpair of the adjacency tensor via SS-HOPM, with its residual.
+
+Plus link prediction: hold out hyperedges, decompose, and rank held-out
+edges against random non-edges by reconstructed score (AUC).
+
+Run:  python examples/spectral_analysis.py
+"""
+
+import numpy as np
+
+from repro import hoqri
+from repro.apps import (
+    link_prediction_auc,
+    holdout_split,
+    sshopm,
+    z_eigenvector_centrality,
+)
+from repro.hypergraph import Hypergraph, adjacency_tensor, planted_partition_hypergraph
+
+# --- centrality on a hub-and-spokes hypergraph ----------------------------
+rng = np.random.default_rng(0)
+spoke_edges = [(0, int(a), int(b)) for a, b in rng.integers(1, 40, size=(60, 2)) if a != b]
+noise_edges = [tuple(map(int, e)) for e in rng.integers(1, 40, size=(30, 3))
+               if len(set(e)) == 3]
+hg = Hypergraph(40, spoke_edges + noise_edges)
+tensor = adjacency_tensor(hg, 3)
+centrality = z_eigenvector_centrality(tensor, n_real_nodes=hg.n_nodes)
+top = np.argsort(centrality)[::-1][:5]
+print("top-5 central nodes:", top.tolist())
+print("hub (node 0) score: %.4f, median score: %.4f"
+      % (centrality[0], float(np.median(centrality))))
+assert top[0] == 0, "the hub should dominate centrality"
+
+# --- a Z-eigenpair of the adjacency tensor --------------------------------
+pair = sshopm(tensor, seed=0, max_iters=2000)
+print(f"\nSS-HOPM: lambda = {pair.eigenvalue:.4f} after {pair.iterations} "
+      f"iterations (converged={pair.converged}), residual = "
+      f"{pair.residual(tensor):.2e}")
+
+# --- link prediction -------------------------------------------------------
+hg2, _ = planted_partition_hypergraph(
+    60, 800, 3, min_cardinality=3, max_cardinality=3, p_intra=0.95, seed=7
+)
+full_tensor = adjacency_tensor(hg2, 3)
+train, held_out, _ = holdout_split(full_tensor, 0.2, seed=7)
+result = hoqri(train, 3, max_iters=60, seed=7)
+auc = link_prediction_auc(result, held_out, full_tensor, seed=7)
+print(f"\nlink prediction on a planted-community hypergraph: AUC = {auc:.3f}")
+assert auc > 0.6
+print("held-out hyperedges rank above random non-edges.")

@@ -1,0 +1,32 @@
+"""Applications built on the SymProp kernels.
+
+Hypergraph analytics and symmetric tensor computations the paper's
+introduction motivates: spectral methods via rank-1 kernel applies
+(Z-eigenpairs, centrality) and low-rank link prediction via pointwise
+reconstruction.
+"""
+
+from .centrality import degree_centrality, z_eigenvector_centrality
+from .eigen import ZEigenpair, sshopm
+from .moments import empirical_moment_tensor
+from .link_prediction import (
+    auc_score,
+    holdout_split,
+    link_prediction_auc,
+    score_candidates,
+)
+from .tensor_apply import rayleigh_quotient, symmetric_apply
+
+__all__ = [
+    "symmetric_apply",
+    "rayleigh_quotient",
+    "sshopm",
+    "ZEigenpair",
+    "z_eigenvector_centrality",
+    "degree_centrality",
+    "empirical_moment_tensor",
+    "score_candidates",
+    "holdout_split",
+    "auc_score",
+    "link_prediction_auc",
+]

@@ -1,0 +1,121 @@
+"""Hyperedge (link) prediction from a Tucker decomposition.
+
+The low-rank model scores candidate hyperedges by the reconstructed
+adjacency value ``X̂(i)`` — higher means more "edge-like". This turns a
+SymProp decomposition into the standard hypergraph link-prediction
+pipeline: decompose the observed adjacency tensor, rank unobserved
+candidate tuples by reconstructed score, evaluate with AUC against held
+-out edges.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..decomp.reconstruct import reconstruct_at
+from ..decomp.result import DecompositionResult
+from ..formats.ucoo import SparseSymmetricTensor
+
+__all__ = ["score_candidates", "holdout_split", "auc_score", "link_prediction_auc"]
+
+
+def score_candidates(
+    result: DecompositionResult, candidates: np.ndarray
+) -> np.ndarray:
+    """Reconstructed adjacency value for each candidate index tuple."""
+    return reconstruct_at(result, np.asarray(candidates, dtype=np.int64))
+
+
+def holdout_split(
+    tensor: SparseSymmetricTensor,
+    holdout_fraction: float = 0.2,
+    *,
+    seed: Optional[int] = None,
+) -> Tuple[SparseSymmetricTensor, np.ndarray, np.ndarray]:
+    """Split non-zeros into a training tensor and held-out positives.
+
+    Returns ``(train_tensor, held_out_indices, held_out_values)``.
+    """
+    if not 0.0 < holdout_fraction < 1.0:
+        raise ValueError("holdout_fraction must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    n = tensor.unnz
+    n_hold = max(1, int(round(n * holdout_fraction)))
+    if n_hold >= n:
+        raise ValueError("not enough non-zeros to hold out")
+    held = np.sort(rng.choice(n, size=n_hold, replace=False))
+    mask = np.ones(n, dtype=bool)
+    mask[held] = False
+    train = SparseSymmetricTensor(
+        tensor.order,
+        tensor.dim,
+        tensor.indices[mask],
+        tensor.values[mask],
+        assume_canonical=True,
+    )
+    return train, tensor.indices[held].copy(), tensor.values[held].copy()
+
+
+def _sample_negatives(
+    tensor: SparseSymmetricTensor, n: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Random IOU tuples that are not non-zeros of ``tensor``."""
+    existing = {tuple(row) for row in tensor.indices}
+    out = []
+    while len(out) < n:
+        draw = np.sort(rng.integers(0, tensor.dim, size=(2 * n, tensor.order)), axis=1)
+        for row in draw:
+            key = tuple(row)
+            if key not in existing:
+                existing.add(key)
+                out.append(row)
+                if len(out) == n:
+                    break
+    return np.array(out, dtype=np.int64)
+
+
+def auc_score(positive_scores: np.ndarray, negative_scores: np.ndarray) -> float:
+    """Area under the ROC curve via the rank statistic (ties count ½)."""
+    pos = np.asarray(positive_scores, dtype=np.float64)
+    neg = np.asarray(negative_scores, dtype=np.float64)
+    if pos.size == 0 or neg.size == 0:
+        raise ValueError("need both positive and negative scores")
+    combined = np.concatenate([pos, neg])
+    order = np.argsort(combined, kind="stable")
+    ranks = np.empty_like(order, dtype=np.float64)
+    ranks[order] = np.arange(1, combined.size + 1)
+    # midrank correction for ties
+    sorted_vals = combined[order]
+    i = 0
+    while i < sorted_vals.size:
+        j = i
+        while j + 1 < sorted_vals.size and sorted_vals[j + 1] == sorted_vals[i]:
+            j += 1
+        if j > i:
+            mid = 0.5 * (i + 1 + j + 1)
+            ranks[order[i : j + 1]] = mid
+        i = j + 1
+    rank_sum = ranks[: pos.size].sum()
+    n_pos, n_neg = pos.size, neg.size
+    return float((rank_sum - n_pos * (n_pos + 1) / 2) / (n_pos * n_neg))
+
+
+def link_prediction_auc(
+    result: DecompositionResult,
+    held_out: np.ndarray,
+    tensor: SparseSymmetricTensor,
+    *,
+    n_negatives: Optional[int] = None,
+    seed: Optional[int] = None,
+) -> float:
+    """AUC of reconstructed scores: held-out edges vs sampled non-edges."""
+    rng = np.random.default_rng(seed)
+    held_out = np.asarray(held_out, dtype=np.int64)
+    if n_negatives is None:
+        n_negatives = held_out.shape[0]
+    negatives = _sample_negatives(tensor, n_negatives, rng)
+    pos = score_candidates(result, held_out)
+    neg = score_candidates(result, negatives)
+    return auc_score(pos, neg)

@@ -1,0 +1,80 @@
+"""Empirical higher-order moment tensors (Sherman & Kolda, intro ref [6]).
+
+The order-``N`` moment tensor of mean-adjusted data ``x ∈ R^I`` is
+``M = E[x ⊗ … ⊗ x]`` — fully symmetric by construction. Estimating it from
+samples and decomposing it symmetrically is one of the motivating
+applications of sparse symmetric tensor machinery: after thresholding the
+(dense but concentrated) empirical moments, the result is exactly the
+sparse symmetric tensor this library decomposes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..formats.ucoo import SparseSymmetricTensor
+from ..symmetry.iou import enumerate_iou
+
+__all__ = ["empirical_moment_tensor"]
+
+
+def empirical_moment_tensor(
+    samples: np.ndarray,
+    order: int,
+    *,
+    center: bool = True,
+    threshold: float = 0.0,
+    chunk: int = 2048,
+    max_entries: Optional[int] = 2_000_000,
+) -> SparseSymmetricTensor:
+    """Estimate ``E[x^{⊗order}]`` from ``(n_samples, dim)`` data.
+
+    Parameters
+    ----------
+    samples:
+        Data matrix; rows are observations.
+    order:
+        Moment order ``N >= 1``.
+    center:
+        Subtract the sample mean first (central moments).
+    threshold:
+        Drop IOU entries with ``|value| <= threshold`` — the sparsification
+        step that makes high-dimensional moment tensors tractable.
+    chunk:
+        IOU entries evaluated per vectorized block.
+    max_entries:
+        Safety cap on ``S_{N,I}`` (the full IOU count) — moment estimation
+        enumerates every unique entry.
+    """
+    samples = np.asarray(samples, dtype=np.float64)
+    if samples.ndim != 2:
+        raise ValueError("samples must be (n_samples, dim)")
+    n, dim = samples.shape
+    if n == 0:
+        raise ValueError("need at least one sample")
+    if order < 1:
+        raise ValueError("order must be >= 1")
+    if center:
+        samples = samples - samples.mean(axis=0, keepdims=True)
+
+    iou = enumerate_iou(order, dim)
+    if max_entries is not None and iou.shape[0] > max_entries:
+        raise ValueError(
+            f"S_{{{order},{dim}}} = {iou.shape[0]} unique entries exceeds "
+            f"max_entries={max_entries}; raise the cap or reduce dim/order"
+        )
+    values = np.empty(iou.shape[0], dtype=np.float64)
+    step = max(1, chunk)
+    for start in range(0, iou.shape[0], step):
+        stop = min(start + step, iou.shape[0])
+        block = iou[start:stop]
+        prods = samples[:, block[:, 0]]
+        for t in range(1, order):
+            prods = prods * samples[:, block[:, t]]
+        values[start:stop] = prods.mean(axis=0)
+    keep = np.abs(values) > threshold
+    return SparseSymmetricTensor(
+        order, dim, iou[keep], values[keep], assume_canonical=True
+    )

@@ -1,0 +1,43 @@
+"""Dense einsum reference implementations (ground truth for tests).
+
+Materializes the full tensor and applies textbook definitions. Only viable
+for tiny problems; every sparse kernel in the library is validated against
+these on small random inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..formats.dense import ttm, ttmc_all_but_one, unfold
+from ..formats.ucoo import SparseSymmetricTensor
+
+__all__ = [
+    "dense_s3ttmc",
+    "dense_s3ttmc_matrix",
+    "dense_core",
+    "dense_s3ttmc_tc",
+]
+
+
+def dense_s3ttmc(tensor: SparseSymmetricTensor, factor: np.ndarray) -> np.ndarray:
+    """Full order-``N`` result of ``X ×₂ Uᵀ … ×_N Uᵀ`` (Eq. 2)."""
+    return ttmc_all_but_one(tensor.to_dense(), np.asarray(factor, dtype=np.float64), 0)
+
+
+def dense_s3ttmc_matrix(tensor: SparseSymmetricTensor, factor: np.ndarray) -> np.ndarray:
+    """Matricized ``Y_(1) ∈ R^{I × R^{N-1}}``."""
+    return unfold(dense_s3ttmc(tensor, factor), 0)
+
+
+def dense_core(tensor: SparseSymmetricTensor, factor: np.ndarray) -> np.ndarray:
+    """Full core ``C = X ×₁ Uᵀ … ×_N Uᵀ`` as an order-``N`` ndarray."""
+    y = dense_s3ttmc(tensor, factor)
+    return ttm(y, np.asarray(factor, dtype=np.float64), 0)
+
+
+def dense_s3ttmc_tc(tensor: SparseSymmetricTensor, factor: np.ndarray) -> np.ndarray:
+    """Reference ``A = Y_(1) C_(1)ᵀ ∈ R^{I × R}``."""
+    y1 = dense_s3ttmc_matrix(tensor, factor)
+    c1 = unfold(dense_core(tensor, factor), 0)
+    return y1 @ c1.T

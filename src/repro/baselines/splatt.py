@@ -1,0 +1,96 @@
+"""TTMc-SPLATT baseline: general CSF tensor-times-matrix-chain.
+
+Smith & Karypis's CSF TTMc, symmetry-blind: operates on the *expanded*
+non-zero set (all distinct permutations), memoizing partial Kronecker
+products on the CSF fiber tree. For a symmetric input this pays the full
+``N!``-factor expansion in both time and memory — which is why SPLATT wins
+on low orders (tight tree, BLAS-friendly) but is the first to go OOM as
+order grows (Figs. 4–5).
+
+Mode-0 output only: for a symmetric tensor the product over all modes but
+one is the same for any mode (Eq. 2), so HOOI needs just one unfolding.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core._segment import segment_sum_by_ptr
+from ..core.stats import KernelStats
+from ..formats.csf import CSFTensor
+from ..formats.ucoo import SparseSymmetricTensor
+from ..runtime.budget import release_bytes, request_bytes
+
+__all__ = ["splatt_ttmc", "csf_ttmc"]
+
+
+def csf_ttmc(
+    csf: CSFTensor,
+    factor: np.ndarray,
+    *,
+    stats: Optional[KernelStats] = None,
+) -> np.ndarray:
+    """TTMc over all modes except the CSF root mode.
+
+    Bottom-up over the fiber tree: the payload of a depth-``d`` node is the
+    accumulated Kronecker product over modes below it; combining a child at
+    depth ``d+1`` with index value ``v`` contributes
+    ``kron(U[v, :], payload(child))``. Root payloads are the rows of the
+    full ``Y_(root mode) ∈ R^{I × R^{N-1}}``.
+    """
+    factor = np.asarray(factor, dtype=np.float64)
+    if factor.ndim != 2 or factor.shape[0] != csf.dim:
+        raise ValueError(f"factor must be ({csf.dim}, R), got {factor.shape}")
+    rank = factor.shape[1]
+    order = csf.order
+    trie = csf.trie
+
+    # Deepest level: one node per expanded non-zero (coords are unique);
+    # payload = scalar value.
+    payload = segment_sum_by_ptr(csf.values[:, None], trie.child_ptr[order - 1])
+    payload_label = f"CSF payload depth {order}"
+    request_bytes(payload.nbytes, payload_label)
+    for depth in range(order - 1, 0, -1):
+        child_values = trie.values[depth]  # nodes at depth+1 (0-based list)
+        n_children = child_values.shape[0]
+        width = payload.shape[1]
+        contrib_label = f"CSF contrib depth {depth}"
+        request_bytes(n_children * rank * width * 8, contrib_label)
+        contrib = (factor[child_values][:, :, None] * payload[:, None, :]).reshape(
+            n_children, rank * width
+        )
+        if stats is not None:
+            stats.add_level(order - depth + 1, n_children, n_children, rank * width)
+        release_bytes(payload.nbytes, payload_label)
+        payload = segment_sum_by_ptr(contrib, trie.child_ptr[depth - 1])
+        payload_label = f"CSF payload depth {depth}"
+        request_bytes(payload.nbytes, payload_label)
+        release_bytes(contrib.nbytes, contrib_label)
+
+    root_values = trie.values[0]
+    out_cols = rank ** (order - 1)
+    request_bytes(csf.dim * out_cols * 8, "Y (SPLATT full)")
+    out = np.zeros((csf.dim, out_cols), dtype=np.float64)
+    out[root_values] = payload
+    release_bytes(payload.nbytes, payload_label)
+    if stats is not None:
+        stats.output_bytes = out.nbytes
+    return out
+
+
+def splatt_ttmc(
+    tensor: SparseSymmetricTensor,
+    factor: np.ndarray,
+    *,
+    stats: Optional[KernelStats] = None,
+) -> np.ndarray:
+    """End-to-end SPLATT pipeline from a symmetric tensor.
+
+    Expands permutations, builds CSF, runs TTMc — accounting every
+    allocation, so the expansion is where this baseline hits the memory
+    budget first.
+    """
+    csf = CSFTensor.from_symmetric(tensor)
+    return csf_ttmc(csf, factor, stats=stats)

@@ -1,0 +1,22 @@
+"""Benchmark harness: guarded timing and figure-as-table reporting."""
+
+from .harness import (
+    DEFAULT_BUDGET_GB,
+    bench_repeats,
+    guarded_kernel_measurement,
+    preferred_batch,
+    timed_measurement,
+)
+from .records import Measurement, SeriesTable, format_seconds, geometric_mean
+
+__all__ = [
+    "DEFAULT_BUDGET_GB",
+    "bench_repeats",
+    "timed_measurement",
+    "guarded_kernel_measurement",
+    "preferred_batch",
+    "Measurement",
+    "SeriesTable",
+    "format_seconds",
+    "geometric_mean",
+]

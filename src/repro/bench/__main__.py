@@ -1,0 +1,70 @@
+"""Regenerate all paper figures/tables without pytest.
+
+Usage::
+
+    python -m repro.bench               # run everything
+    python -m repro.bench fig4 fig7     # run selected experiments
+    python -m repro.bench --list        # show available experiments
+
+Thin wrapper that invokes the pytest-benchmark suite per experiment (each
+benchmark file both prints its table and writes it under ``results/``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import subprocess
+import sys
+from pathlib import Path
+
+EXPERIMENTS = {
+    "table3": "bench_table3_datasets.py",
+    "fig4": "bench_fig4_operations.py",
+    "fig5": "bench_fig5_sweep.py",
+    "fig6": "bench_fig6_thread_scaling.py",
+    "fig7": "bench_fig7_hooi_vs_hoqri.py",
+    "fig8": "bench_fig8_breakdown.py",
+    "fig9": "bench_fig9_convergence.py",
+    "table2": "bench_table2_complexity.py",
+    "index-iteration": "bench_index_iteration.py",
+    "ablations": "bench_ablations.py",
+    "ablation-storage": "bench_ablation_storage.py",
+    "extension-cp": "bench_extension_cp.py",
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the SymProp paper's figures/tables.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help=f"subset to run (default: all). Choices: {', '.join(EXPERIMENTS)}",
+    )
+    parser.add_argument("--list", action="store_true", help="list experiments")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name, path in EXPERIMENTS.items():
+            print(f"{name:18s} {path}")
+        return 0
+
+    selected = args.experiments or list(EXPERIMENTS)
+    unknown = [e for e in selected if e not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiment(s): {', '.join(unknown)}")
+
+    bench_dir = Path(__file__).resolve().parents[3] / "benchmarks"
+    if not bench_dir.is_dir():
+        print(f"benchmarks directory not found at {bench_dir}", file=sys.stderr)
+        return 2
+    files = [str(bench_dir / EXPERIMENTS[e]) for e in selected]
+    cmd = [sys.executable, "-m", "pytest", *files, "--benchmark-only", "-q", "-s"]
+    print("+", " ".join(cmd))
+    return subprocess.call(cmd)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,132 @@
+"""Benchmark record types and table rendering.
+
+The harness reports each figure/table of the paper as plain-text tables:
+one row per (dataset | parameter value), one column per kernel/algorithm,
+with ``OOM`` markers where the memory budget was exhausted — mirroring the
+bar charts and line plots of Section VI.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["Measurement", "SeriesTable", "geometric_mean", "format_seconds"]
+
+
+@dataclass
+class Measurement:
+    """One timed cell: seconds, or an out-of-memory/failure marker."""
+
+    seconds: Optional[float] = None
+    oom: bool = False
+    note: str = ""
+
+    @classmethod
+    def from_seconds(cls, seconds: float) -> "Measurement":
+        return cls(seconds=float(seconds))
+
+    @classmethod
+    def out_of_memory(cls, note: str = "") -> "Measurement":
+        return cls(oom=True, note=note)
+
+    @property
+    def ok(self) -> bool:
+        return self.seconds is not None and not self.oom
+
+    def render(self) -> str:
+        if self.oom:
+            return "OOM"
+        if self.seconds is None:
+            return "-"
+        return format_seconds(self.seconds)
+
+
+def format_seconds(seconds: float) -> str:
+    """Human-scale rendering: seconds, milliseconds or microseconds."""
+    if seconds >= 100:
+        return f"{seconds:.0f} s"
+    if seconds >= 1:
+        return f"{seconds:.2f} s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.2f} ms"
+    return f"{seconds * 1e6:.1f} µs"
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of the positive entries (NaN when none exist)."""
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return float("nan")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+@dataclass
+class SeriesTable:
+    """A figure rendered as a table: rows × named series.
+
+    ``cells[series][row_label]`` holds a :class:`Measurement` (or a plain
+    string for non-timing tables).
+    """
+
+    title: str
+    row_header: str
+    rows: List[str] = field(default_factory=list)
+    series: List[str] = field(default_factory=list)
+    cells: Dict[str, Dict[str, object]] = field(default_factory=dict)
+
+    def set(self, series: str, row: str, value: object) -> None:
+        if series not in self.series:
+            self.series.append(series)
+            self.cells[series] = {}
+        if row not in self.rows:
+            self.rows.append(row)
+        self.cells[series][row] = value
+
+    def get(self, series: str, row: str) -> object:
+        return self.cells.get(series, {}).get(row)
+
+    def speedup(self, baseline: str, target: str, row: str) -> Optional[float]:
+        """``baseline_time / target_time`` when both cells are timings."""
+        base = self.get(baseline, row)
+        tgt = self.get(target, row)
+        if (
+            isinstance(base, Measurement)
+            and isinstance(tgt, Measurement)
+            and base.ok
+            and tgt.ok
+            and tgt.seconds
+        ):
+            return base.seconds / tgt.seconds
+        return None
+
+    def render(self) -> str:
+        def cell_text(value: object) -> str:
+            if value is None:
+                return "-"
+            if isinstance(value, Measurement):
+                return value.render()
+            if isinstance(value, float):
+                return f"{value:.4g}"
+            return str(value)
+
+        header = [self.row_header] + self.series
+        body = [
+            [row] + [cell_text(self.cells.get(s, {}).get(row)) for s in self.series]
+            for row in self.rows
+        ]
+        widths = [
+            max(len(header[c]), *(len(r[c]) for r in body)) if body else len(header[c])
+            for c in range(len(header))
+        ]
+        lines = [f"== {self.title} =="]
+        lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for r in body:
+            lines.append("  ".join(v.ljust(w) for v, w in zip(r, widths)))
+        return "\n".join(lines)
+
+    def print(self) -> None:  # noqa: A003 - deliberate harness verb
+        print(self.render())
+        print()

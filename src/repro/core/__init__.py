@@ -1,0 +1,35 @@
+"""SymProp core: symmetry-propagated S³TTMc and S³TTMcTC kernels."""
+
+from .codegen import STRATEGIES, codegen_step, generate_step_source, mapping_step, table_step
+from .engine import DEFAULT_BLOCK_BYTES, lattice_ttmc
+from .lattice import Lattice, LatticeLevel, build_lattice
+from .layouts import LevelLayout, compact_layout, full_layout, layout_for
+from .plan import TTMcPlan, build_plan, get_plan
+from .s3ttmc import s3ttmc
+from .s3ttmc_tc import TTMcTCResult, s3ttmc_tc, times_core
+from .stats import KernelStats
+
+__all__ = [
+    "s3ttmc",
+    "s3ttmc_tc",
+    "times_core",
+    "TTMcTCResult",
+    "KernelStats",
+    "lattice_ttmc",
+    "DEFAULT_BLOCK_BYTES",
+    "build_lattice",
+    "Lattice",
+    "LatticeLevel",
+    "TTMcPlan",
+    "build_plan",
+    "get_plan",
+    "LevelLayout",
+    "compact_layout",
+    "full_layout",
+    "layout_for",
+    "codegen_step",
+    "mapping_step",
+    "table_step",
+    "generate_step_source",
+    "STRATEGIES",
+]

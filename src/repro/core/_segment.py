@@ -1,0 +1,47 @@
+"""Vectorized segment reductions used by the lattice kernels."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["segment_sum_by_ptr", "scatter_add_rows"]
+
+
+def segment_sum_by_ptr(contrib: np.ndarray, node_ptr: np.ndarray) -> np.ndarray:
+    """Sum contiguous row segments of ``contrib``.
+
+    ``node_ptr`` is a ``(n_nodes+1,)`` CSR offset array over the rows of
+    ``contrib``; returns ``(n_nodes, contrib.shape[1])``. Empty segments
+    (possible only for degenerate inputs) yield zero rows.
+    """
+    n_nodes = node_ptr.shape[0] - 1
+    if n_nodes == 0:
+        return np.zeros((0,) + contrib.shape[1:], dtype=contrib.dtype)
+    starts = node_ptr[:-1]
+    empty = node_ptr[:-1] == node_ptr[1:]
+    if not empty.any():
+        return np.add.reduceat(contrib, starts, axis=0)
+    # reduceat misbehaves on empty segments (it reduces the *next* slice);
+    # compute on non-empty segments and fill zeros elsewhere.
+    out = np.zeros((n_nodes,) + contrib.shape[1:], dtype=contrib.dtype)
+    nz = ~empty
+    out[nz] = np.add.reduceat(contrib, starts[nz], axis=0)
+    return out
+
+
+def scatter_add_rows(out: np.ndarray, rows: np.ndarray, contrib: np.ndarray) -> None:
+    """``out[rows[e], :] += contrib[e, :]`` with duplicate rows allowed.
+
+    Sort-and-reduce formulation: orders contributions by target row, sums
+    runs with ``reduceat``, then does one bulk indexed add — much faster
+    than ``np.add.at`` for wide rows.
+    """
+    if rows.shape[0] == 0:
+        return
+    order = np.argsort(rows, kind="stable")
+    sorted_rows = rows[order]
+    starts = np.ones(sorted_rows.shape[0], dtype=bool)
+    starts[1:] = sorted_rows[1:] != sorted_rows[:-1]
+    start_pos = np.flatnonzero(starts)
+    summed = np.add.reduceat(contrib[order], start_pos, axis=0)
+    out[sorted_rows[start_pos]] += summed

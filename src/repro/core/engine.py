@@ -1,0 +1,236 @@
+"""The shared lattice-evaluation engine behind S³TTMc and its CSS baseline.
+
+Evaluates the sub-multiset lattice bottom-up with one vectorized
+gather-multiply-segment-sum per level, in the layout chosen by the caller
+(compact ``S_{l,R}`` — SymProp — or full ``R**l`` — the CSS baseline), and
+scatters the top-level ``K`` tensors into the output rows.
+
+Performance notes (all heavy work is batched NumPy):
+
+* the structural lattice is *reused* across calls via
+  :mod:`repro.core.plan` (the CSS-tree analogue: structure is built once
+  per tensor, numeric evaluation per call);
+* per level, the factor gather ``U[:, last_index]`` and the parent
+  re-layout ``K_{l-1}[:, parent_loc]`` are hoisted out of the edge loop so
+  per-edge work is two contiguous row-gathers, one multiply and one
+  segment-sum — no 2-D fancy indexing on the hot path;
+* node-chunking bounds transient buffers to ``block_bytes``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..runtime.budget import release_bytes, request_bytes
+from ..symmetry.combinatorics import dense_size, sym_storage_size
+from ._segment import scatter_add_rows, segment_sum_by_ptr
+from .lattice import Lattice
+from .layouts import layout_for
+from .plan import TTMcPlan, build_plan
+from .stats import KernelStats
+
+__all__ = ["lattice_ttmc", "DEFAULT_BLOCK_BYTES"]
+
+DEFAULT_BLOCK_BYTES = 256 * 2**20
+
+
+def lattice_ttmc(
+    indices: np.ndarray,
+    values: np.ndarray,
+    dim: int,
+    factor: np.ndarray,
+    *,
+    intermediate: str = "compact",
+    memoize: str = "global",
+    stats: Optional[KernelStats] = None,
+    nz_batch_size: Optional[int] = None,
+    block_bytes: int = DEFAULT_BLOCK_BYTES,
+    out: Optional[np.ndarray] = None,
+    plan: Optional[TTMcPlan] = None,
+) -> np.ndarray:
+    """Evaluate S³TTMc over IOU non-zeros with the chosen intermediate layout.
+
+    Parameters
+    ----------
+    indices, values:
+        IOU non-zeros, ``(unnz, order)`` and ``(unnz,)``.
+    dim:
+        Input dimension size ``I`` (output row count).
+    factor:
+        Factor matrix ``U`` of shape ``(I, R)``.
+    intermediate:
+        ``"compact"`` (SymProp) or ``"full"`` (CSS baseline). Determines
+        both intermediate K-tensor storage and the output column layout:
+        ``S_{N-1,R}`` vs ``R**(N-1)``.
+    memoize:
+        Lattice memoization scope (``"global"`` / ``"nonzero"``); ignored
+        when ``plan`` is given.
+    stats:
+        Optional :class:`KernelStats` to fill.
+    nz_batch_size:
+        Process non-zeros in batches of this size (bounds lattice and
+        intermediate memory at a small loss of cross-batch sharing);
+        ignored when ``plan`` is given.
+    block_bytes:
+        Transient per-level gather buffer bound.
+    out:
+        Optional pre-allocated ``(I, cols)`` output to accumulate into.
+    plan:
+        Pre-built :class:`TTMcPlan` for this pattern (reuse across calls).
+
+    Returns
+    -------
+    ``(I, cols)`` matrix: ``Y_p(1)`` for compact, ``Y_(1)`` for full.
+    """
+    indices = np.asarray(indices, dtype=np.int64)
+    values = np.asarray(values, dtype=np.float64)
+    factor = np.asarray(factor, dtype=np.float64)
+    if indices.ndim != 2:
+        raise ValueError("indices must be (unnz, order)")
+    unnz, order = indices.shape
+    if order < 2:
+        raise ValueError("S³TTMc requires order >= 2")
+    if factor.ndim != 2 or factor.shape[0] != dim:
+        raise ValueError(f"factor must be ({dim}, R), got {factor.shape}")
+    rank = factor.shape[1]
+    if intermediate == "compact":
+        cols = sym_storage_size(order - 1, rank)
+    elif intermediate == "full":
+        cols = dense_size(order - 1, rank)
+    elif intermediate == "cp":
+        cols = rank
+    else:
+        raise ValueError(f"unknown intermediate layout {intermediate!r}")
+
+    if out is None:
+        request_bytes(dim * cols * 8, f"Y ({intermediate})")
+        out = np.zeros((dim, cols), dtype=np.float64)
+    elif out.shape != (dim, cols):
+        raise ValueError(f"out must be ({dim}, {cols})")
+
+    if stats is not None:
+        stats.output_bytes = out.nbytes
+
+    if unnz == 0:
+        return out
+
+    if plan is None:
+        plan = build_plan(indices, memoize, nz_batch_size)
+    elif plan.order != order:
+        raise ValueError("plan order does not match indices")
+
+    for start, stop, lattice in plan.batches:
+        _accumulate_batch(
+            lattice,
+            values[start:stop],
+            factor,
+            rank,
+            intermediate,
+            out,
+            stats,
+            block_bytes,
+        )
+        if stats is not None:
+            stats.batches += 1
+    return out
+
+
+def _accumulate_batch(
+    lattice: Lattice,
+    values: np.ndarray,
+    factor: np.ndarray,
+    rank: int,
+    intermediate: str,
+    out: np.ndarray,
+    stats: Optional[KernelStats],
+    block_bytes: int,
+) -> None:
+    order = lattice.order
+    # Level-1 K tensors are rows of U (identical in both layouts).
+    k_prev = factor[lattice.leaf_values]
+    k_prev_label = "K level 1"
+    request_bytes(k_prev.nbytes, k_prev_label)
+    for level in range(2, order):
+        layout = layout_for(intermediate, level, rank)
+        edges = lattice.levels[level]
+        label = f"K level {level}"
+        request_bytes(edges.n_nodes * layout.size * 8, label)
+        k_cur = np.empty((edges.n_nodes, layout.size), dtype=np.float64)
+        _compute_level(k_cur, k_prev, factor, edges, layout, block_bytes)
+        if stats is not None:
+            stats.add_level(level, edges.n_nodes, edges.n_edges, layout.size)
+        release_bytes(k_prev.nbytes, k_prev_label)
+        k_prev, k_prev_label = k_cur, label
+
+    # Top level: scale by non-zero values, scatter into output rows.
+    top = lattice.levels[order]
+    assert top.node is not None, "top lattice level must retain parent ids"
+    row_bytes = k_prev.shape[1] * 8
+    edge_block = max(1, block_bytes // max(2 * row_bytes, 1))
+    n_edges = top.n_edges
+    for estart in range(0, n_edges, edge_block):
+        estop = min(estart + edge_block, n_edges)
+        sl = slice(estart, estop)
+        contrib = k_prev[top.child[sl]] * values[top.node[sl], None]
+        scatter_add_rows(out, top.value[sl], contrib)
+    if stats is not None:
+        stats.add_scatter(n_edges, k_prev.shape[1])
+    release_bytes(k_prev.nbytes, k_prev_label)
+
+
+def _compute_level(
+    k_cur: np.ndarray,
+    k_prev: np.ndarray,
+    factor: np.ndarray,
+    edges,
+    layout,
+    block_bytes: int,
+) -> None:
+    """Fill ``k_cur`` node-chunk by node-chunk.
+
+    Per edge ``e`` (term of its node):
+    ``contrib[e, s] = U[value[e], last_index[s]] * K_prev[child[e], parent_loc[s]]``
+    with both gathers hoisted to per-level row tables; edges are node-major
+    so a single segment-sum finishes each chunk.
+    """
+    n_nodes = k_cur.shape[0]
+    if n_nodes == 0:
+        return
+    size = layout.size
+    row_bytes = size * 8
+    edges_per_chunk = max(1, block_bytes // max(2 * row_bytes, 1))
+    # Hoisted per-level tables (factor columns re-ordered by last index, the
+    # parent K re-laid-out to the child index space) turn the per-edge work
+    # into contiguous row-gathers. Hoisting costs (dim + M_{l-1}) * size
+    # doubles — cheap in the compact layout, potentially dominant in the
+    # full layout — so fall back to per-chunk 2-D gathers when it is large.
+    hoist_bytes = (factor.shape[0] + k_prev.shape[0]) * row_bytes
+    hoist = hoist_bytes <= 2 * block_bytes
+    if hoist:
+        gathered_factor = np.ascontiguousarray(factor[:, layout.last_index])
+        expanded_prev = np.ascontiguousarray(k_prev[:, layout.parent_loc])
+        request_bytes(hoist_bytes, "level gather tables")
+    try:
+        for group in edges.groups:
+            degree = group.degree
+            nodes_per_chunk = max(1, edges_per_chunk // degree)
+            for a in range(0, group.n_nodes, nodes_per_chunk):
+                b = min(a + nodes_per_chunk, group.n_nodes)
+                sl = slice(group.edge_offset + a * degree, group.edge_offset + b * degree)
+                if hoist:
+                    contrib = gathered_factor[edges.value[sl]]
+                    contrib *= expanded_prev[edges.child[sl]]
+                else:
+                    contrib = factor[edges.value[sl, None], layout.last_index[None, :]]
+                    contrib *= k_prev[edges.child[sl, None], layout.parent_loc[None, :]]
+                if degree == 1:
+                    k_cur[group.nodes[a:b]] = contrib
+                else:
+                    k_cur[group.nodes[a:b]] = contrib.reshape(b - a, degree, size).sum(
+                        axis=1
+                    )
+    finally:
+        if hoist:
+            release_bytes(hoist_bytes, "level gather tables")

@@ -1,0 +1,82 @@
+"""Reusable S³TTMc execution plans (the CSS-tree analogue).
+
+The sub-multiset lattice depends only on the sparsity *pattern*, never on
+the factor matrix or values — just like the paper's CSS tree, which is
+built once when the tensor is loaded and reused across every kernel call
+and every Tucker iteration. A :class:`TTMcPlan` captures the lattice (per
+non-zero batch) so repeated kernel invocations pay only the numeric work;
+:func:`get_plan` memoizes plans on the tensor object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..formats.ucoo import SparseSymmetricTensor
+from .lattice import Lattice, build_lattice
+
+__all__ = ["TTMcPlan", "build_plan", "get_plan"]
+
+_CACHE_ATTR = "_s3ttmc_plan_cache"
+
+
+@dataclass(frozen=True)
+class TTMcPlan:
+    """Lattices for each non-zero batch of one tensor pattern."""
+
+    order: int
+    memoize: str
+    nz_batch_size: Optional[int]
+    batches: Tuple[Tuple[int, int, Lattice], ...]  # (start, stop, lattice)
+
+    @property
+    def total_edges(self) -> int:
+        return sum(lat.total_edges for _s, _e, lat in self.batches)
+
+
+def build_plan(
+    indices: np.ndarray,
+    memoize: str = "global",
+    nz_batch_size: Optional[int] = None,
+) -> TTMcPlan:
+    """Build lattices for every batch of the given IOU pattern."""
+    indices = np.asarray(indices, dtype=np.int64)
+    unnz, order = indices.shape
+    batch = max(1, unnz) if not nz_batch_size else max(1, int(nz_batch_size))
+    batches = []
+    for start in range(0, max(unnz, 1), batch):
+        stop = min(start + batch, unnz)
+        if start >= stop:
+            break
+        batches.append((start, stop, build_lattice(indices[start:stop], memoize)))
+    return TTMcPlan(
+        order=order,
+        memoize=memoize,
+        nz_batch_size=nz_batch_size,
+        batches=tuple(batches),
+    )
+
+
+def get_plan(
+    tensor: SparseSymmetricTensor,
+    memoize: str = "global",
+    nz_batch_size: Optional[int] = None,
+) -> TTMcPlan:
+    """Plan for ``tensor``, memoized on the tensor instance.
+
+    The cache key is ``(memoize, nz_batch_size)``; the pattern of a
+    :class:`SparseSymmetricTensor` is immutable by convention.
+    """
+    cache = getattr(tensor, _CACHE_ATTR, None)
+    if cache is None:
+        cache = {}
+        setattr(tensor, _CACHE_ATTR, cache)
+    key = (memoize, nz_batch_size)
+    plan = cache.get(key)
+    if plan is None:
+        plan = build_plan(tensor.indices, memoize, nz_batch_size)
+        cache[key] = plan
+    return plan

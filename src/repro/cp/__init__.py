@@ -1,0 +1,18 @@
+"""Symmetric CP decomposition (future-work extension of the paper).
+
+Symmetry propagation applied to the MTTKRP kernel: intermediate products
+stay ``R``-vectors at every lattice level, and symmetric CP-ALS rides on
+top — the direction the paper's conclusion proposes for "other tensor
+decomposition methods".
+"""
+
+from .als import SymmetricCPResult, cp_inner_product, rank_one_inner_products, symmetric_cp_als
+from .mttkrp import symmetric_mttkrp
+
+__all__ = [
+    "symmetric_mttkrp",
+    "symmetric_cp_als",
+    "SymmetricCPResult",
+    "cp_inner_product",
+    "rank_one_inner_products",
+]

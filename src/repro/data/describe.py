@@ -1,0 +1,91 @@
+"""Dataset statistics: the numbers that drive kernel cost.
+
+``describe`` computes the structural statistics the performance model
+needs (and Table III reports): sizes, expansion factor, index multiplicity
+histogram, per-mode density, and the compression the IOU representation
+achieves. Used by the Table III bench and handy when bringing new data.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict
+
+import numpy as np
+
+from ..formats.ucoo import SparseSymmetricTensor
+from ..symmetry.combinatorics import dense_size, sym_storage_size
+
+__all__ = ["TensorSummary", "describe"]
+
+
+@dataclass
+class TensorSummary:
+    """Structural statistics of one sparse symmetric tensor."""
+
+    order: int
+    dim: int
+    unnz: int
+    nnz: int
+    density: float
+    iou_density: float
+    expansion_factor: float
+    distinct_values_histogram: Dict[int, int] = field(default_factory=dict)
+    touched_indices: int = 0
+    max_index_degree: int = 0
+    value_min: float = 0.0
+    value_max: float = 0.0
+
+    def lines(self) -> list:
+        out = [
+            f"order={self.order} dim={self.dim} unnz={self.unnz} nnz={self.nnz}",
+            f"density={self.density:.3e} (IOU {self.iou_density:.3e}), "
+            f"expansion x{self.expansion_factor:.1f}",
+            f"touched indices: {self.touched_indices}/{self.dim}, "
+            f"max index degree {self.max_index_degree}",
+            f"values in [{self.value_min:.4g}, {self.value_max:.4g}]",
+            "distinct values per non-zero: "
+            + ", ".join(
+                f"{k}:{v}" for k, v in sorted(self.distinct_values_histogram.items())
+            ),
+        ]
+        return out
+
+    def __str__(self) -> str:
+        return "\n".join(self.lines())
+
+
+def describe(tensor: SparseSymmetricTensor) -> TensorSummary:
+    """Compute a :class:`TensorSummary`."""
+    unnz = tensor.unnz
+    nnz = tensor.nnz
+    total = dense_size(tensor.order, tensor.dim)
+    iou_total = sym_storage_size(tensor.order, tensor.dim)
+    if unnz:
+        distinct = np.ones(unnz, dtype=np.int64)
+        if tensor.order > 1:
+            distinct += (tensor.indices[:, 1:] != tensor.indices[:, :-1]).sum(axis=1)
+        histogram = dict(Counter(distinct.tolist()))
+        touched = np.unique(tensor.indices)
+        degrees = np.bincount(tensor.indices.ravel(), minlength=tensor.dim)
+        vmin, vmax = float(tensor.values.min()), float(tensor.values.max())
+    else:
+        histogram = {}
+        touched = np.zeros(0, dtype=np.int64)
+        degrees = np.zeros(tensor.dim, dtype=np.int64)
+        vmin = vmax = 0.0
+    return TensorSummary(
+        order=tensor.order,
+        dim=tensor.dim,
+        unnz=unnz,
+        nnz=nnz,
+        density=nnz / total if total else 0.0,
+        iou_density=unnz / iou_total if iou_total else 0.0,
+        expansion_factor=nnz / unnz if unnz else 0.0,
+        distinct_values_histogram=histogram,
+        touched_indices=int(touched.shape[0]),
+        max_index_degree=int(degrees.max(initial=0)),
+        value_min=vmin,
+        value_max=vmax,
+    )

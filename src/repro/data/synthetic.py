@@ -1,0 +1,135 @@
+"""Synthetic sparse symmetric tensor generators.
+
+Two families:
+
+* :func:`random_sparse_symmetric` — uniform random IOU patterns, the
+  analogue of the L6/L7/L10/H12 tensors of [12] used throughout the
+  paper's operation benchmarks (kernel cost depends only on the pattern
+  statistics, not values);
+* :func:`planted_lowrank` — a symmetric Tucker model ``C ×[U₀ᵀ]`` sampled
+  at random IOU positions plus noise, so convergence experiments (Fig. 9)
+  have actual low-rank structure to find.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..decomp.hosvd import random_init
+from ..formats.dense_sym import DenseSymmetricTensor
+from ..formats.ucoo import SparseSymmetricTensor
+from ..symmetry.combinatorics import sym_storage_size
+from ..symmetry.expansion import expand_compact
+
+__all__ = ["random_iou_pattern", "random_sparse_symmetric", "planted_lowrank"]
+
+
+def random_iou_pattern(
+    order: int,
+    dim: int,
+    unnz: int,
+    rng: np.random.Generator,
+    *,
+    max_tries: int = 64,
+) -> np.ndarray:
+    """``unnz`` distinct IOU index tuples, uniformly over sorted draws.
+
+    Draws random tuples, sorts each, deduplicates, and repeats with an
+    increasing oversampling factor until enough distinct patterns exist.
+    """
+    capacity = sym_storage_size(order, dim)
+    if unnz > capacity:
+        raise ValueError(f"cannot place {unnz} IOU non-zeros in S={capacity} slots")
+    if unnz == 0:
+        return np.zeros((0, order), dtype=np.int64)
+    collected = np.zeros((0, order), dtype=np.int64)
+    factor = 2
+    for _ in range(max_tries):
+        need = unnz - collected.shape[0]
+        draw = rng.integers(0, dim, size=(max(need * factor, 16), order))
+        draw.sort(axis=1)
+        pool = np.concatenate([collected, draw], axis=0)
+        collected = np.unique(pool, axis=0)
+        if collected.shape[0] >= unnz:
+            pick = rng.choice(collected.shape[0], size=unnz, replace=False)
+            chosen = collected[pick]
+            perm = np.lexsort(chosen.T[::-1])
+            return chosen[perm]
+        factor *= 2
+    raise RuntimeError(
+        f"failed to sample {unnz} distinct IOU tuples for order={order}, dim={dim}"
+    )
+
+
+def random_sparse_symmetric(
+    order: int,
+    dim: int,
+    unnz: int,
+    *,
+    seed: Optional[int] = None,
+    value_low: float = 0.1,
+    value_high: float = 1.0,
+) -> SparseSymmetricTensor:
+    """Uniform random sparse symmetric tensor with ``unnz`` IOU non-zeros.
+
+    Values are uniform in ``[value_low, value_high)`` (bounded away from
+    zero so the pattern is exact).
+    """
+    rng = np.random.default_rng(seed)
+    indices = random_iou_pattern(order, dim, unnz, rng)
+    values = rng.uniform(value_low, value_high, size=unnz)
+    return SparseSymmetricTensor(order, dim, indices, values, assume_canonical=True)
+
+
+def planted_lowrank(
+    order: int,
+    dim: int,
+    rank: int,
+    unnz: Optional[int] = None,
+    *,
+    noise: float = 0.01,
+    seed: Optional[int] = None,
+) -> SparseSymmetricTensor:
+    """Sampling of a rank-``rank`` symmetric Tucker model.
+
+    Builds ``X̂ = C ×₁ U₀ᵀ … ×_N U₀ᵀ`` with orthonormal ``U₀`` and a random
+    symmetric core, evaluates it at ``unnz`` random IOU positions (or at
+    *every* IOU position when ``unnz`` is ``None``), and adds Gaussian noise
+    scaled by ``noise`` times the entry RMS.
+
+    Note that a *sparsely* sampled low-rank model is itself no longer
+    low-rank (the implicit zeros are inconsistent with the model), so only
+    part of its energy is recoverable; with ``unnz=None`` the tensor is
+    exactly rank-``rank`` up to noise and decompositions should drive the
+    relative error to ~``noise``. Evaluation materializes the full core
+    unfolding (``rank**order`` entries) — intended for convergence studies
+    at moderate sizes.
+    """
+    from ..symmetry.iou import enumerate_iou
+
+    rng = np.random.default_rng(seed)
+    if unnz is None:
+        indices = enumerate_iou(order, dim)
+        unnz = indices.shape[0]
+    else:
+        indices = random_iou_pattern(order, dim, unnz, rng)
+    u0 = random_init(dim, rank, rng)
+    core = DenseSymmetricTensor.random(order, rank, rng)
+    core_full = expand_compact(core.data, order, rank)  # (rank**order,)
+
+    values = np.empty(unnz, dtype=np.float64)
+    chunk = max(1, 65536 // max(rank ** (order - 1), 1))
+    for start in range(0, unnz, chunk):
+        stop = min(start + chunk, unnz)
+        block = indices[start:stop]
+        w = u0[block[:, 0]]
+        for t in range(1, order):
+            w = (w[:, :, None] * u0[block[:, t]][:, None, :]).reshape(
+                block.shape[0], -1
+            )
+        values[start:stop] = w @ core_full
+    rms = float(np.sqrt(np.mean(values**2))) or 1.0
+    values = values + noise * rms * rng.standard_normal(unnz)
+    return SparseSymmetricTensor(order, dim, indices, values, assume_canonical=True)

@@ -1,0 +1,26 @@
+"""Sparse symmetric Tucker decomposition algorithms: HOOI and HOQRI."""
+
+from .hooi import hooi
+from .hoqri import hoqri
+from .hosvd import hosvd_init, initialize, random_init
+from .objective import fit, relative_error, tucker_objective
+from .reconstruct import reconstruct_at, reconstruct_dense, residual_norm
+from .restarts import best_of_restarts
+from .result import ConvergenceTrace, DecompositionResult
+
+__all__ = [
+    "hooi",
+    "hoqri",
+    "hosvd_init",
+    "random_init",
+    "initialize",
+    "tucker_objective",
+    "relative_error",
+    "fit",
+    "best_of_restarts",
+    "reconstruct_dense",
+    "reconstruct_at",
+    "residual_norm",
+    "ConvergenceTrace",
+    "DecompositionResult",
+]

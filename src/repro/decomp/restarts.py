@@ -1,0 +1,47 @@
+"""Best-of-k random-restart protocol (paper footnote 5).
+
+For large tensors where HOSVD initialization is infeasible, the paper
+randomly initializes each algorithm 20 times with different seeds and
+keeps the run with the lowest reconstruction error. This helper implements
+that protocol for either algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..core.s3ttmc import SymmetricInput
+from .result import DecompositionResult
+
+__all__ = ["best_of_restarts"]
+
+
+def best_of_restarts(
+    algorithm: Callable[..., DecompositionResult],
+    tensor: SymmetricInput,
+    rank: int,
+    *,
+    n_restarts: int = 20,
+    base_seed: int = 0,
+    **kwargs,
+) -> DecompositionResult:
+    """Run ``algorithm`` with ``n_restarts`` random inits; keep the best.
+
+    ``algorithm`` is :func:`repro.decomp.hooi` or
+    :func:`repro.decomp.hoqri` (or anything with the same signature);
+    ``kwargs`` are forwarded (``init`` is forced to ``"random"``).
+    Restart ``k`` uses seed ``base_seed + k``. Ties keep the earliest run.
+    """
+    if n_restarts < 1:
+        raise ValueError("n_restarts must be >= 1")
+    kwargs.pop("init", None)
+    kwargs.pop("seed", None)
+    best: DecompositionResult | None = None
+    for k in range(n_restarts):
+        result = algorithm(
+            tensor, rank, init="random", seed=base_seed + k, **kwargs
+        )
+        if best is None or result.relative_error < best.relative_error:
+            best = result
+    assert best is not None
+    return best

@@ -1,0 +1,98 @@
+"""HiCOO: hierarchical blocked COO storage (Li et al. [17]).
+
+A general sparse format from the paper's background section: coordinates
+are split into block indices (shared by all non-zeros in a ``2^b``-wide
+block, stored once per non-empty block) and small per-entry offsets
+(``uint8``/``uint16``), cutting index memory versus flat COO on tensors
+with spatial locality. Included as part of the general-format substrate;
+the storage-savings model is tested against flat COO.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .coo import COOTensor
+
+__all__ = ["HiCOOTensor"]
+
+
+class HiCOOTensor:
+    """Blocked COO with per-block pointer compression.
+
+    Parameters
+    ----------
+    coo:
+        Source tensor (duplicates assumed already handled).
+    block_bits:
+        ``b``; blocks are ``2^b`` wide per mode. Offsets must fit the
+        offset dtype: ``b <= 8`` uses ``uint8``, ``b <= 16`` ``uint16``.
+    """
+
+    def __init__(self, coo: COOTensor, block_bits: int = 7):
+        if not 1 <= block_bits <= 16:
+            raise ValueError("block_bits must be in [1, 16]")
+        self.order = coo.order
+        self.dim = coo.dim
+        self.block_bits = block_bits
+        offset_dtype = np.uint8 if block_bits <= 8 else np.uint16
+
+        block_ids = coo.indices >> block_bits
+        offsets = (coo.indices & ((1 << block_bits) - 1)).astype(offset_dtype)
+        # Sort entries by block (lex over block ids), then store each
+        # distinct block once with a CSR-style pointer.
+        perm = np.lexsort(block_ids.T[::-1])
+        block_ids = block_ids[perm]
+        self.offsets = offsets[perm]
+        self.values = coo.values[perm]
+        if block_ids.shape[0]:
+            new_block = np.ones(block_ids.shape[0], dtype=bool)
+            new_block[1:] = np.any(block_ids[1:] != block_ids[:-1], axis=1)
+            starts = np.flatnonzero(new_block)
+            self.blocks = block_ids[starts].astype(np.int64)
+            self.block_ptr = np.concatenate(
+                [starts, [block_ids.shape[0]]]
+            ).astype(np.int64)
+        else:
+            self.blocks = np.zeros((0, self.order), dtype=np.int64)
+            self.block_ptr = np.zeros(1, dtype=np.int64)
+
+    @property
+    def nnz(self) -> int:
+        return self.values.shape[0]
+
+    @property
+    def n_blocks(self) -> int:
+        return self.blocks.shape[0]
+
+    def to_coo(self) -> COOTensor:
+        """Reconstruct the flat COO tensor (entry order is block-sorted)."""
+        indices = np.empty((self.nnz, self.order), dtype=np.int64)
+        for b in range(self.n_blocks):
+            lo, hi = self.block_ptr[b], self.block_ptr[b + 1]
+            indices[lo:hi] = (self.blocks[b] << self.block_bits) + self.offsets[
+                lo:hi
+            ].astype(np.int64)
+        return COOTensor(self.order, self.dim, indices, self.values.copy(),
+                         assume_unique=True)
+
+    @property
+    def index_bytes(self) -> int:
+        """Index-structure bytes: blocks + pointers + offsets."""
+        return self.blocks.nbytes + self.block_ptr.nbytes + self.offsets.nbytes
+
+    def coo_index_bytes(self) -> int:
+        """Flat COO index bytes for the same non-zeros (int64)."""
+        return self.nnz * self.order * 8
+
+    def compression_ratio(self) -> float:
+        """COO index bytes / HiCOO index bytes (> 1 when blocking helps)."""
+        if self.index_bytes == 0:
+            return 1.0
+        return self.coo_index_bytes() / self.index_bytes
+
+    def __repr__(self) -> str:
+        return (
+            f"HiCOOTensor(order={self.order}, dim={self.dim}, nnz={self.nnz}, "
+            f"blocks={self.n_blocks}, b={self.block_bits})"
+        )

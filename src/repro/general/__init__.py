@@ -1,0 +1,6 @@
+"""General (non-symmetric) sparse tensor substrate: per-mode TTMc and HOOI."""
+
+from .hooi import GeneralTuckerResult, general_hooi
+from .ttmc import csf_ttmc_multi, general_ttmc
+
+__all__ = ["general_ttmc", "csf_ttmc_multi", "general_hooi", "GeneralTuckerResult"]

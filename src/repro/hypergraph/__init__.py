@@ -1,0 +1,20 @@
+"""Hypergraph substrate: structure, adjacency tensors, clustering."""
+
+from .adjacency import adjacency_tensor, dummy_node_count
+from .clustering import cluster_factor, kmeans, normalized_mutual_information
+from .generators import planted_partition_hypergraph, uniform_random_hypergraph
+from .hypergraph import Hypergraph
+from .io import read_hyperedges, write_hyperedges
+
+__all__ = [
+    "Hypergraph",
+    "read_hyperedges",
+    "write_hyperedges",
+    "adjacency_tensor",
+    "dummy_node_count",
+    "planted_partition_hypergraph",
+    "uniform_random_hypergraph",
+    "kmeans",
+    "cluster_factor",
+    "normalized_mutual_information",
+]

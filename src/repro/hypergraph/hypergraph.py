@@ -1,0 +1,85 @@
+"""Hypergraph data structure.
+
+The paper's real-world tensors are adjacency tensors of hypergraphs
+(contact-school, trivago-clicks, …): each hyperedge of cardinality ``c``
+becomes one non-zero whose indices are the connected nodes. This class
+holds the combinatorial object; :mod:`repro.hypergraph.adjacency` performs
+the tensor construction with the paper's dummy-node unification.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["Hypergraph"]
+
+
+class Hypergraph:
+    """A hypergraph on nodes ``0..n_nodes-1`` with weighted hyperedges.
+
+    Hyperedges are stored as sorted tuples of distinct node ids. Duplicate
+    hyperedges are merged by summing weights.
+    """
+
+    def __init__(
+        self,
+        n_nodes: int,
+        edges: Iterable[Sequence[int]],
+        weights: Iterable[float] | None = None,
+    ):
+        if n_nodes < 0:
+            raise ValueError("n_nodes must be >= 0")
+        self.n_nodes = n_nodes
+        merged: dict[Tuple[int, ...], float] = {}
+        weight_list = list(weights) if weights is not None else None
+        for pos, edge in enumerate(edges):
+            key = tuple(sorted(set(int(v) for v in edge)))
+            if len(key) == 0:
+                raise ValueError("empty hyperedge")
+            if key[0] < 0 or key[-1] >= n_nodes:
+                raise ValueError(f"hyperedge {key} out of node range")
+            w = weight_list[pos] if weight_list is not None else 1.0
+            merged[key] = merged.get(key, 0.0) + float(w)
+        self.edges: List[Tuple[int, ...]] = sorted(merged)
+        self.weights = np.array([merged[e] for e in self.edges], dtype=np.float64)
+
+    @property
+    def n_edges(self) -> int:
+        return len(self.edges)
+
+    def cardinalities(self) -> np.ndarray:
+        """Cardinality (number of nodes) of each hyperedge."""
+        return np.array([len(e) for e in self.edges], dtype=np.int64)
+
+    def max_cardinality(self) -> int:
+        return int(self.cardinalities().max()) if self.edges else 0
+
+    def cardinality_histogram(self) -> Counter:
+        return Counter(len(e) for e in self.edges)
+
+    def degree(self) -> np.ndarray:
+        """Number of hyperedges incident to each node."""
+        deg = np.zeros(self.n_nodes, dtype=np.int64)
+        for edge in self.edges:
+            for v in edge:
+                deg[v] += 1
+        return deg
+
+    def restrict_cardinality(self, max_cardinality: int) -> "Hypergraph":
+        """Subset with hyperedges of cardinality ``<= max_cardinality``.
+
+        The paper applies exactly this restriction to bound the tensor
+        order (Section VI-A, footnote 1).
+        """
+        keep = [i for i, e in enumerate(self.edges) if len(e) <= max_cardinality]
+        return Hypergraph(
+            self.n_nodes,
+            [self.edges[i] for i in keep],
+            self.weights[keep],
+        )
+
+    def __repr__(self) -> str:
+        return f"Hypergraph(n_nodes={self.n_nodes}, n_edges={self.n_edges})"

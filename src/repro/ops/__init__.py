@@ -1,0 +1,6 @@
+"""Sparse symmetric tensor operations: algebra and marginalization."""
+
+from .algebra import add, hadamard, scale, subtract
+from .marginal import degree_vector, marginalize
+
+__all__ = ["add", "subtract", "scale", "hadamard", "marginalize", "degree_vector"]

@@ -1,0 +1,94 @@
+"""Elementwise algebra on sparse symmetric tensors.
+
+Linear-algebraic building blocks the decomposition workflows need around
+the kernels: addition (union of IOU patterns), scaling, Hadamard product
+(intersection), and subtraction — all closed over
+:class:`SparseSymmetricTensor` and exact.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..formats.ucoo import SparseSymmetricTensor
+from ..symmetry.permutations import canonicalize
+
+__all__ = ["add", "subtract", "scale", "hadamard"]
+
+
+def _check_compatible(a: SparseSymmetricTensor, b: SparseSymmetricTensor) -> None:
+    if a.order != b.order or a.dim != b.dim:
+        raise ValueError(
+            f"incompatible tensors: order {a.order} dim {a.dim} vs "
+            f"order {b.order} dim {b.dim}"
+        )
+
+
+def add(
+    a: SparseSymmetricTensor,
+    b: SparseSymmetricTensor,
+    *,
+    prune_zeros: bool = True,
+    atol: float = 0.0,
+) -> SparseSymmetricTensor:
+    """``a + b`` — union of patterns, values summed on overlaps.
+
+    ``prune_zeros`` drops entries whose summed magnitude is ``<= atol``
+    (exact cancellations by default).
+    """
+    _check_compatible(a, b)
+    indices = np.concatenate([a.indices, b.indices], axis=0)
+    values = np.concatenate([a.values, b.values])
+    out_idx, out_vals = canonicalize(indices, values, combine="sum")
+    if prune_zeros and out_vals.size:
+        keep = np.abs(out_vals) > atol
+        out_idx, out_vals = out_idx[keep], out_vals[keep]
+    return SparseSymmetricTensor(a.order, a.dim, out_idx, out_vals, assume_canonical=True)
+
+
+def scale(a: SparseSymmetricTensor, alpha: float) -> SparseSymmetricTensor:
+    """``alpha · a`` (the zero scalar yields an empty tensor)."""
+    if alpha == 0.0:
+        return SparseSymmetricTensor(
+            a.order, a.dim, np.zeros((0, a.order), dtype=np.int64), np.zeros(0)
+        )
+    return SparseSymmetricTensor(
+        a.order, a.dim, a.indices.copy(), alpha * a.values, assume_canonical=True
+    )
+
+
+def subtract(
+    a: SparseSymmetricTensor, b: SparseSymmetricTensor, **kwargs
+) -> SparseSymmetricTensor:
+    """``a − b``."""
+    return add(a, scale(b, -1.0), **kwargs)
+
+
+def hadamard(
+    a: SparseSymmetricTensor, b: SparseSymmetricTensor
+) -> SparseSymmetricTensor:
+    """Elementwise product — intersection of the IOU patterns."""
+    _check_compatible(a, b)
+    if a.unnz == 0 or b.unnz == 0:
+        return SparseSymmetricTensor(
+            a.order, a.dim, np.zeros((0, a.order), dtype=np.int64), np.zeros(0)
+        )
+    # Both index sets are lex-sorted: merge-intersect via searchsorted on a
+    # shared linearization key.
+    def keys(idx, dim, order):
+        out = np.zeros(idx.shape[0], dtype=object)
+        acc = np.zeros(idx.shape[0], dtype=object)
+        for t in range(order):
+            acc = acc * int(dim) + idx[:, t].astype(object)
+        return acc
+
+    ka = keys(a.indices, a.dim, a.order)
+    kb = keys(b.indices, b.dim, b.order)
+    pos = np.searchsorted(kb, ka)
+    pos = np.minimum(pos, kb.shape[0] - 1)
+    match = kb[pos] == ka
+    out_idx = a.indices[match]
+    out_vals = a.values[match] * b.values[pos[match]]
+    return SparseSymmetricTensor(
+        a.order, a.dim, out_idx, out_vals, assume_canonical=True
+    )

@@ -1,0 +1,62 @@
+"""Mode marginalization of sparse symmetric tensors.
+
+``marginalize(X)`` sums one mode out: ``M(t_1..t_{N-1}) = Σ_v X(t, v)`` —
+still symmetric, one order lower. In IOU terms, each non-zero ``i``
+contributes its value to the sub-multiset ``i∖v`` for every *distinct*
+value ``v ∈ i`` (the top level of the S³TTMc lattice, reused here).
+
+Marginalizing an adjacency tensor down to order 1 yields exactly the
+hyperedge-degree vector, which doubles as a cross-check between the
+hypergraph and tensor substrates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.lattice import _delete_one_per_run
+from ..formats.ucoo import SparseSymmetricTensor
+from ..symmetry.permutations import canonicalize
+
+__all__ = ["marginalize", "degree_vector"]
+
+
+def marginalize(tensor: SparseSymmetricTensor, modes: int = 1) -> SparseSymmetricTensor:
+    """Sum out ``modes`` modes (applied one mode at a time)."""
+    if not 0 <= modes < tensor.order:
+        raise ValueError(f"modes must be in [0, {tensor.order - 1}]")
+    current = tensor
+    for _ in range(modes):
+        current = _marginalize_once(current)
+    return current
+
+
+def _marginalize_once(tensor: SparseSymmetricTensor) -> SparseSymmetricTensor:
+    if tensor.unnz == 0:
+        return SparseSymmetricTensor(
+            tensor.order - 1,
+            tensor.dim,
+            np.zeros((0, tensor.order - 1), dtype=np.int64),
+            np.zeros(0),
+        )
+    parent_row, _deleted, child, _counts = _delete_one_per_run(tensor.indices)
+    values = tensor.values[parent_row]
+    out_idx, out_vals = canonicalize(child, values, combine="sum")
+    return SparseSymmetricTensor(
+        tensor.order - 1, tensor.dim, out_idx, out_vals, assume_canonical=True
+    )
+
+
+def degree_vector(tensor: SparseSymmetricTensor) -> np.ndarray:
+    """Full marginal down to order 1, as a dense length-``dim`` vector.
+
+    Equals ``X.to_dense().sum(over all modes but one)``. For a 0/1
+    adjacency tensor built from all-distinct hyperedges, entry ``v`` is
+    ``(N−1)!`` times the hypergraph degree of ``v`` (each incident edge is
+    counted once per ordering of its other members).
+    """
+    marginal = marginalize(tensor, tensor.order - 1)
+    out = np.zeros(tensor.dim, dtype=np.float64)
+    if marginal.unnz:
+        out[marginal.indices[:, 0]] = marginal.values
+    return out

@@ -1,0 +1,33 @@
+"""Parallel execution substrate: partitioning, threading, scaling simulation."""
+
+from .distributed import CommunicationPlan, plan_distribution, simulate_distributed_time
+from .executor import ParallelRunReport, measure_chunk_costs, parallel_s3ttmc
+from .partition import balanced_partition, block_partition, estimate_nonzero_costs
+from .simulate import (
+    GAMMA0,
+    WIDTH0,
+    ScalingCurve,
+    contention_factor,
+    lpt_makespan,
+    simulate_curve,
+    simulate_time,
+)
+
+__all__ = [
+    "CommunicationPlan",
+    "plan_distribution",
+    "simulate_distributed_time",
+    "parallel_s3ttmc",
+    "measure_chunk_costs",
+    "ParallelRunReport",
+    "block_partition",
+    "balanced_partition",
+    "estimate_nonzero_costs",
+    "lpt_makespan",
+    "contention_factor",
+    "simulate_time",
+    "simulate_curve",
+    "ScalingCurve",
+    "GAMMA0",
+    "WIDTH0",
+]

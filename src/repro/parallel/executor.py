@@ -1,0 +1,123 @@
+"""Thread-parallel S³TTMc over non-zero partitions.
+
+Functionally identical to the serial kernel: each worker evaluates the
+lattice of its non-zero range into a private output, and the partials are
+reduced by summation (S³TTMc is a sum over non-zeros, so any partition is
+valid). On a multi-core NumPy build the heavy vector operations release
+the GIL and genuine speedup is possible; on this reproduction's single
+-core container the executor is used for *correctness* (tests) and to
+measure per-chunk costs that feed the Figure-6 scaling simulator
+(:mod:`repro.parallel.simulate`).
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..core.engine import lattice_ttmc
+from ..core.s3ttmc import SymmetricInput, _as_ucoo
+from ..formats.partial_sym import PartiallySymmetricTensor
+from ..symmetry.combinatorics import sym_storage_size
+from .partition import balanced_partition, estimate_nonzero_costs
+
+__all__ = ["ParallelRunReport", "parallel_s3ttmc", "measure_chunk_costs"]
+
+
+@dataclass
+class ParallelRunReport:
+    """Outcome of one parallel kernel run."""
+
+    n_workers: int
+    ranges: List[Tuple[int, int]]
+    chunk_seconds: List[float]
+    elapsed: float
+
+
+def parallel_s3ttmc(
+    tensor: SymmetricInput,
+    factor: np.ndarray,
+    n_workers: int,
+    *,
+    memoize: str = "global",
+    report: Optional[ParallelRunReport] = None,
+) -> PartiallySymmetricTensor:
+    """S³TTMc with ``n_workers`` threads over balanced non-zero ranges."""
+    ucoo = _as_ucoo(tensor)
+    factor = np.asarray(factor, dtype=np.float64)
+    rank = factor.shape[1]
+    costs = estimate_nonzero_costs(ucoo.indices, rank)
+    ranges = [r for r in balanced_partition(costs, n_workers) if r[0] < r[1]]
+    cols = sym_storage_size(ucoo.order - 1, rank)
+
+    chunk_seconds = [0.0] * len(ranges)
+
+    def run(slot: int) -> np.ndarray:
+        start, stop = ranges[slot]
+        tick = time.perf_counter()
+        partial = lattice_ttmc(
+            ucoo.indices[start:stop],
+            ucoo.values[start:stop],
+            ucoo.dim,
+            factor,
+            intermediate="compact",
+            memoize=memoize,
+        )
+        chunk_seconds[slot] = time.perf_counter() - tick
+        return partial
+
+    tick = time.perf_counter()
+    if len(ranges) <= 1:
+        partials = [run(i) for i in range(len(ranges))]
+    else:
+        with ThreadPoolExecutor(max_workers=n_workers) as pool:
+            partials = list(pool.map(run, range(len(ranges))))
+    elapsed = time.perf_counter() - tick
+    data = np.zeros((ucoo.dim, cols), dtype=np.float64)
+    for partial in partials:
+        data += partial
+    if report is not None:
+        report.n_workers = n_workers
+        report.ranges = ranges
+        report.chunk_seconds = chunk_seconds
+        report.elapsed = elapsed
+    return PartiallySymmetricTensor(ucoo.dim, ucoo.order - 1, rank, data)
+
+
+def measure_chunk_costs(
+    tensor: SymmetricInput,
+    factor: np.ndarray,
+    n_chunks: int,
+    *,
+    memoize: str = "global",
+    repeats: int = 1,
+) -> List[float]:
+    """Serial per-chunk wall times for ``n_chunks`` balanced ranges.
+
+    These are the inputs to the Figure-6 scaling simulator: measured on one
+    core, scheduled analytically onto ``p`` workers.
+    """
+    ucoo = _as_ucoo(tensor)
+    factor = np.asarray(factor, dtype=np.float64)
+    costs = estimate_nonzero_costs(ucoo.indices, factor.shape[1])
+    ranges = [r for r in balanced_partition(costs, n_chunks) if r[0] < r[1]]
+    out = []
+    for start, stop in ranges:
+        best = np.inf
+        for _ in range(max(1, repeats)):
+            tick = time.perf_counter()
+            lattice_ttmc(
+                ucoo.indices[start:stop],
+                ucoo.values[start:stop],
+                ucoo.dim,
+                factor,
+                intermediate="compact",
+                memoize=memoize,
+            )
+            best = min(best, time.perf_counter() - tick)
+        out.append(float(best))
+    return out

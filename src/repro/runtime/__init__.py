@@ -1,0 +1,26 @@
+"""Execution-environment substrate: memory budgets and phase timers."""
+
+from .budget import (
+    MemoryBudget,
+    MemoryLimitError,
+    current_budget,
+    release_bytes,
+    request_bytes,
+    track_array,
+)
+from .profile import HotSpot, ProfileReport, profile_call
+from .timer import PhaseTimer, Stopwatch
+
+__all__ = [
+    "MemoryBudget",
+    "MemoryLimitError",
+    "current_budget",
+    "request_bytes",
+    "release_bytes",
+    "track_array",
+    "PhaseTimer",
+    "profile_call",
+    "ProfileReport",
+    "HotSpot",
+    "Stopwatch",
+]

@@ -1,0 +1,165 @@
+"""Memory-budget accounting: deterministic out-of-memory reproduction.
+
+The paper's evaluation is shaped by a 256 GB node: SPLATT dies first (its
+CSF stores all ``N!``-expanded non-zeros and a full ``I × R^{N-1}`` output),
+CSS later (full ``R^l`` intermediates), SymProp last. To reproduce those
+"OOM" entries deterministically — independent of the actual RAM of the
+machine running this reproduction — kernels *declare* their major
+allocations against an ambient :class:`MemoryBudget` before performing
+them. Exceeding the budget raises :class:`MemoryLimitError`, which the
+benchmark harness renders as "OOM", exactly like the paper's figures.
+
+Usage::
+
+    with MemoryBudget(gigabytes=4):
+        y = s3ttmc(x, u)          # raises MemoryLimitError if too large
+
+With no active budget, accounting still happens (peak tracking) but nothing
+is ever refused.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+__all__ = [
+    "MemoryLimitError",
+    "MemoryBudget",
+    "current_budget",
+    "request_bytes",
+    "release_bytes",
+    "track_array",
+]
+
+_FLOAT64 = 8
+
+
+class MemoryLimitError(MemoryError):
+    """Raised when a declared allocation would exceed the active budget.
+
+    Carries enough context for harness reporting: what was being allocated,
+    how large, and against which limit.
+    """
+
+    def __init__(self, label: str, nbytes: int, limit: int, in_use: int):
+        self.label = label
+        self.nbytes = int(nbytes)
+        self.limit = int(limit)
+        self.in_use = int(in_use)
+        super().__init__(
+            f"allocation {label!r} of {nbytes / 2**30:.3f} GiB exceeds budget: "
+            f"{in_use / 2**30:.3f} GiB in use of {limit / 2**30:.3f} GiB limit"
+        )
+
+
+@dataclass
+class MemoryBudget:
+    """A nestable, thread-local memory accounting scope.
+
+    Parameters
+    ----------
+    limit_bytes:
+        Hard cap; ``None`` means unlimited (accounting only).
+    gigabytes:
+        Convenience alternative to ``limit_bytes`` (GiB).
+    """
+
+    limit_bytes: Optional[int] = None
+    gigabytes: Optional[float] = None
+    in_use: int = 0
+    peak: int = 0
+    allocations: Dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.gigabytes is not None:
+            if self.limit_bytes is not None:
+                raise ValueError("pass either limit_bytes or gigabytes, not both")
+            self.limit_bytes = int(self.gigabytes * 2**30)
+        self._lock = threading.Lock()
+
+    # -- accounting -------------------------------------------------------
+    def request(self, nbytes: int, label: str = "array") -> None:
+        """Declare an allocation of ``nbytes``; raise if over the limit."""
+        nbytes = int(nbytes)
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        with self._lock:
+            if self.limit_bytes is not None and self.in_use + nbytes > self.limit_bytes:
+                raise MemoryLimitError(label, nbytes, self.limit_bytes, self.in_use)
+            self.in_use += nbytes
+            self.peak = max(self.peak, self.in_use)
+            self.allocations[label] = self.allocations.get(label, 0) + nbytes
+
+    def release(self, nbytes: int, label: str = "array") -> None:
+        """Return previously requested bytes to the budget."""
+        nbytes = int(nbytes)
+        with self._lock:
+            self.in_use = max(0, self.in_use - nbytes)
+            if label in self.allocations:
+                remaining = self.allocations[label] - nbytes
+                if remaining <= 0:
+                    del self.allocations[label]
+                else:
+                    self.allocations[label] = remaining
+
+    # -- scope management --------------------------------------------------
+    def __enter__(self) -> "MemoryBudget":
+        _stack().append(self)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        stack = _stack()
+        if stack and stack[-1] is self:
+            stack.pop()
+
+
+_LOCAL = threading.local()
+
+
+def _stack() -> List[MemoryBudget]:
+    stack = getattr(_LOCAL, "stack", None)
+    if stack is None:
+        stack = []
+        _LOCAL.stack = stack
+    return stack
+
+
+def current_budget() -> Optional[MemoryBudget]:
+    """Innermost active budget on this thread, or ``None``."""
+    stack = _stack()
+    return stack[-1] if stack else None
+
+
+def request_bytes(nbytes: int, label: str = "array") -> None:
+    """Declare ``nbytes`` against the active budget (no-op without one)."""
+    budget = current_budget()
+    if budget is not None:
+        budget.request(nbytes, label)
+
+
+def release_bytes(nbytes: int, label: str = "array") -> None:
+    """Release ``nbytes`` from the active budget (no-op without one)."""
+    budget = current_budget()
+    if budget is not None:
+        budget.release(nbytes, label)
+
+
+@contextmanager
+def track_array(shape, label: str, itemsize: int = _FLOAT64) -> Iterator[int]:
+    """Context manager declaring an array allocation for its lifetime.
+
+    Yields the byte count. The bytes are released when the scope exits —
+    use for *transient* buffers; for arrays returned to the caller, call
+    :func:`request_bytes` without release.
+    """
+    nbytes = itemsize
+    for extent in shape:
+        nbytes *= int(extent)
+    request_bytes(nbytes, label)
+    try:
+        yield nbytes
+    finally:
+        release_bytes(nbytes, label)

@@ -1,0 +1,79 @@
+"""Lightweight profiling helpers (the guides' "no optimization without
+measuring").
+
+Wraps :mod:`cProfile` to answer the only question that usually matters —
+*where did the time go?* — programmatically, without dumping pstats noise.
+Used by the development workflow and exposed for users tuning their own
+workloads.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+from dataclasses import dataclass
+from typing import Callable, List, Tuple
+
+__all__ = ["HotSpot", "ProfileReport", "profile_call"]
+
+
+@dataclass(frozen=True)
+class HotSpot:
+    """One profile line: where, how often, how long."""
+
+    function: str
+    calls: int
+    total_seconds: float
+    cumulative_seconds: float
+
+
+@dataclass
+class ProfileReport:
+    """Result of :func:`profile_call`."""
+
+    result: object
+    elapsed: float
+    hotspots: List[HotSpot]
+
+    def top(self, n: int = 5) -> List[HotSpot]:
+        return self.hotspots[:n]
+
+    def fraction_in(self, substring: str) -> float:
+        """Fraction of total time in functions whose name matches."""
+        if self.elapsed <= 0:
+            return 0.0
+        matched = sum(
+            h.total_seconds for h in self.hotspots if substring in h.function
+        )
+        return min(matched / self.elapsed, 1.0)
+
+    def render(self, n: int = 10) -> str:
+        lines = [f"total {self.elapsed:.4f} s"]
+        for h in self.top(n):
+            lines.append(
+                f"  {h.total_seconds:8.4f}s ({h.calls:>7} calls) {h.function}"
+            )
+        return "\n".join(lines)
+
+
+def profile_call(fn: Callable[[], object], *, top: int = 25) -> ProfileReport:
+    """Run ``fn`` under cProfile; return its result plus ranked hotspots."""
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        result = fn()
+    finally:
+        profiler.disable()
+    stats = pstats.Stats(profiler)
+    entries: List[Tuple[str, int, float, float]] = []
+    total = 0.0
+    for (filename, lineno, name), (cc, _nc, tt, ct, _callers) in stats.stats.items():
+        short = f"{filename.rsplit('/', 1)[-1]}:{lineno}({name})"
+        entries.append((short, cc, tt, ct))
+        total += tt
+    entries.sort(key=lambda e: e[2], reverse=True)
+    hotspots = [
+        HotSpot(function=e[0], calls=e[1], total_seconds=e[2], cumulative_seconds=e[3])
+        for e in entries[:top]
+    ]
+    return ProfileReport(result=result, elapsed=total, hotspots=hotspots)

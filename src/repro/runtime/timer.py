@@ -1,0 +1,79 @@
+"""Phase timers for runtime breakdowns (Figure 8).
+
+A :class:`PhaseTimer` accumulates wall-clock time per named phase across
+repeated entries — e.g. "s3ttmc", "svd", "qr", "core", "objective" inside a
+Tucker iteration loop — and reports totals and percentage breakdowns.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator
+
+__all__ = ["PhaseTimer", "Stopwatch"]
+
+
+@dataclass
+class PhaseTimer:
+    """Accumulates per-phase wall time.
+
+    Example::
+
+        timer = PhaseTimer()
+        with timer.phase("s3ttmc"):
+            ...
+        timer.breakdown()   # {"s3ttmc": 100.0}
+    """
+
+    totals: Dict[str, float] = field(default_factory=dict)
+    counts: Dict[str, int] = field(default_factory=dict)
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.totals[name] = self.totals.get(name, 0.0) + elapsed
+            self.counts[name] = self.counts.get(name, 0) + 1
+
+    def add(self, name: str, seconds: float) -> None:
+        """Record externally measured time under ``name``."""
+        self.totals[name] = self.totals.get(name, 0.0) + seconds
+        self.counts[name] = self.counts.get(name, 0) + 1
+
+    @property
+    def total(self) -> float:
+        return sum(self.totals.values())
+
+    def breakdown(self) -> Dict[str, float]:
+        """Percentage of total time per phase (sums to 100 when non-empty)."""
+        total = self.total
+        if total <= 0.0:
+            return {name: 0.0 for name in self.totals}
+        return {name: 100.0 * t / total for name, t in self.totals.items()}
+
+    def merge(self, other: "PhaseTimer") -> None:
+        for name, t in other.totals.items():
+            self.add(name, t)
+            self.counts[name] += other.counts.get(name, 1) - 1
+
+
+class Stopwatch:
+    """Minimal restartable stopwatch for harness timing loops."""
+
+    def __init__(self) -> None:
+        self._start: float | None = None
+        self.elapsed = 0.0
+
+    def __enter__(self) -> "Stopwatch":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        assert self._start is not None
+        self.elapsed += time.perf_counter() - self._start
+        self._start = None

@@ -1,0 +1,138 @@
+"""Multiset permutation utilities: IOU ↔ expanded non-zero sets.
+
+A sparse symmetric tensor is fully described by its IOU non-zeros; general
+sparse formats (COO, CSF/SPLATT) need *all distinct permutations* expanded.
+This module provides the expansion (the source of the baselines' ``N!``
+memory blow-up), its inverse (canonicalization), and a lazy distinct-
+permutation generator (Knuth's Algorithm L restricted to multisets).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence, Tuple
+
+import numpy as np
+
+from .combinatorics import permutation_counts_array
+
+__all__ = [
+    "distinct_permutations",
+    "count_expanded",
+    "expand_iou",
+    "canonicalize",
+]
+
+
+def distinct_permutations(index: Sequence[int]) -> Iterator[Tuple[int, ...]]:
+    """Yield the distinct orderings of ``index`` in lexicographic order.
+
+    Uses the classic next-permutation sweep, which visits each distinct
+    ordering of a multiset exactly once.
+    """
+    arr = sorted(index)
+    n = len(arr)
+    if n == 0:
+        yield ()
+        return
+    while True:
+        yield tuple(arr)
+        # Find rightmost ascent.
+        i = n - 2
+        while i >= 0 and arr[i] >= arr[i + 1]:
+            i -= 1
+        if i < 0:
+            return
+        j = n - 1
+        while arr[j] <= arr[i]:
+            j -= 1
+        arr[i], arr[j] = arr[j], arr[i]
+        arr[i + 1 :] = reversed(arr[i + 1 :])
+
+
+def count_expanded(indices: np.ndarray) -> int:
+    """Total number of distinct permutations across all IOU rows.
+
+    This is the ``nnz`` of the expanded tensor — the quantity that makes
+    general-format baselines run out of memory at high order.
+    """
+    indices = np.asarray(indices)
+    if indices.shape[0] == 0:
+        return 0
+    return int(permutation_counts_array(indices).sum())
+
+
+def expand_iou(
+    indices: np.ndarray, values: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Expand IOU non-zeros to all distinct permutations.
+
+    Parameters
+    ----------
+    indices:
+        ``(unnz, order)`` non-decreasing rows.
+    values:
+        ``(unnz,)`` values.
+
+    Returns
+    -------
+    ``(expanded_indices, expanded_values, owner)`` where ``owner[e]`` is the
+    IOU row each expanded entry came from. Output rows are grouped by owner;
+    within an owner they are in lexicographic order.
+    """
+    indices = np.asarray(indices)
+    values = np.asarray(values)
+    unnz, order = indices.shape
+    if values.shape != (unnz,):
+        raise ValueError("values must be (unnz,)")
+    counts = permutation_counts_array(indices) if unnz else np.zeros(0, np.int64)
+    total = int(counts.sum())
+    out = np.empty((total, order), dtype=np.int64)
+    owner = np.repeat(np.arange(unnz, dtype=np.int64), counts)
+    pos = 0
+    for row in range(unnz):
+        for perm in distinct_permutations(indices[row]):
+            out[pos] = perm
+            pos += 1
+    return out, values[owner], owner
+
+
+def canonicalize(
+    indices: np.ndarray,
+    values: np.ndarray,
+    *,
+    combine: str = "error",
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Sort each row, deduplicate, and lex-sort rows — produce IOU form.
+
+    ``combine`` controls duplicate coordinates: ``"error"`` raises,
+    ``"sum"`` accumulates values, ``"first"``/``"last"`` keep one.
+    """
+    indices = np.asarray(indices, dtype=np.int64)
+    values = np.asarray(values, dtype=np.float64)
+    if indices.ndim != 2:
+        raise ValueError("indices must be (n, order)")
+    if values.shape != (indices.shape[0],):
+        raise ValueError("values length mismatch")
+    if indices.shape[0] == 0:
+        return indices.copy(), values.copy()
+    srt = np.sort(indices, axis=1)
+    perm = np.lexsort(srt.T[::-1])
+    srt = srt[perm]
+    vals = values[perm]
+    dup = np.zeros(srt.shape[0], dtype=bool)
+    dup[1:] = np.all(srt[1:] == srt[:-1], axis=1)
+    if not dup.any():
+        return srt, vals
+    if combine == "error":
+        raise ValueError("duplicate coordinates (up to permutation) in input")
+    group_start = np.flatnonzero(~dup)
+    if combine == "sum":
+        out_vals = np.add.reduceat(vals, group_start)
+    elif combine == "first":
+        out_vals = vals[group_start]
+    elif combine == "last":
+        ends = np.concatenate([group_start[1:], [srt.shape[0]]]) - 1
+        out_vals = vals[ends]
+    else:
+        raise ValueError(f"unknown combine mode {combine!r}")
+    return srt[group_start], out_vals

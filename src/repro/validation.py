@@ -1,0 +1,87 @@
+"""Cross-implementation validation: run all kernel families and compare.
+
+A user-facing sanity tool: given any sparse symmetric tensor and rank,
+runs the SymProp kernel, the CSS baseline, SPLATT and (for small problems)
+the dense einsum reference, and reports agreement. Useful when adapting
+the library to new data, and used by the test suite as an integration
+check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from .baselines.css_ttmc import css_s3ttmc
+from .baselines.dense_ref import dense_s3ttmc_matrix
+from .baselines.splatt import splatt_ttmc
+from .core.s3ttmc import SymmetricInput, _as_ucoo, s3ttmc
+from .decomp.hosvd import random_init
+from .symmetry.combinatorics import dense_size
+
+__all__ = ["KernelAgreement", "verify_kernels"]
+
+_DENSE_LIMIT = 2_000_000  # elements; above this the dense reference is skipped
+
+
+@dataclass
+class KernelAgreement:
+    """Pairwise max-abs deviations between kernel outputs."""
+
+    reference: str
+    deviations: Dict[str, float]
+    atol: float
+
+    @property
+    def ok(self) -> bool:
+        return all(d <= self.atol for d in self.deviations.values())
+
+    def __repr__(self) -> str:
+        status = "OK" if self.ok else "MISMATCH"
+        parts = ", ".join(f"{k}={v:.2e}" for k, v in self.deviations.items())
+        return f"KernelAgreement[{status} vs {self.reference}]({parts})"
+
+
+def verify_kernels(
+    tensor: SymmetricInput,
+    rank: int,
+    *,
+    seed: int = 0,
+    atol: float = 1e-8,
+    include_splatt: Optional[bool] = None,
+    include_dense: Optional[bool] = None,
+) -> KernelAgreement:
+    """Run every kernel family on ``tensor`` and compare full unfoldings.
+
+    ``include_splatt`` defaults to True when the expanded non-zero count is
+    below ~1M; ``include_dense`` when the full tensor is small. The
+    reference is the dense einsum result when available, else the CSS
+    baseline.
+    """
+    ucoo = _as_ucoo(tensor)
+    factor = random_init(ucoo.dim, rank, np.random.default_rng(seed))
+
+    outputs: Dict[str, np.ndarray] = {}
+    outputs["symprop"] = s3ttmc(ucoo, factor).to_full_unfolding()
+    outputs["css"] = css_s3ttmc(ucoo, factor)
+
+    if include_splatt is None:
+        include_splatt = ucoo.nnz <= 1_000_000
+    if include_splatt:
+        outputs["splatt"] = splatt_ttmc(ucoo, factor)
+
+    if include_dense is None:
+        include_dense = dense_size(ucoo.order, ucoo.dim) <= _DENSE_LIMIT
+    if include_dense:
+        outputs["dense"] = dense_s3ttmc_matrix(ucoo, factor)
+
+    reference = "dense" if "dense" in outputs else "css"
+    ref = outputs[reference]
+    deviations = {
+        name: float(np.max(np.abs(out - ref))) if out.size else 0.0
+        for name, out in outputs.items()
+        if name != reference
+    }
+    return KernelAgreement(reference=reference, deviations=deviations, atol=atol)

@@ -1,0 +1,44 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.formats import SparseSymmetricTensor
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(20250704)
+
+
+def make_random_tensor(
+    order: int,
+    dim: int,
+    n_draws: int,
+    rng: np.random.Generator,
+    *,
+    distinct: bool = False,
+) -> SparseSymmetricTensor:
+    """Random sparse symmetric tensor for tests.
+
+    ``distinct=True`` forces every non-zero to have all-distinct index
+    values (the regime where the closed-form complexity model is exact).
+    """
+    if distinct:
+        if dim < order:
+            raise ValueError("dim must be >= order for distinct draws")
+        raw = np.stack(
+            [rng.choice(dim, size=order, replace=False) for _ in range(n_draws)]
+        )
+    else:
+        raw = rng.integers(0, dim, size=(n_draws, order))
+    values = rng.uniform(0.1, 1.0, size=n_draws)
+    return SparseSymmetricTensor(order, dim, raw, values, combine="first")
+
+
+@pytest.fixture
+def small_tensor(rng) -> SparseSymmetricTensor:
+    """Order-4 tensor small enough for dense reference checks."""
+    return make_random_tensor(4, 6, 30, rng)

@@ -1,0 +1,87 @@
+"""Tests for the BCSS blocked symmetric format."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.formats import BlockedSymmetricTensor, bcss_storage_entries
+from repro.symmetry.combinatorics import dense_size, sym_storage_size
+
+
+def symmetrize(t):
+    out = np.zeros_like(t)
+    perms = list(itertools.permutations(range(t.ndim)))
+    for perm in perms:
+        out += np.transpose(t, perm)
+    return out / len(perms)
+
+
+@pytest.fixture
+def sym3(rng):
+    return symmetrize(rng.random((7, 7, 7)))
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("block", [1, 2, 3, 7, 10])
+    def test_roundtrip(self, sym3, block):
+        bt = BlockedSymmetricTensor.from_full(sym3, block)
+        assert np.allclose(bt.to_full(), sym3)
+
+    def test_order2(self, rng):
+        m = rng.random((6, 6))
+        m = (m + m.T) / 2
+        bt = BlockedSymmetricTensor.from_full(m, 4)
+        assert np.allclose(bt.to_full(), m)
+
+    def test_getitem_any_permutation(self, sym3):
+        bt = BlockedSymmetricTensor.from_full(sym3, 3)
+        for idx in [(0, 3, 6), (6, 3, 0), (5, 5, 1), (2, 2, 2)]:
+            assert bt[idx] == pytest.approx(sym3[idx])
+
+    def test_rejects_asymmetric(self, rng):
+        with pytest.raises(ValueError):
+            BlockedSymmetricTensor.from_full(rng.random((4, 4, 4)), 2)
+
+    def test_rejects_nonhypercubical(self, rng):
+        with pytest.raises(ValueError):
+            BlockedSymmetricTensor.from_full(rng.random((3, 4)), 2)
+
+    def test_index_validation(self, sym3):
+        bt = BlockedSymmetricTensor.from_full(sym3, 3)
+        with pytest.raises(IndexError):
+            _ = bt[(0, 1)]
+        with pytest.raises(IndexError):
+            _ = bt[(0, 1, 9)]
+
+
+class TestStorageModel:
+    def test_entries_formula(self, sym3):
+        bt = BlockedSymmetricTensor.from_full(sym3, 2)
+        assert bt.stored_entries == bcss_storage_entries(3, 7, 2)
+
+    def test_block1_equals_compact(self):
+        assert bcss_storage_entries(4, 9, 1) == sym_storage_size(4, 9)
+
+    def test_single_block_equals_full_padded(self):
+        assert bcss_storage_entries(3, 7, 7) == dense_size(3, 7)
+
+    def test_monotone_bounds(self):
+        """Compact <= BCSS; BCSS can exceed full with padding (the
+        related-work caveat the paper cites)."""
+        for block in (1, 2, 3, 5):
+            entries = bcss_storage_entries(4, 10, block)
+            assert entries >= sym_storage_size(4, 10)
+        assert bcss_storage_entries(4, 10, 7) > dense_size(4, 10) / 2
+
+    def test_high_order_overhead_grows(self):
+        """Within-block redundancy worsens with order at fixed block size."""
+        r4 = bcss_storage_entries(4, 16, 4) / sym_storage_size(4, 16)
+        r6 = bcss_storage_entries(6, 16, 4) / sym_storage_size(6, 16)
+        assert r6 > r4
+
+    def test_invalid_block(self):
+        with pytest.raises(ValueError):
+            bcss_storage_entries(3, 5, 0)
+        with pytest.raises(ValueError):
+            BlockedSymmetricTensor(3, 5, 0)

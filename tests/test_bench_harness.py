@@ -1,0 +1,112 @@
+"""Tests for the benchmark harness and reporting types."""
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import guarded_kernel_measurement, preferred_batch, timed_measurement
+from repro.bench.records import Measurement, SeriesTable, format_seconds, geometric_mean
+
+
+class TestMeasurement:
+    def test_render(self):
+        assert Measurement.from_seconds(2.5).render() == "2.50 s"
+        assert Measurement.from_seconds(0.0021).render() == "2.10 ms"
+        assert Measurement.from_seconds(3e-6).render() == "3.0 µs"
+        assert Measurement.from_seconds(123.0).render() == "123 s"
+        assert Measurement.out_of_memory().render() == "OOM"
+        assert Measurement().render() == "-"
+
+    def test_ok_flag(self):
+        assert Measurement.from_seconds(1.0).ok
+        assert not Measurement.out_of_memory().ok
+
+    def test_format_seconds(self):
+        assert format_seconds(0.05) == "50.00 ms"
+
+
+class TestGeometricMean:
+    def test_value(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_ignores_nonpositive(self):
+        assert geometric_mean([2.0, 0.0, -1.0, 8.0]) == pytest.approx(4.0)
+
+    def test_empty_nan(self):
+        assert np.isnan(geometric_mean([]))
+
+
+class TestSeriesTable:
+    def test_set_get_render(self):
+        table = SeriesTable("Fig X", "dataset")
+        table.set("SP", "L6", Measurement.from_seconds(0.5))
+        table.set("CSS", "L6", Measurement.out_of_memory())
+        table.set("SP", "L7", Measurement.from_seconds(1.0))
+        text = table.render()
+        assert "Fig X" in text and "OOM" in text and "500.00 ms" in text
+        assert table.rows == ["L6", "L7"]
+        assert table.series == ["SP", "CSS"]
+
+    def test_speedup(self):
+        table = SeriesTable("t", "row")
+        table.set("base", "a", Measurement.from_seconds(4.0))
+        table.set("fast", "a", Measurement.from_seconds(2.0))
+        assert table.speedup("base", "fast", "a") == pytest.approx(2.0)
+
+    def test_speedup_none_on_oom(self):
+        table = SeriesTable("t", "row")
+        table.set("base", "a", Measurement.out_of_memory())
+        table.set("fast", "a", Measurement.from_seconds(2.0))
+        assert table.speedup("base", "fast", "a") is None
+
+    def test_non_measurement_cells(self):
+        table = SeriesTable("Table III", "dataset")
+        table.set("order", "L6", 6)
+        table.set("unnz", "L6", 5000)
+        assert "5000" in table.render()
+
+
+class TestTimedMeasurement:
+    def test_times_callable(self):
+        m = timed_measurement(lambda: sum(range(1000)), repeats=2, budget_gb=1.0)
+        assert m.ok and m.seconds >= 0
+
+    def test_oom_reported(self):
+        from repro.runtime.budget import request_bytes
+
+        m = timed_measurement(
+            lambda: request_bytes(10**12, "huge"), repeats=1, budget_gb=0.001
+        )
+        assert m.oom
+
+    def test_guarded_preflight_oom(self):
+        """Hopeless configurations are rejected without running."""
+        calls = []
+        m = guarded_kernel_measurement(
+            "splatt",
+            lambda: calls.append(1),
+            dim=400,
+            order=12,
+            rank=4,
+            unnz=10_000,
+            budget_gb=1.0,
+        )
+        assert m.oom
+        assert not calls
+
+    def test_guarded_runs_when_fits(self):
+        m = guarded_kernel_measurement(
+            "symprop",
+            lambda: None,
+            dim=50,
+            order=3,
+            rank=2,
+            unnz=100,
+            repeats=1,
+            budget_gb=1.0,
+        )
+        assert m.ok
+
+    def test_preferred_batch(self):
+        assert preferred_batch("splatt", 8, 4, 2**30) is None
+        batch = preferred_batch("css", 10, 5, 4 * 2**30)
+        assert batch is not None and batch >= 1

@@ -1,0 +1,128 @@
+"""Unit tests for repro.symmetry.combinatorics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.symmetry.combinatorics import (
+    binomial,
+    dense_size,
+    falling_factorial,
+    multinomial,
+    permutation_count,
+    permutation_counts_array,
+    storage_compression_ratio,
+    sym_storage_size,
+)
+
+
+class TestBinomial:
+    def test_matches_math_comb(self):
+        for n in range(12):
+            for k in range(n + 1):
+                assert binomial(n, k) == math.comb(n, k)
+
+    def test_outside_triangle_is_zero(self):
+        assert binomial(3, 5) == 0
+        assert binomial(3, -1) == 0
+        assert binomial(-2, 0) == 0
+
+    def test_symmetry_identity(self):
+        assert binomial(10, 3) == binomial(10, 7)
+
+
+class TestMultinomial:
+    def test_basic(self):
+        assert multinomial([1, 1, 1]) == 6
+        assert multinomial([2, 1]) == 3
+        assert multinomial([3]) == 1
+        assert multinomial([]) == 1
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            multinomial([2, -1])
+
+    def test_sums_to_power(self):
+        # Sum of multinomials over all compositions of 3 into 2 parts = 2^3.
+        total = sum(multinomial([k, 3 - k]) for k in range(4))
+        assert total == 8
+
+
+class TestStorageSize:
+    def test_table_values(self):
+        # S_{N,I} = C(N+I-1, N)
+        assert sym_storage_size(3, 2) == 4  # the paper's example tensor T
+        assert sym_storage_size(2, 3) == 6
+        assert sym_storage_size(1, 7) == 7
+        assert sym_storage_size(0, 5) == 1
+
+    def test_zero_dim(self):
+        assert sym_storage_size(3, 0) == 0
+
+    def test_pascal_recurrence(self):
+        # S_{N,I} = S_{N-1,I} + S_{N,I-1}
+        for order in range(1, 6):
+            for dim in range(1, 6):
+                assert sym_storage_size(order, dim) == sym_storage_size(
+                    order - 1, dim
+                ) + sym_storage_size(order, dim - 1)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            sym_storage_size(-1, 3)
+        with pytest.raises(ValueError):
+            sym_storage_size(2, -1)
+
+
+class TestCompressionRatio:
+    def test_approaches_factorial(self):
+        # lim_{I→∞} I^N / S_{N,I} = N!  (Section II-B)
+        ratio = storage_compression_ratio(3, 10_000)
+        assert ratio == pytest.approx(6.0, rel=1e-3)
+
+    def test_small_dim(self):
+        assert storage_compression_ratio(2, 2) == pytest.approx(4 / 3)
+
+    def test_dense_size(self):
+        assert dense_size(3, 4) == 64
+        assert dense_size(0, 4) == 1
+
+
+class TestPermutationCounts:
+    def test_scalar(self):
+        assert permutation_count((1, 3, 5)) == 6
+        assert permutation_count((1, 1, 3)) == 3
+        assert permutation_count((2, 2, 2)) == 1
+        assert permutation_count((0,)) == 1
+
+    def test_array_matches_scalar(self):
+        rows = np.array([[1, 3, 5], [1, 1, 3], [2, 2, 2], [0, 1, 1]])
+        counts = permutation_counts_array(rows)
+        assert counts.tolist() == [6, 3, 1, 3]
+
+    def test_array_unsorted_rows(self):
+        rows = np.array([[5, 3, 1], [3, 1, 1]])
+        assert permutation_counts_array(rows).tolist() == [6, 3]
+
+    def test_empty(self):
+        assert permutation_counts_array(np.zeros((0, 4), dtype=int)).shape == (0,)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            permutation_counts_array(np.array([1, 2, 3]))
+
+    def test_large_order(self):
+        row = np.arange(12).reshape(1, -1)
+        assert permutation_counts_array(row)[0] == math.factorial(12)
+
+
+class TestFallingFactorial:
+    def test_values(self):
+        assert falling_factorial(5, 3) == 60
+        assert falling_factorial(5, 0) == 1
+        assert falling_factorial(3, 5) == 0  # passes through zero
+
+    def test_rejects_negative_k(self):
+        with pytest.raises(ValueError):
+            falling_factorial(3, -1)

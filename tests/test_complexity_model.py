@@ -1,0 +1,112 @@
+"""The instrumented kernels reproduce the paper's flop formulas exactly.
+
+Section III-D / Table II: with per-non-zero memoization and all-distinct
+index tuples, the SymProp kernel performs exactly
+``C^SP = Σ_{l=2}^{N-1} (2l−1)·C(N,l)·S_{l,R}·unnz + 2N·S_{N-1,R}·unnz``
+flops, and the CSS baseline the same with ``R^l``. This is the strongest
+form of the complexity-analysis reproduction: measured == modeled, not
+measured ≈ modeled.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.css_ttmc import css_s3ttmc
+from repro.core import KernelStats, s3ttmc
+from repro.perfmodel.complexity import (
+    c_css,
+    c_sp,
+    level_reduction_ratio,
+    table2_complexities,
+    total_css,
+    total_sp,
+)
+from tests.conftest import make_random_tensor
+
+
+@pytest.mark.parametrize("order,dim,rank,n", [(4, 12, 3, 20), (5, 15, 2, 15), (3, 10, 4, 25)])
+class TestExactFlopCounts:
+    def test_symprop_total(self, order, dim, rank, n, rng):
+        x = make_random_tensor(order, dim, n, rng, distinct=True)
+        u = rng.random((dim, rank))
+        stats = KernelStats()
+        s3ttmc(x, u, memoize="nonzero", stats=stats)
+        assert stats.kernel_flops == total_sp(order, rank, x.unnz)
+
+    def test_symprop_per_level(self, order, dim, rank, n, rng):
+        x = make_random_tensor(order, dim, n, rng, distinct=True)
+        u = rng.random((dim, rank))
+        stats = KernelStats()
+        s3ttmc(x, u, memoize="nonzero", stats=stats)
+        for level in range(2, order):
+            assert stats.level_flops[level] == c_sp(level, order, rank, x.unnz)
+
+    def test_css_total(self, order, dim, rank, n, rng):
+        x = make_random_tensor(order, dim, n, rng, distinct=True)
+        u = rng.random((dim, rank))
+        stats = KernelStats()
+        css_s3ttmc(x, u, memoize="nonzero", stats=stats)
+        assert stats.kernel_flops == total_css(order, rank, x.unnz)
+
+    def test_css_per_level(self, order, dim, rank, n, rng):
+        x = make_random_tensor(order, dim, n, rng, distinct=True)
+        u = rng.random((dim, rank))
+        stats = KernelStats()
+        css_s3ttmc(x, u, memoize="nonzero", stats=stats)
+        for level in range(2, order):
+            assert stats.level_flops[level] == c_css(level, order, rank, x.unnz)
+
+
+class TestGlobalMemoizationOnlyHelps:
+    def test_global_no_more_flops(self, rng):
+        x = make_random_tensor(5, 8, 40, rng)
+        u = rng.random((8, 3))
+        s_global, s_local = KernelStats(), KernelStats()
+        s3ttmc(x, u, memoize="global", stats=s_global)
+        s3ttmc(x, u, memoize="nonzero", stats=s_local)
+        assert s_global.kernel_flops <= s_local.kernel_flops
+
+    def test_repeated_indices_cost_less(self, rng):
+        """Non-zeros with repeated values have fewer sub-multisets."""
+        distinct = make_random_tensor(4, 12, 10, rng, distinct=True)
+        diag_idx = np.array([[i, i, i, i] for i in range(10)])
+        from repro.formats import SparseSymmetricTensor
+
+        diag = SparseSymmetricTensor(4, 12, diag_idx, np.ones(10))
+        u = rng.random((12, 3))
+        s_dist, s_diag = KernelStats(), KernelStats()
+        s3ttmc(distinct, u, memoize="nonzero", stats=s_dist)
+        s3ttmc(diag, u, memoize="nonzero", stats=s_diag)
+        assert s_diag.kernel_flops < s_dist.kernel_flops
+
+
+class TestModelProperties:
+    def test_sp_never_exceeds_css(self):
+        for order in range(3, 10):
+            for rank in range(1, 8):
+                assert total_sp(order, rank, 100) <= total_css(order, rank, 100)
+
+    def test_reduction_ratio_limits(self):
+        # R^l/S_{l,R} -> l! as R -> inf (Section III-D)
+        import math
+
+        assert level_reduction_ratio(3, 10_000) == pytest.approx(6.0, rel=1e-2)
+        # R = 2 case: 2^l / (l+1)
+        for level in range(2, 8):
+            assert level_reduction_ratio(level, 2) == pytest.approx(
+                2**level / (level + 1)
+            )
+        del math
+
+    def test_table2_ordering_high_order(self):
+        """For high order / large dim, HOQRI-SymProp is cheapest (Table II)."""
+        costs = table2_complexities(dim=50_000, order=8, rank=10, unnz=50_000)
+        assert costs["HOQRI-SymProp"] < costs["HOOI-SymProp"]
+        assert costs["HOOI-SymProp"] < costs["HOOI-CSS"]
+        assert costs["HOQRI-SymProp"] < costs["HOQRI"]
+
+    def test_hoqri_svd_vs_qr_gap(self):
+        """The SVD term dominates HOOI at large I (Fig. 7 rationale)."""
+        from repro.perfmodel.complexity import qr_cost, svd_cost
+
+        assert svd_cost(60_000, 8, 10) > 1000 * qr_cost(60_000, 10)

@@ -1,0 +1,133 @@
+"""Tests for symmetric CP: MTTKRP kernel and ALS decomposition."""
+
+import numpy as np
+import pytest
+
+from repro.core import KernelStats
+from repro.cp import (
+    cp_inner_product,
+    rank_one_inner_products,
+    symmetric_cp_als,
+    symmetric_mttkrp,
+)
+from repro.formats import SparseSymmetricTensor
+from tests.conftest import make_random_tensor
+
+
+def dense_mttkrp(tensor, factor):
+    dense = tensor.to_dense()
+    order = tensor.order
+    subs = "abcdefgh"[:order]
+    spec = subs + "," + ",".join(f"{s}r" for s in subs[1:]) + "->" + subs[0] + "r"
+    return np.einsum(spec, dense, *([factor] * (order - 1)))
+
+
+def planted_cp_tensor(order, dim, rank, seed):
+    rng = np.random.default_rng(seed)
+    u = np.linalg.qr(rng.standard_normal((dim, rank)))[0]
+    lam = rng.uniform(1.0, 3.0, rank) * np.where(rng.random(rank) < 0.5, -1, 1)
+    from repro.symmetry.iou import enumerate_iou
+
+    idx = enumerate_iou(order, dim)
+    prods = np.ones((idx.shape[0], rank))
+    for t in range(order):
+        prods *= u[idx[:, t]]
+    vals = prods @ lam
+    return SparseSymmetricTensor(order, dim, idx, vals, assume_canonical=True), u, lam
+
+
+class TestMTTKRP:
+    @pytest.mark.parametrize("order,dim,rank,n", [(3, 6, 4, 25), (4, 5, 3, 20), (5, 6, 2, 25), (2, 7, 3, 15)])
+    def test_matches_dense(self, order, dim, rank, n, rng):
+        x = make_random_tensor(order, dim, n, rng)
+        u = rng.standard_normal((dim, rank))
+        got = symmetric_mttkrp(x, u)
+        assert np.allclose(got, dense_mttkrp(x, u), atol=1e-9)
+
+    def test_memoize_scopes_agree(self, rng):
+        x = make_random_tensor(4, 6, 20, rng)
+        u = rng.random((6, 3))
+        a = symmetric_mttkrp(x, u, memoize="global")
+        b = symmetric_mttkrp(x, u, memoize="nonzero")
+        assert np.allclose(a, b, atol=1e-12)
+
+    def test_cp_flops_much_smaller_than_tucker(self, rng):
+        """CP intermediates are R-vectors: level cost (2l-1)C(N,l)R·unnz."""
+        from repro.core import s3ttmc
+        from repro.symmetry.combinatorics import binomial
+
+        x = make_random_tensor(5, 12, 30, rng, distinct=True)
+        u = rng.random((12, 4))
+        cp_stats, tucker_stats = KernelStats(), KernelStats()
+        symmetric_mttkrp(x, u, memoize="nonzero", stats=cp_stats)
+        s3ttmc(x, u, memoize="nonzero", stats=tucker_stats)
+        for level in range(2, 5):
+            expected = (2 * level - 1) * binomial(5, level) * 4 * x.unnz
+            assert cp_stats.level_flops[level] == expected
+        assert cp_stats.kernel_flops < tucker_stats.kernel_flops
+
+    def test_shape_validation(self, rng):
+        x = make_random_tensor(3, 6, 10, rng)
+        with pytest.raises(ValueError):
+            symmetric_mttkrp(x, rng.random((7, 2)))
+
+
+class TestInnerProducts:
+    def test_rank_one_inner_matches_dense(self, rng):
+        x = make_random_tensor(3, 6, 20, rng)
+        u = rng.standard_normal((6, 2))
+        h = rank_one_inner_products(x, u)
+        dense = x.to_dense()
+        for r in range(2):
+            expected = np.einsum("ijk,i,j,k->", dense, u[:, r], u[:, r], u[:, r])
+            assert h[r] == pytest.approx(expected, rel=1e-10)
+
+    def test_cp_inner_product_linear_in_weights(self, rng):
+        x = make_random_tensor(3, 6, 20, rng)
+        u = rng.standard_normal((6, 2))
+        a = cp_inner_product(x, np.array([1.0, 0.0]), u)
+        b = cp_inner_product(x, np.array([0.0, 1.0]), u)
+        ab = cp_inner_product(x, np.array([1.0, 1.0]), u)
+        assert ab == pytest.approx(a + b, rel=1e-10)
+
+
+class TestSymmetricCPALS:
+    def test_error_trace_bounded(self, rng):
+        x = make_random_tensor(3, 10, 60, rng)
+        res = symmetric_cp_als(x, 3, max_iters=20, seed=0)
+        assert all(0.0 <= e <= 1.0 + 1e-9 for e in res.error_trace)
+
+    def test_recovers_planted_cp(self):
+        x, _u, _lam = planted_cp_tensor(3, 10, 2, seed=1)
+        res = symmetric_cp_als(x, 2, max_iters=300, seed=1, tol=1e-13)
+        assert res.relative_error < 1e-4, res.relative_error
+
+    def test_even_order_signed_weights(self):
+        """Even order with a negative weight: requires signed λ."""
+        x, _u, lam = planted_cp_tensor(4, 8, 2, seed=2)
+        assert (lam < 0).any() or (lam > 0).any()
+        res = symmetric_cp_als(x, 2, max_iters=400, seed=2, tol=1e-13)
+        assert res.relative_error < 5e-3, res.relative_error
+
+    def test_rank_one_diagonal_tensor(self):
+        """X = e_0^{⊗3} is exactly rank one."""
+        x = SparseSymmetricTensor(3, 5, np.array([[0, 0, 0]]), np.array([2.0]))
+        res = symmetric_cp_als(x, 1, max_iters=50, seed=3)
+        assert res.relative_error < 1e-8
+        assert abs(abs(res.factor[0, 0]) - 1.0) < 1e-8
+        assert res.weights[0] == pytest.approx(2.0, abs=1e-6)
+
+    def test_explicit_init(self, rng):
+        x = make_random_tensor(3, 8, 30, rng)
+        u0 = rng.standard_normal((8, 2))
+        res = symmetric_cp_als(x, 2, max_iters=5, init=u0)
+        assert res.iterations >= 1
+
+    def test_validation(self, rng):
+        x = make_random_tensor(3, 8, 30, rng)
+        with pytest.raises(ValueError):
+            symmetric_cp_als(x, 0)
+        with pytest.raises(ValueError):
+            symmetric_cp_als(x, 2, init="hosvd")
+        with pytest.raises(ValueError):
+            symmetric_cp_als(x, 2, init=np.zeros((3, 2)))

@@ -1,0 +1,94 @@
+"""Tests for tensor statistics and hypergraph I/O."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.data import describe, random_sparse_symmetric
+from repro.formats import SparseSymmetricTensor
+from repro.hypergraph import Hypergraph, read_hyperedges, write_hyperedges
+
+
+class TestDescribe:
+    def test_counts(self):
+        x = SparseSymmetricTensor(
+            3, 6, np.array([[1, 3, 5], [1, 1, 3], [2, 2, 2]]), np.array([1.0, 2.0, 0.5])
+        )
+        summary = describe(x)
+        assert summary.unnz == 3
+        assert summary.nnz == 10
+        assert summary.expansion_factor == pytest.approx(10 / 3)
+        assert summary.distinct_values_histogram == {1: 1, 2: 1, 3: 1}
+        assert summary.touched_indices == 4  # {1, 2, 3, 5}
+        assert summary.max_index_degree == 3  # index 1 appears 3 times
+        assert summary.value_min == 0.5 and summary.value_max == 2.0
+
+    def test_density_bounds(self):
+        x = random_sparse_symmetric(4, 15, 100, seed=0)
+        summary = describe(x)
+        assert 0 < summary.density < 1
+        assert 0 < summary.iou_density <= 1
+        assert summary.density <= summary.iou_density * 1.0001 * summary.expansion_factor
+
+    def test_empty_tensor(self):
+        x = SparseSymmetricTensor(3, 5, np.zeros((0, 3), dtype=int), np.zeros(0))
+        summary = describe(x)
+        assert summary.unnz == 0 and summary.nnz == 0
+        assert summary.expansion_factor == 0.0
+
+    def test_str_renders(self):
+        x = random_sparse_symmetric(3, 10, 20, seed=1)
+        text = str(describe(x))
+        assert "order=3" in text and "expansion" in text
+
+
+class TestHypergraphIO:
+    def test_roundtrip(self):
+        hg = Hypergraph(6, [(0, 1, 2), (3, 4), (0, 5)], [1.0, 2.5, 1.0])
+        buf = io.StringIO()
+        write_hyperedges(hg, buf)
+        buf.seek(0)
+        back = read_hyperedges(buf)
+        assert back.n_nodes == 6
+        assert back.edges == hg.edges
+        assert np.allclose(back.weights, hg.weights)
+
+    def test_file_roundtrip(self, tmp_path):
+        hg = Hypergraph(4, [(0, 1), (2, 3)])
+        path = tmp_path / "edges.txt"
+        write_hyperedges(hg, path)
+        back = read_hyperedges(path)
+        assert back.edges == hg.edges
+
+    def test_weights_preserved_exactly(self):
+        hg = Hypergraph(3, [(0, 1)], [0.123456789012345])
+        buf = io.StringIO()
+        write_hyperedges(hg, buf)
+        buf.seek(0)
+        assert read_hyperedges(buf).weights[0] == hg.weights[0]
+
+    def test_n_nodes_inference(self):
+        back = read_hyperedges(io.StringIO("1 2\n3 4 5\n"))
+        assert back.n_nodes == 5
+
+    def test_n_nodes_override(self):
+        back = read_hyperedges(io.StringIO("1 2\n"), n_nodes=10)
+        assert back.n_nodes == 10
+
+    def test_bad_id_rejected(self):
+        with pytest.raises(ValueError, match="bad node id"):
+            read_hyperedges(io.StringIO("1 x\n"))
+
+    def test_comments_skipped(self):
+        back = read_hyperedges(io.StringIO("# a comment\n\n1 2\n"))
+        assert back.n_edges == 1
+
+    def test_roundtrip_through_adjacency(self):
+        """File → hypergraph → adjacency tensor pipeline."""
+        from repro.hypergraph import adjacency_tensor
+
+        text = "# nodes: 5\n1 2 3\n4 5\n"
+        hg = read_hyperedges(io.StringIO(text))
+        t = adjacency_tensor(hg, 3)
+        assert t.unnz == 2

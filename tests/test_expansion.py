@@ -1,0 +1,102 @@
+"""Tests for the expansion operator E and multiplicity matrix M (Props 2–3)."""
+
+import numpy as np
+import pytest
+
+from repro.symmetry.combinatorics import dense_size, sym_storage_size
+from repro.symmetry.expansion import (
+    compact_from_full,
+    expand_compact,
+    expansion_matrix,
+    multiplicity_vector,
+)
+from repro.symmetry.tables import get_tables
+
+
+class TestExpansionMatrix:
+    @pytest.mark.parametrize("order,dim", [(2, 3), (3, 3), (4, 2)])
+    def test_shape_and_row_sums(self, order, dim):
+        e = expansion_matrix(order, dim)
+        assert e.shape == (dense_size(order, dim), sym_storage_size(order, dim))
+        # Every full index expands from exactly one IOU.
+        assert np.all(np.asarray(e.sum(axis=1)).ravel() == 1)
+
+    @pytest.mark.parametrize("order,dim", [(2, 3), (3, 3), (4, 2)])
+    def test_property3_m_is_diagonal_multiplicity(self, order, dim):
+        """EᵀE is diagonal with multinomial permutation counts (Property 3)."""
+        e = expansion_matrix(order, dim)
+        m = (e.T @ e).toarray()
+        p = multiplicity_vector(order, dim)
+        assert np.allclose(m, np.diag(p))
+
+    def test_column_sums_are_multiplicities(self):
+        e = expansion_matrix(3, 3)
+        cols = np.asarray(e.sum(axis=0)).ravel()
+        assert np.allclose(cols, multiplicity_vector(3, 3))
+
+    def test_multiplicities_sum_to_dense_size(self):
+        for order, dim in [(2, 4), (3, 3), (5, 2)]:
+            assert multiplicity_vector(order, dim).sum() == dense_size(order, dim)
+
+
+class TestExpandCompact:
+    def test_roundtrip_1d(self, rng):
+        order, dim = 3, 4
+        compact = rng.random(sym_storage_size(order, dim))
+        full = expand_compact(compact, order, dim)
+        assert full.shape == (dense_size(order, dim),)
+        back = compact_from_full(full, order, dim)
+        assert np.allclose(back, compact)
+
+    def test_roundtrip_2d(self, rng):
+        order, dim = 2, 5
+        compact = rng.random((7, sym_storage_size(order, dim)))
+        full = expand_compact(compact, order, dim)
+        assert full.shape == (7, dense_size(order, dim))
+        assert np.allclose(compact_from_full(full, order, dim), compact)
+
+    def test_expanded_tensor_is_symmetric(self, rng):
+        order, dim = 3, 3
+        compact = rng.random(sym_storage_size(order, dim))
+        full = expand_compact(compact, order, dim).reshape((dim,) * order)
+        assert np.allclose(full, np.transpose(full, (1, 0, 2)))
+        assert np.allclose(full, np.transpose(full, (0, 2, 1)))
+        assert np.allclose(full, np.transpose(full, (2, 1, 0)))
+
+    def test_matches_sparse_matrix(self, rng):
+        order, dim = 3, 3
+        compact = rng.random(sym_storage_size(order, dim))
+        e = expansion_matrix(order, dim)
+        assert np.allclose(e @ compact, expand_compact(compact, order, dim))
+
+    def test_compact_from_full_rejects_asymmetric(self, rng):
+        full = rng.random(dense_size(2, 3))
+        with pytest.raises(ValueError):
+            compact_from_full(full, 2, 3)
+
+    def test_compact_from_full_skip_check(self, rng):
+        full = rng.random(dense_size(2, 3))
+        out = compact_from_full(full, 2, 3, check_symmetry=False)
+        assert out.shape == (sym_storage_size(2, 3),)
+
+    def test_wrong_size_rejected(self):
+        with pytest.raises(ValueError):
+            expand_compact(np.zeros(5), 2, 3)
+        with pytest.raises(ValueError):
+            compact_from_full(np.zeros(5), 2, 3)
+
+
+class TestExpansionLocs:
+    def test_cached(self):
+        tables = get_tables(3, 3)
+        a = tables.expansion_locs()
+        b = tables.expansion_locs()
+        assert a is b
+
+    def test_locs_sort_invariant(self):
+        tables = get_tables(2, 4)
+        locs = tables.expansion_locs()
+        # loc of (i,j) equals loc of (j,i)
+        for i in range(4):
+            for j in range(4):
+                assert locs[i * 4 + j] == locs[j * 4 + i]

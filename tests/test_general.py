@@ -1,0 +1,122 @@
+"""Tests for the general sparse tensor substrate (per-mode TTMc, HOOI)."""
+
+import numpy as np
+import pytest
+
+from repro.formats import COOTensor
+from repro.formats.dense import ttm, unfold
+from repro.general import general_hooi, general_ttmc
+from tests.conftest import make_random_tensor
+
+
+def random_coo(order, dim, n, rng):
+    idx = np.unique(rng.integers(0, dim, size=(n, order)), axis=0)
+    return COOTensor(order, dim, idx, rng.uniform(-1, 1, idx.shape[0]))
+
+
+def dense_general_ttmc(coo, factors, mode):
+    dense = coo.to_dense()
+    for m in range(coo.order):
+        if m == mode:
+            continue
+        dense = ttm(dense, factors[m], m)
+    return unfold(dense, mode)
+
+
+class TestGeneralTTMc:
+    @pytest.mark.parametrize("mode", [0, 1, 2])
+    def test_matches_dense_order3(self, mode, rng):
+        coo = random_coo(3, 6, 30, rng)
+        factors = [rng.random((6, r)) for r in (2, 3, 4)]
+        got = general_ttmc(coo, factors, mode)
+        ref = dense_general_ttmc(coo, factors, mode)
+        assert np.allclose(got, ref, atol=1e-10)
+
+    @pytest.mark.parametrize("mode", [0, 2, 3])
+    def test_matches_dense_order4(self, mode, rng):
+        coo = random_coo(4, 5, 40, rng)
+        factors = [rng.random((5, 2)) for _ in range(4)]
+        got = general_ttmc(coo, factors, mode)
+        ref = dense_general_ttmc(coo, factors, mode)
+        assert np.allclose(got, ref, atol=1e-10)
+
+    def test_csf_cache_per_mode(self, rng):
+        coo = random_coo(3, 5, 20, rng)
+        factors = [rng.random((5, 2)) for _ in range(3)]
+        general_ttmc(coo, factors, 0)
+        general_ttmc(coo, factors, 1)
+        general_ttmc(coo, factors, 0)
+        assert set(getattr(coo, "_csf_cache")) == {0, 1}
+
+    def test_symmetric_specialization_agrees(self, rng):
+        """Same factor per mode on a symmetric tensor == S³TTMc."""
+        x = make_random_tensor(3, 6, 25, rng)
+        u = rng.random((6, 3))
+        coo = x.expand()
+        general = general_ttmc(coo, [u] * 3, 0)
+        from repro.core import s3ttmc
+
+        assert np.allclose(general, s3ttmc(x, u).to_full_unfolding(), atol=1e-10)
+
+    def test_factor_validation(self, rng):
+        coo = random_coo(3, 5, 10, rng)
+        with pytest.raises(ValueError):
+            general_ttmc(coo, [rng.random((5, 2))] * 2, 0)
+        with pytest.raises(ValueError):
+            general_ttmc(coo, [rng.random((4, 2))] * 3, 0)
+        with pytest.raises(ValueError):
+            general_ttmc(coo, [rng.random((5, 2))] * 3, 5)
+
+
+class TestGeneralHooi:
+    def test_objective_decreases(self, rng):
+        coo = random_coo(3, 10, 80, rng)
+        res = general_hooi(coo, 3, max_iters=10, seed=0)
+        trace = res.objective_trace
+        for a, b in zip(trace, trace[1:]):
+            assert b <= a + 1e-9 * max(abs(a), 1.0)
+        for factor, rank in zip(res.factors, [3, 3, 3]):
+            assert factor.shape == (10, rank)
+            assert np.allclose(factor.T @ factor, np.eye(rank), atol=1e-10)
+
+    def test_core_shape_per_mode_ranks(self, rng):
+        coo = random_coo(3, 8, 50, rng)
+        res = general_hooi(coo, [2, 3, 4], max_iters=3, seed=1)
+        assert res.core.shape == (2, 3, 4)
+
+    def test_core_consistent_with_factors(self, rng):
+        """Objective from the core equals the dense-residual objective."""
+        coo = random_coo(3, 7, 40, rng)
+        res = general_hooi(coo, 2, max_iters=6, seed=2)
+        dense = coo.to_dense()
+        recon = res.core
+        for mode in range(3):
+            recon = ttm(recon, res.factors[mode].T, mode)
+        resid = float(((dense - recon) ** 2).sum())
+        assert res.objective_trace[-1] == pytest.approx(resid, rel=1e-6)
+
+    def test_full_rank_exact(self, rng):
+        coo = random_coo(3, 5, 30, rng)
+        res = general_hooi(coo, 5, max_iters=4, seed=3)
+        assert res.relative_error < 1e-6
+
+    def test_matrix_case_matches_svd(self, rng):
+        """Order-2 Tucker converges to the truncated-SVD energy."""
+        coo = random_coo(2, 8, 30, rng)
+        res = general_hooi(coo, 3, max_iters=200, seed=4, tol=1e-14)
+        s = np.linalg.svd(coo.to_dense(), compute_uv=False)
+        best = float((s[3:] ** 2).sum())
+        assert res.objective_trace[-1] == pytest.approx(best, abs=1e-8)
+
+    def test_rank_validation(self, rng):
+        coo = random_coo(3, 5, 10, rng)
+        with pytest.raises(ValueError):
+            general_hooi(coo, [2, 2], max_iters=1)
+        with pytest.raises(ValueError):
+            general_hooi(coo, 9, max_iters=1)
+
+    def test_explicit_init(self, rng):
+        coo = random_coo(3, 6, 20, rng)
+        init = [np.linalg.qr(rng.standard_normal((6, 2)))[0] for _ in range(3)]
+        res = general_hooi(coo, 2, max_iters=2, init=init)
+        assert res.iterations >= 1

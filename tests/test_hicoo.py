@@ -1,0 +1,78 @@
+"""Tests for the HiCOO blocked general sparse format."""
+
+import numpy as np
+import pytest
+
+from repro.formats import COOTensor, HiCOOTensor
+
+
+def clustered_coo(rng, n_clusters=6, per_cluster=80, dim=1024, order=3):
+    """Non-zeros concentrated in a few 2^7-wide blocks (HiCOO's use case)."""
+    rows = []
+    for _ in range(n_clusters):
+        base = rng.integers(0, dim // 128, size=order) * 128
+        rows.append(base + rng.integers(0, 128, size=(per_cluster, order)))
+    idx = np.unique(np.concatenate(rows), axis=0)
+    return COOTensor(order, dim, idx, rng.random(idx.shape[0]))
+
+
+class TestRoundTrip:
+    def test_entries_preserved(self, rng):
+        coo = clustered_coo(rng)
+        h = HiCOOTensor(coo, block_bits=7)
+        back = h.to_coo()
+        a = np.lexsort(coo.indices.T[::-1])
+        b = np.lexsort(back.indices.T[::-1])
+        assert np.array_equal(coo.indices[a], back.indices[b])
+        assert np.allclose(coo.values[a], back.values[b])
+
+    @pytest.mark.parametrize("bits", [1, 4, 8, 12])
+    def test_roundtrip_various_block_sizes(self, bits, rng):
+        idx = np.unique(rng.integers(0, 300, size=(100, 4)), axis=0)
+        coo = COOTensor(4, 300, idx, rng.random(idx.shape[0]))
+        h = HiCOOTensor(coo, block_bits=bits)
+        back = h.to_coo()
+        a = np.lexsort(coo.indices.T[::-1])
+        b = np.lexsort(back.indices.T[::-1])
+        assert np.array_equal(coo.indices[a], back.indices[b])
+
+    def test_empty_tensor(self):
+        coo = COOTensor(3, 10, np.zeros((0, 3), dtype=int), np.zeros(0))
+        h = HiCOOTensor(coo)
+        assert h.nnz == 0 and h.n_blocks == 0
+        assert h.to_coo().nnz == 0
+
+    def test_block_bits_validation(self, rng):
+        coo = clustered_coo(rng)
+        with pytest.raises(ValueError):
+            HiCOOTensor(coo, block_bits=0)
+        with pytest.raises(ValueError):
+            HiCOOTensor(coo, block_bits=20)
+
+
+class TestCompression:
+    def test_clustered_data_compresses(self, rng):
+        coo = clustered_coo(rng, n_clusters=4, per_cluster=120)
+        h = HiCOOTensor(coo, block_bits=7)
+        # few blocks, many entries per block: index bytes shrink vs COO
+        assert h.n_blocks < coo.nnz / 10
+        assert h.compression_ratio() > 3.0
+
+    def test_scattered_data_does_not_blow_up(self, rng):
+        idx = np.unique(rng.integers(0, 10_000, size=(300, 3)), axis=0)
+        coo = COOTensor(3, 10_000, idx, rng.random(idx.shape[0]))
+        h = HiCOOTensor(coo, block_bits=7)
+        # worst case: one entry per block; overhead stays bounded
+        assert h.index_bytes <= 2.0 * h.coo_index_bytes()
+
+    def test_offsets_dtype(self, rng):
+        coo = clustered_coo(rng)
+        assert HiCOOTensor(coo, block_bits=8).offsets.dtype == np.uint8
+        assert HiCOOTensor(coo, block_bits=9).offsets.dtype == np.uint16
+
+    def test_block_ptr_partitions_entries(self, rng):
+        coo = clustered_coo(rng)
+        h = HiCOOTensor(coo, block_bits=7)
+        assert h.block_ptr[0] == 0
+        assert h.block_ptr[-1] == h.nnz
+        assert np.all(np.diff(h.block_ptr) > 0)

@@ -1,0 +1,122 @@
+"""Tests for the sub-multiset lattice structure."""
+
+import numpy as np
+import pytest
+
+from repro.core.lattice import build_lattice, unique_rows
+from repro.symmetry.combinatorics import binomial
+
+
+class TestUniqueRows:
+    def test_basic(self, rng):
+        a = rng.integers(0, 3, size=(50, 4))
+        uniq, inv = unique_rows(a)
+        assert np.array_equal(uniq[inv], a)
+        assert np.unique(uniq, axis=0).shape[0] == uniq.shape[0]
+
+    def test_empty(self):
+        uniq, inv = unique_rows(np.zeros((0, 3), dtype=np.int64))
+        assert uniq.shape == (0, 3) and inv.shape == (0,)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            unique_rows(np.array([1, 2, 3]))
+
+
+class TestLatticeStructure:
+    def test_single_distinct_nonzero_node_counts(self):
+        """One all-distinct non-zero: C(N,l) nodes per level (Section III-D)."""
+        idx = np.array([[0, 2, 4, 7]])
+        lat = build_lattice(idx)
+        assert lat.order == 4
+        for level in range(2, 5):
+            assert lat.level_nodes(level) == binomial(4, level)
+        assert lat.level_nodes(1) == 4
+
+    def test_single_repeated_nonzero(self):
+        """Repeated values collapse sub-multisets."""
+        idx = np.array([[1, 1, 3]])
+        lat = build_lattice(idx)
+        # level-2 sub-multisets of {1,1,3}: {1,1}, {1,3} -> 2 nodes
+        assert lat.level_nodes(2) == 2
+        assert lat.level_nodes(1) == 2  # leaves {1}, {3}
+        top = lat.levels[3]
+        assert top.n_edges == 2  # distinct deletions: delete 1, delete 3
+
+    def test_all_equal_nonzero(self):
+        idx = np.array([[2, 2, 2, 2]])
+        lat = build_lattice(idx)
+        for level in range(1, 4):
+            assert lat.level_nodes(level) == 1
+        assert lat.levels[4].n_edges == 1
+
+    def test_global_memoization_shares(self):
+        """Two non-zeros sharing a sub-multiset share nodes globally."""
+        idx = np.array([[0, 1, 2], [0, 1, 3]])
+        lat_global = build_lattice(idx, "global")
+        lat_local = build_lattice(idx, "nonzero")
+        # shared level-2 node {0,1}
+        assert lat_global.level_nodes(2) == 5  # {0,1},{0,2},{1,2},{0,3},{1,3}
+        assert lat_local.level_nodes(2) == 6
+        # leaves always global
+        assert lat_global.level_nodes(1) == 4
+        assert lat_local.level_nodes(1) == 4
+
+    def test_degree_groups_partition_edges(self, rng):
+        idx = np.sort(rng.integers(0, 6, size=(20, 4)), axis=1)
+        idx = np.unique(idx, axis=0)
+        lat = build_lattice(idx)
+        for level, lv in lat.levels.items():
+            covered = 0
+            seen_nodes = []
+            for g in lv.groups:
+                assert g.degree >= 1
+                covered += g.n_edges
+                seen_nodes.extend(g.nodes.tolist())
+            assert covered == lv.n_edges
+            assert sorted(seen_nodes) == list(range(lv.n_nodes))
+
+    def test_group_edges_are_node_major(self, rng):
+        """Within a degree group, each node's edges are consecutive."""
+        idx = np.sort(rng.integers(0, 5, size=(15, 3)), axis=1)
+        idx = np.unique(idx, axis=0)
+        lat = build_lattice(idx, keep_keys=True)
+        top = lat.levels[3]
+        assert top.node is not None
+        for g in top.groups:
+            for k in range(g.n_nodes):
+                sl = slice(g.edge_offset + k * g.degree, g.edge_offset + (k + 1) * g.degree)
+                assert np.all(top.node[sl] == g.nodes[k])
+
+    def test_keep_keys(self):
+        idx = np.array([[0, 1, 2]])
+        lat = build_lattice(idx, keep_keys=True)
+        assert lat.node_keys is not None
+        assert np.array_equal(lat.node_keys[3], idx)
+        assert lat.node_keys[2].shape == (3, 2)
+        lat2 = build_lattice(idx)
+        assert lat2.node_keys is None
+
+    def test_total_edges(self):
+        idx = np.array([[0, 1, 2]])
+        lat = build_lattice(idx)
+        # level 3: 3 deletions; level 2: 3 nodes x 2 deletions
+        assert lat.total_edges == 3 + 6
+
+    def test_rejects_order_one(self):
+        with pytest.raises(ValueError):
+            build_lattice(np.array([[1]]))
+
+    def test_rejects_bad_memoize(self):
+        with pytest.raises(ValueError):
+            build_lattice(np.array([[0, 1]]), "fancy")
+
+    def test_children_reference_valid_nodes(self, rng):
+        idx = np.sort(rng.integers(0, 6, size=(25, 5)), axis=1)
+        idx = np.unique(idx, axis=0)
+        lat = build_lattice(idx)
+        for level in range(2, 6):
+            lv = lat.levels[level]
+            below = lat.level_nodes(level - 1)
+            assert lv.child.max() < below
+            assert lv.child.min() >= 0

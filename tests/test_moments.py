@@ -1,0 +1,74 @@
+"""Tests for empirical moment tensor estimation."""
+
+import numpy as np
+import pytest
+
+from repro.apps import empirical_moment_tensor
+from repro.cp import symmetric_cp_als
+
+
+class TestMomentEstimation:
+    def test_second_moment_is_covariance(self, rng):
+        data = rng.standard_normal((5000, 6))
+        m = empirical_moment_tensor(data, 2, threshold=0.0)
+        cov = np.cov(data.T, bias=True)
+        assert np.allclose(m.to_dense(), cov, atol=1e-10)
+
+    def test_matches_explicit_mean(self, rng):
+        data = rng.standard_normal((200, 4))
+        m = empirical_moment_tensor(data, 3, center=False)
+        centered = data
+        explicit = np.einsum("ni,nj,nk->ijk", centered, centered, centered) / 200
+        assert np.allclose(m.to_dense(), explicit, atol=1e-10)
+
+    def test_symmetry_of_result(self, rng):
+        data = rng.standard_normal((100, 5))
+        m = empirical_moment_tensor(data, 3)
+        dense = m.to_dense()
+        assert np.allclose(dense, np.transpose(dense, (1, 0, 2)))
+
+    def test_threshold_sparsifies(self, rng):
+        data = rng.standard_normal((300, 6))
+        full = empirical_moment_tensor(data, 3, threshold=0.0)
+        sparse = empirical_moment_tensor(data, 3, threshold=0.05)
+        assert sparse.unnz < full.unnz
+
+    def test_gaussian_third_moment_near_zero(self, rng):
+        """Central third moments of a symmetric distribution vanish."""
+        data = rng.standard_normal((60_000, 4))
+        m = empirical_moment_tensor(data, 3, threshold=0.1)
+        assert m.unnz == 0
+
+    def test_chunking_invariance(self, rng):
+        data = rng.standard_normal((150, 5))
+        a = empirical_moment_tensor(data, 3, chunk=7)
+        b = empirical_moment_tensor(data, 3, chunk=10_000)
+        assert np.array_equal(a.indices, b.indices)
+        assert np.allclose(a.values, b.values)
+
+    def test_entry_cap(self, rng):
+        data = rng.standard_normal((10, 50))
+        with pytest.raises(ValueError, match="max_entries"):
+            empirical_moment_tensor(data, 4, max_entries=1000)
+
+    def test_input_validation(self, rng):
+        with pytest.raises(ValueError):
+            empirical_moment_tensor(rng.standard_normal(5), 2)
+        with pytest.raises(ValueError):
+            empirical_moment_tensor(np.zeros((0, 3)), 2)
+        with pytest.raises(ValueError):
+            empirical_moment_tensor(rng.standard_normal((5, 3)), 0)
+
+    def test_latent_factor_recovery_pipeline(self, rng):
+        """[6]'s use case: CP of the third moment recovers a planted
+        latent direction for skewed single-factor data."""
+        direction = np.zeros(8)
+        direction[:2] = [0.8, 0.6]
+        # skewed latent factor -> non-vanishing third moment along `direction`
+        z = rng.exponential(1.0, size=20_000) - 1.0
+        data = np.outer(z, direction) + 0.05 * rng.standard_normal((20_000, 8))
+        m = empirical_moment_tensor(data, 3)
+        res = symmetric_cp_als(m, 1, max_iters=200, seed=0, tol=1e-12)
+        recovered = res.factor[:, 0]
+        alignment = abs(recovered @ direction)
+        assert alignment > 0.98, alignment

@@ -1,0 +1,117 @@
+"""Tests for sparse symmetric tensor algebra and marginalization."""
+
+import numpy as np
+import pytest
+
+from repro.formats import SparseSymmetricTensor
+from repro.ops import add, degree_vector, hadamard, marginalize, scale, subtract
+from tests.conftest import make_random_tensor
+
+
+class TestAlgebra:
+    def test_add_matches_dense(self, rng):
+        a = make_random_tensor(3, 7, 20, rng)
+        b = make_random_tensor(3, 7, 25, rng)
+        c = add(a, b)
+        assert np.allclose(c.to_dense(), a.to_dense() + b.to_dense())
+
+    def test_add_self_doubles(self, rng):
+        a = make_random_tensor(3, 6, 15, rng)
+        c = add(a, a)
+        assert np.allclose(c.values, 2 * a.values)
+        assert np.array_equal(c.indices, a.indices)
+
+    def test_subtract_self_is_empty(self, rng):
+        a = make_random_tensor(4, 6, 15, rng)
+        c = subtract(a, a)
+        assert c.unnz == 0
+
+    def test_subtract_keep_zeros(self, rng):
+        a = make_random_tensor(3, 6, 10, rng)
+        c = subtract(a, a, prune_zeros=False)
+        assert c.unnz == a.unnz
+        assert np.allclose(c.values, 0.0)
+
+    def test_scale(self, rng):
+        a = make_random_tensor(3, 6, 15, rng)
+        c = scale(a, -2.5)
+        assert np.allclose(c.to_dense(), -2.5 * a.to_dense())
+        assert scale(a, 0.0).unnz == 0
+
+    def test_hadamard_matches_dense(self, rng):
+        a = make_random_tensor(3, 6, 25, rng)
+        b = make_random_tensor(3, 6, 25, rng)
+        c = hadamard(a, b)
+        assert np.allclose(c.to_dense(), a.to_dense() * b.to_dense())
+
+    def test_hadamard_disjoint_empty(self):
+        a = SparseSymmetricTensor(2, 4, np.array([[0, 1]]), np.array([1.0]))
+        b = SparseSymmetricTensor(2, 4, np.array([[2, 3]]), np.array([1.0]))
+        assert hadamard(a, b).unnz == 0
+
+    def test_incompatible_rejected(self, rng):
+        a = make_random_tensor(3, 6, 10, rng)
+        b = make_random_tensor(3, 7, 10, rng)
+        with pytest.raises(ValueError):
+            add(a, b)
+        c = make_random_tensor(4, 6, 10, rng)
+        with pytest.raises(ValueError):
+            hadamard(a, c)
+
+    def test_add_empty(self, rng):
+        a = make_random_tensor(3, 6, 10, rng)
+        empty = SparseSymmetricTensor(3, 6, np.zeros((0, 3), dtype=int), np.zeros(0))
+        c = add(a, empty)
+        assert np.array_equal(c.indices, a.indices)
+        assert hadamard(a, empty).unnz == 0
+
+
+class TestMarginalize:
+    def test_matches_dense_sum(self, rng):
+        x = make_random_tensor(3, 6, 25, rng)
+        m = marginalize(x)
+        assert m.order == 2
+        assert np.allclose(m.to_dense(), x.to_dense().sum(axis=2))
+
+    def test_order4_two_modes(self, rng):
+        x = make_random_tensor(4, 5, 20, rng)
+        m = marginalize(x, 2)
+        assert m.order == 2
+        assert np.allclose(m.to_dense(), x.to_dense().sum(axis=(2, 3)))
+
+    def test_zero_modes_identity(self, rng):
+        x = make_random_tensor(3, 6, 10, rng)
+        m = marginalize(x, 0)
+        assert m is x
+
+    def test_invalid_modes(self, rng):
+        x = make_random_tensor(3, 6, 10, rng)
+        with pytest.raises(ValueError):
+            marginalize(x, 3)
+        with pytest.raises(ValueError):
+            marginalize(x, -1)
+
+    def test_repeated_indices(self):
+        """A diagonal entry marginalizes once per distinct value."""
+        x = SparseSymmetricTensor(3, 4, np.array([[1, 1, 2]]), np.array([3.0]))
+        m = marginalize(x)
+        dense = x.to_dense().sum(axis=2)
+        assert np.allclose(m.to_dense(), dense)
+
+    def test_empty(self):
+        x = SparseSymmetricTensor(3, 4, np.zeros((0, 3), dtype=int), np.zeros(0))
+        assert marginalize(x).unnz == 0
+
+    def test_degree_vector_matches_hypergraph(self):
+        """Adjacency-tensor degrees == (N-1)! x hypergraph degrees for
+        all-distinct hyperedges, and == the dense marginal exactly."""
+        import math
+
+        from repro.hypergraph import Hypergraph, adjacency_tensor
+
+        hg = Hypergraph(6, [(0, 1, 2), (0, 3, 4), (1, 3, 5)])
+        tensor = adjacency_tensor(hg, 3)
+        deg = degree_vector(tensor)
+        assert np.allclose(deg[: hg.n_nodes], math.factorial(2) * hg.degree())
+        dense = tensor.to_dense()
+        assert np.allclose(deg, dense.sum(axis=(1, 2)))

@@ -1,0 +1,122 @@
+"""Tests for partitioning, the threaded executor, and the scaling simulator."""
+
+import numpy as np
+import pytest
+
+from repro.core import s3ttmc
+from repro.parallel import (
+    ParallelRunReport,
+    balanced_partition,
+    block_partition,
+    contention_factor,
+    estimate_nonzero_costs,
+    lpt_makespan,
+    measure_chunk_costs,
+    parallel_s3ttmc,
+    simulate_curve,
+    simulate_time,
+)
+from tests.conftest import make_random_tensor
+
+
+class TestPartition:
+    def test_block_covers_range(self):
+        parts = block_partition(10, 3)
+        assert parts[0][0] == 0 and parts[-1][1] == 10
+        assert all(a <= b for a, b in parts)
+        assert sum(b - a for a, b in parts) == 10
+
+    def test_block_more_parts_than_items(self):
+        parts = block_partition(2, 5)
+        assert sum(b - a for a, b in parts) == 2
+
+    def test_balanced_equalizes_cost(self, rng):
+        costs = np.ones(100)
+        costs[:10] = 50.0  # heavy head
+        parts = balanced_partition(costs, 4)
+        totals = [costs[a:b].sum() for a, b in parts]
+        assert max(totals) <= costs.sum() / 4 + 50.0 + 1e-9
+
+    def test_balanced_covers_all(self, rng):
+        costs = rng.random(57)
+        parts = balanced_partition(costs, 8)
+        assert parts[0][0] == 0 and parts[-1][1] == 57
+        for (a1, b1), (a2, b2) in zip(parts, parts[1:]):
+            assert b1 == a2
+
+    def test_empty_costs(self):
+        assert balanced_partition(np.zeros(0), 3) == [(0, 0)] * 3
+
+    def test_cost_estimate_monotone_in_distinct_values(self):
+        idx = np.array([[0, 1, 2, 3], [0, 0, 1, 2], [0, 0, 0, 0]])
+        costs = estimate_nonzero_costs(idx, rank=3)
+        assert costs[0] > costs[1] > costs[2]
+
+
+class TestParallelExecutor:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_matches_serial(self, workers, rng):
+        x = make_random_tensor(4, 10, 60, rng)
+        u = rng.random((10, 3))
+        serial = s3ttmc(x, u).unfolding
+        parallel = parallel_s3ttmc(x, u, workers).unfolding
+        assert np.allclose(parallel, serial, atol=1e-10)
+
+    def test_report_filled(self, rng):
+        x = make_random_tensor(3, 8, 30, rng)
+        u = rng.random((8, 2))
+        report = ParallelRunReport(0, [], [], 0.0)
+        parallel_s3ttmc(x, u, 3, report=report)
+        assert report.n_workers == 3
+        assert len(report.ranges) <= 3
+        assert all(t >= 0 for t in report.chunk_seconds)
+
+    def test_measure_chunk_costs(self, rng):
+        x = make_random_tensor(3, 8, 30, rng)
+        u = rng.random((8, 2))
+        costs = measure_chunk_costs(x, u, 4)
+        assert len(costs) <= 4
+        assert all(c > 0 for c in costs)
+
+
+class TestSimulator:
+    def test_lpt_single_worker_is_sum(self):
+        costs = [3.0, 1.0, 2.0]
+        assert lpt_makespan(costs, 1) == pytest.approx(6.0)
+
+    def test_lpt_perfect_split(self):
+        assert lpt_makespan([1.0] * 8, 4) == pytest.approx(2.0)
+
+    def test_lpt_bounded_below_by_max(self):
+        assert lpt_makespan([5.0, 1.0, 1.0], 4) == pytest.approx(5.0)
+
+    def test_contention_grows_with_threads(self):
+        assert contention_factor(32, 100) > contention_factor(2, 100)
+
+    def test_contention_shrinks_with_width(self):
+        assert contention_factor(32, 10_000) < contention_factor(32, 10)
+
+    def test_calibration_endpoints(self):
+        """The model reproduces the two published Fig. 6 endpoints."""
+        costs = [1.0] * 256  # abundant, perfectly divisible work
+        wide = simulate_curve(costs, [32], row_width=11_440)  # walmart r10
+        narrow = simulate_curve(costs, [32], row_width=28)  # 7D r3
+        assert wide.speedups[0] == pytest.approx(27.6, abs=0.5)
+        assert narrow.speedups[0] == pytest.approx(18.6, abs=0.5)
+
+    def test_speedup_monotone(self):
+        costs = list(np.random.default_rng(0).random(128) + 0.5)
+        curve = simulate_curve(costs, [1, 2, 4, 8, 16, 32], row_width=500)
+        assert curve.speedups[0] == pytest.approx(1.0, abs=0.02)
+        for a, b in zip(curve.speedups, curve.speedups[1:]):
+            assert b >= a - 1e-9
+
+    def test_serial_fraction_limits_speedup(self):
+        costs = [1.0] * 64
+        free = simulate_time(costs, 32, 10_000)
+        with_serial = simulate_time(costs, 32, 10_000, serial_seconds=10.0)
+        assert with_serial >= free + 10.0
+
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError):
+            lpt_makespan([1.0], 0)

@@ -1,0 +1,112 @@
+"""Tests for multiset permutation expansion and canonicalization."""
+
+import itertools
+import math
+
+import numpy as np
+import pytest
+
+from repro.symmetry.permutations import (
+    canonicalize,
+    count_expanded,
+    distinct_permutations,
+    expand_iou,
+)
+
+
+class TestDistinctPermutations:
+    def test_all_distinct(self):
+        perms = list(distinct_permutations((1, 3, 5)))
+        assert len(perms) == 6
+        assert perms == sorted(set(itertools.permutations((1, 3, 5))))
+
+    def test_with_repeats(self):
+        perms = list(distinct_permutations((1, 1, 3)))
+        assert perms == [(1, 1, 3), (1, 3, 1), (3, 1, 1)]
+
+    def test_all_equal(self):
+        assert list(distinct_permutations((2, 2, 2))) == [(2, 2, 2)]
+
+    def test_empty(self):
+        assert list(distinct_permutations(())) == [()]
+
+    def test_unsorted_input(self):
+        assert list(distinct_permutations((3, 1))) == [(1, 3), (3, 1)]
+
+    @pytest.mark.parametrize("tup", [(0, 1, 1, 2), (4, 4, 4, 1), (0, 1, 2, 3)])
+    def test_count_matches_multinomial(self, tup):
+        from collections import Counter
+
+        expected = math.factorial(len(tup))
+        for c in Counter(tup).values():
+            expected //= math.factorial(c)
+        assert len(list(distinct_permutations(tup))) == expected
+
+
+class TestExpandIou:
+    def test_expansion(self):
+        idx = np.array([[1, 1, 3], [0, 2, 5]])
+        vals = np.array([2.0, 3.0])
+        out_idx, out_vals, owner = expand_iou(idx, vals)
+        assert out_idx.shape == (3 + 6, 3)
+        assert np.allclose(out_vals[:3], 2.0) and np.allclose(out_vals[3:], 3.0)
+        assert owner.tolist() == [0, 0, 0, 1, 1, 1, 1, 1, 1]
+        # sorted rows reproduce originals (np.unique lex-sorts its output)
+        assert np.array_equal(
+            np.unique(np.sort(out_idx, axis=1), axis=0), np.array([[0, 2, 5], [1, 1, 3]])
+        )
+
+    def test_count(self):
+        idx = np.array([[1, 1, 3], [0, 2, 5], [4, 4, 4]])
+        assert count_expanded(idx) == 3 + 6 + 1
+
+    def test_empty(self):
+        out_idx, out_vals, owner = expand_iou(
+            np.zeros((0, 3), dtype=int), np.zeros(0)
+        )
+        assert out_idx.shape == (0, 3)
+        assert count_expanded(np.zeros((0, 3), dtype=int)) == 0
+
+
+class TestCanonicalize:
+    def test_sorts_rows_and_lex_orders(self):
+        idx = np.array([[3, 1, 1], [5, 0, 2]])
+        vals = np.array([2.0, 3.0])
+        out_idx, out_vals = canonicalize(idx, vals)
+        assert out_idx.tolist() == [[0, 2, 5], [1, 1, 3]]
+        assert out_vals.tolist() == [3.0, 2.0]
+
+    def test_duplicate_error(self):
+        idx = np.array([[1, 2], [2, 1]])
+        with pytest.raises(ValueError, match="duplicate"):
+            canonicalize(idx, np.array([1.0, 2.0]))
+
+    def test_duplicate_sum(self):
+        idx = np.array([[1, 2], [2, 1], [0, 0]])
+        out_idx, out_vals = canonicalize(idx, np.array([1.0, 2.0, 5.0]), combine="sum")
+        assert out_idx.tolist() == [[0, 0], [1, 2]]
+        assert out_vals.tolist() == [5.0, 3.0]
+
+    def test_duplicate_first_last(self):
+        idx = np.array([[1, 2], [2, 1]])
+        _, first = canonicalize(idx, np.array([1.0, 2.0]), combine="first")
+        _, last = canonicalize(idx, np.array([1.0, 2.0]), combine="last")
+        assert first.tolist() == [1.0]
+        assert last.tolist() == [2.0]
+
+    def test_unknown_combine(self):
+        idx = np.array([[1, 2], [2, 1]])
+        with pytest.raises(ValueError, match="combine"):
+            canonicalize(idx, np.array([1.0, 2.0]), combine="mean")
+
+    def test_empty(self):
+        out_idx, out_vals = canonicalize(np.zeros((0, 3), dtype=int), np.zeros(0))
+        assert out_idx.shape == (0, 3)
+
+    def test_idempotent(self, rng):
+        idx = rng.integers(0, 5, size=(20, 3))
+        vals = rng.random(20)
+        a_idx, a_vals = canonicalize(idx, vals, combine="sum")
+        b_idx, b_vals = canonicalize(a_idx, a_vals, combine="error")
+        assert np.array_equal(a_idx, b_idx)
+        assert np.allclose(a_vals, b_vals)

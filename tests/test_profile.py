@@ -1,0 +1,50 @@
+"""Tests for the profiling helper."""
+
+import time
+
+from repro.runtime import profile_call
+
+
+class TestProfileCall:
+    def test_returns_result(self):
+        report = profile_call(lambda: 42)
+        assert report.result == 42
+
+    def test_hotspots_ranked(self):
+        def work():
+            total = 0
+            for _ in range(3):
+                total += sum(range(50_000))
+            return total
+
+        report = profile_call(work)
+        assert report.hotspots
+        times = [h.total_seconds for h in report.hotspots]
+        assert times == sorted(times, reverse=True)
+
+    def test_identifies_sleep(self):
+        report = profile_call(lambda: time.sleep(0.05))
+        assert report.fraction_in("sleep") > 0.5
+
+    def test_render(self):
+        report = profile_call(lambda: sum(range(1000)))
+        text = report.render(3)
+        assert "total" in text
+
+    def test_kernel_profile_names_engine(self, rng):
+        """Profiling a kernel call surfaces the engine module."""
+        from repro.core import s3ttmc
+        from tests.conftest import make_random_tensor
+
+        x = make_random_tensor(4, 12, 80, rng)
+        u = rng.random((12, 3))
+        s3ttmc(x, u)  # warm the plan so the profile sees numeric work
+        report = profile_call(lambda: s3ttmc(x, u))
+        names = " ".join(h.function for h in report.hotspots)
+        assert "engine" in names or "reduce" in names or "lattice" in names
+
+    def test_exception_propagates(self):
+        import pytest
+
+        with pytest.raises(RuntimeError):
+            profile_call(lambda: (_ for _ in ()).throw(RuntimeError("boom")))

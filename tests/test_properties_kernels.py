@@ -1,0 +1,122 @@
+"""Property-based tests for kernel-level invariants (hypothesis)."""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import s3ttmc, s3ttmc_tc
+from repro.cp import symmetric_mttkrp
+from repro.formats import SparseSymmetricTensor
+from repro.symmetry.combinatorics import sym_storage_size
+from repro.symmetry.permutations import canonicalize
+
+COMMON = settings(
+    max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+@st.composite
+def tensor_and_factor(draw, max_order=4, max_dim=6, max_rank=3, max_nnz=15):
+    order = draw(st.integers(2, max_order))
+    dim = draw(st.integers(2, max_dim))
+    rank = draw(st.integers(1, max_rank))
+    n = draw(st.integers(1, max_nnz))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    idx, vals = canonicalize(
+        rng.integers(0, dim, size=(n, order)),
+        rng.uniform(-1, 1, n) + 0.1,
+        combine="first",
+    )
+    tensor = SparseSymmetricTensor(order, dim, idx, vals, assume_canonical=True)
+    factor = rng.uniform(-1, 1, size=(dim, rank))
+    return tensor, factor
+
+
+class TestKernelLinearity:
+    """S³TTMc is linear in both the tensor values and the output."""
+
+    @COMMON
+    @given(tensor_and_factor(), st.floats(-3, 3))
+    def test_value_scaling(self, tf, alpha):
+        tensor, factor = tf
+        scaled = SparseSymmetricTensor(
+            tensor.order,
+            tensor.dim,
+            tensor.indices,
+            alpha * tensor.values,
+            assume_canonical=True,
+        )
+        base = s3ttmc(tensor, factor).unfolding
+        got = s3ttmc(scaled, factor).unfolding
+        assert np.allclose(got, alpha * base, atol=1e-9)
+
+    @COMMON
+    @given(tensor_and_factor())
+    def test_additivity_over_nonzero_split(self, tf):
+        tensor, factor = tf
+        if tensor.unnz < 2:
+            return
+        half = tensor.unnz // 2
+        a = SparseSymmetricTensor(
+            tensor.order, tensor.dim, tensor.indices[:half], tensor.values[:half],
+            assume_canonical=True,
+        )
+        b = SparseSymmetricTensor(
+            tensor.order, tensor.dim, tensor.indices[half:], tensor.values[half:],
+            assume_canonical=True,
+        )
+        total = s3ttmc(tensor, factor).unfolding
+        parts = s3ttmc(a, factor).unfolding + s3ttmc(b, factor).unfolding
+        assert np.allclose(total, parts, atol=1e-9)
+
+
+class TestKernelShapes:
+    @COMMON
+    @given(tensor_and_factor())
+    def test_output_shapes(self, tf):
+        tensor, factor = tf
+        rank = factor.shape[1]
+        y = s3ttmc(tensor, factor)
+        assert y.unfolding.shape == (
+            tensor.dim,
+            sym_storage_size(tensor.order - 1, rank),
+        )
+        res = s3ttmc_tc(tensor, factor)
+        assert res.a.shape == (tensor.dim, rank)
+        m = symmetric_mttkrp(tensor, factor)
+        assert m.shape == (tensor.dim, rank)
+
+    @COMMON
+    @given(tensor_and_factor())
+    def test_tc_quadratic_identity(self, tf):
+        """A = Y_p M C_pᵀ implies xᵀA y is a valid bilinear form: check the
+        trace identity tr(UᵀA) = ‖C‖²_F (with C = Uᵀ·Y)."""
+        tensor, factor = tf
+        res = s3ttmc_tc(tensor, factor)
+        lhs = float(np.trace(factor.T @ res.a))
+        rhs = res.core.norm_squared()
+        assert np.isclose(lhs, rhs, rtol=1e-8, atol=1e-10)
+
+
+class TestMTTKRPProperties:
+    @COMMON
+    @given(tensor_and_factor())
+    def test_mttkrp_column_separability(self, tf):
+        """Column r of MTTKRP depends only on column r of U."""
+        tensor, factor = tf
+        full = symmetric_mttkrp(tensor, factor)
+        for r in range(factor.shape[1]):
+            single = symmetric_mttkrp(tensor, factor[:, r : r + 1])
+            assert np.allclose(single[:, 0], full[:, r], atol=1e-10)
+
+    @COMMON
+    @given(tensor_and_factor())
+    def test_mttkrp_consistent_with_apply(self, tf):
+        """Rank-1 MTTKRP equals the symmetric tensor-vector apply."""
+        from repro.apps import symmetric_apply
+
+        tensor, factor = tf
+        v = factor[:, 0]
+        m = symmetric_mttkrp(tensor, v[:, None])
+        assert np.allclose(m[:, 0], symmetric_apply(tensor, v), atol=1e-10)

@@ -1,0 +1,102 @@
+"""Property-based tests for tensor algebra and marginalization."""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.formats import SparseSymmetricTensor
+from repro.ops import add, degree_vector, hadamard, marginalize, scale, subtract
+from repro.symmetry.permutations import canonicalize
+
+COMMON = settings(
+    max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+@st.composite
+def tensor_pair(draw, max_order=4, max_dim=5, max_nnz=15):
+    order = draw(st.integers(2, max_order))
+    dim = draw(st.integers(2, max_dim))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+
+    def make():
+        n = int(rng.integers(1, max_nnz + 1))
+        idx, vals = canonicalize(
+            rng.integers(0, dim, size=(n, order)),
+            rng.uniform(-1, 1, n) + 0.05,
+            combine="first",
+        )
+        return SparseSymmetricTensor(order, dim, idx, vals, assume_canonical=True)
+
+    return make(), make()
+
+
+class TestAlgebraProperties:
+    @COMMON
+    @given(tensor_pair())
+    def test_add_commutative(self, pair):
+        a, b = pair
+        left = add(a, b)
+        right = add(b, a)
+        assert np.array_equal(left.indices, right.indices)
+        assert np.allclose(left.values, right.values)
+
+    @COMMON
+    @given(tensor_pair(), st.floats(-2, 2))
+    def test_scale_distributes_over_add(self, pair, alpha):
+        a, b = pair
+        lhs = scale(add(a, b), alpha)
+        rhs = add(scale(a, alpha), scale(b, alpha))
+        assert np.allclose(lhs.to_dense(), rhs.to_dense(), atol=1e-10)
+
+    @COMMON
+    @given(tensor_pair())
+    def test_subtract_then_add_roundtrip(self, pair):
+        a, b = pair
+        back = add(subtract(a, b, prune_zeros=False), b, prune_zeros=True, atol=1e-12)
+        assert np.allclose(back.to_dense(), a.to_dense(), atol=1e-10)
+
+    @COMMON
+    @given(tensor_pair())
+    def test_hadamard_commutative_and_bounded_support(self, pair):
+        a, b = pair
+        ab = hadamard(a, b)
+        ba = hadamard(b, a)
+        assert np.allclose(ab.to_dense(), ba.to_dense(), atol=1e-12)
+        assert ab.unnz <= min(a.unnz, b.unnz)
+
+    @COMMON
+    @given(tensor_pair())
+    def test_norms_triangle_inequality(self, pair):
+        a, b = pair
+        total = add(a, b, prune_zeros=False)
+        assert total.norm() <= a.norm() + b.norm() + 1e-9
+
+
+class TestMarginalProperties:
+    @COMMON
+    @given(tensor_pair())
+    def test_marginal_matches_dense(self, pair):
+        a, _ = pair
+        m = marginalize(a)
+        dense = a.to_dense().sum(axis=a.order - 1)
+        assert np.allclose(m.to_dense(), dense, atol=1e-10)
+
+    @COMMON
+    @given(tensor_pair())
+    def test_marginal_linear(self, pair):
+        a, b = pair
+        lhs = marginalize(add(a, b, prune_zeros=False))
+        rhs = add(marginalize(a), marginalize(b), prune_zeros=False)
+        assert np.allclose(lhs.to_dense(), rhs.to_dense(), atol=1e-10)
+
+    @COMMON
+    @given(tensor_pair())
+    def test_total_mass_preserved(self, pair):
+        """The degree vector (full marginal) sums to the dense total."""
+        a, _ = pair
+        full_sum = a.to_dense().sum()
+        assert degree_vector(a).sum() == np.float64(full_sum) or np.isclose(
+            degree_vector(a).sum(), full_sum, atol=1e-8
+        )

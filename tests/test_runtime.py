@@ -1,0 +1,152 @@
+"""Tests for the memory-budget runtime and phase timers."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.runtime.budget import (
+    MemoryBudget,
+    MemoryLimitError,
+    current_budget,
+    release_bytes,
+    request_bytes,
+    track_array,
+)
+from repro.runtime.timer import PhaseTimer, Stopwatch
+
+
+class TestBudget:
+    def test_no_budget_is_noop(self):
+        request_bytes(10**15, "huge")  # no active budget: never raises
+        release_bytes(10**15, "huge")
+
+    def test_limit_enforced(self):
+        with MemoryBudget(limit_bytes=1000) as budget:
+            budget.request(600, "a")
+            with pytest.raises(MemoryLimitError):
+                budget.request(600, "b")
+            budget.release(600, "a")
+            budget.request(900, "c")
+
+    def test_gigabytes_constructor(self):
+        budget = MemoryBudget(gigabytes=2.0)
+        assert budget.limit_bytes == 2 * 2**30
+
+    def test_both_limits_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryBudget(limit_bytes=10, gigabytes=1.0)
+
+    def test_peak_tracking(self):
+        with MemoryBudget() as budget:
+            budget.request(100, "a")
+            budget.request(50, "b")
+            budget.release(100, "a")
+            assert budget.peak == 150
+            assert budget.in_use == 50
+
+    def test_nesting_and_current(self):
+        assert current_budget() is None
+        with MemoryBudget(limit_bytes=100) as outer:
+            assert current_budget() is outer
+            with MemoryBudget(limit_bytes=50) as inner:
+                assert current_budget() is inner
+            assert current_budget() is outer
+        assert current_budget() is None
+
+    def test_error_carries_context(self):
+        with MemoryBudget(limit_bytes=10):
+            with pytest.raises(MemoryLimitError) as info:
+                request_bytes(100, "Y (full)")
+        assert info.value.label == "Y (full)"
+        assert info.value.nbytes == 100
+        assert info.value.limit == 10
+
+    def test_track_array_scope(self):
+        with MemoryBudget(limit_bytes=1000) as budget:
+            with track_array((10, 10), "buf") as nbytes:
+                assert nbytes == 800
+                assert budget.in_use == 800
+            assert budget.in_use == 0
+
+    def test_allocation_labels(self):
+        with MemoryBudget() as budget:
+            budget.request(64, "K level 2")
+            budget.request(64, "K level 2")
+            assert budget.allocations["K level 2"] == 128
+            budget.release(128, "K level 2")
+            assert "K level 2" not in budget.allocations
+
+    def test_negative_request_rejected(self):
+        with MemoryBudget() as budget:
+            with pytest.raises(ValueError):
+                budget.request(-5)
+
+    def test_kernel_ooms_under_tight_budget(self, rng):
+        """End-to-end: the CSS baseline trips the budget, SymProp fits."""
+        from repro.baselines import css_s3ttmc
+        from repro.core import s3ttmc
+        from tests.conftest import make_random_tensor
+
+        x = make_random_tensor(6, 30, 50, rng)
+        u = rng.random((30, 6))
+        # CSS level-5 intermediates need ~300 nodes x 6^5 x 8 B ≈ 19 MB;
+        # SymProp's compact path stays under ~4 MB in total.
+        with MemoryBudget(limit_bytes=8_000_000):
+            with pytest.raises(MemoryLimitError):
+                css_s3ttmc(x, u)
+        with MemoryBudget(limit_bytes=8_000_000):
+            y = s3ttmc(x, u)  # fits
+            assert y.unfolding.shape == (30, 252)
+
+
+class TestTimer:
+    def test_phases_accumulate(self):
+        timer = PhaseTimer()
+        with timer.phase("a"):
+            time.sleep(0.01)
+        with timer.phase("a"):
+            pass
+        with timer.phase("b"):
+            pass
+        assert timer.counts["a"] == 2
+        assert timer.totals["a"] >= 0.01
+        assert set(timer.breakdown()) == {"a", "b"}
+
+    def test_breakdown_sums_to_100(self):
+        timer = PhaseTimer()
+        timer.add("x", 1.0)
+        timer.add("y", 3.0)
+        breakdown = timer.breakdown()
+        assert breakdown["x"] == pytest.approx(25.0)
+        assert breakdown["y"] == pytest.approx(75.0)
+        assert sum(breakdown.values()) == pytest.approx(100.0)
+
+    def test_empty_breakdown(self):
+        assert PhaseTimer().breakdown() == {}
+
+    def test_merge(self):
+        a, b = PhaseTimer(), PhaseTimer()
+        a.add("x", 1.0)
+        b.add("x", 2.0)
+        b.add("y", 1.0)
+        a.merge(b)
+        assert a.totals["x"] == pytest.approx(3.0)
+        assert a.totals["y"] == pytest.approx(1.0)
+
+    def test_stopwatch(self):
+        watch = Stopwatch()
+        with watch:
+            time.sleep(0.005)
+        with watch:
+            time.sleep(0.005)
+        assert watch.elapsed >= 0.01
+
+
+class TestBudgetExceptionsPropagate:
+    def test_phase_records_on_exception(self):
+        timer = PhaseTimer()
+        with pytest.raises(RuntimeError):
+            with timer.phase("failing"):
+                raise RuntimeError("boom")
+        assert "failing" in timer.totals

@@ -1,0 +1,82 @@
+"""Correctness tests for S³TTMcTC (Algorithm 2) and its properties."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.dense_ref import dense_core, dense_s3ttmc_tc
+from repro.core import KernelStats, s3ttmc, s3ttmc_tc, times_core
+from repro.decomp.hosvd import random_init
+from repro.formats.dense import unfold
+from tests.conftest import make_random_tensor
+
+
+class TestAgainstDense:
+    @pytest.mark.parametrize(
+        "order,dim,rank,n", [(3, 6, 4, 25), (4, 5, 3, 20), (5, 6, 2, 25)]
+    )
+    def test_a_matrix_matches(self, order, dim, rank, n, rng):
+        x = make_random_tensor(order, dim, n, rng)
+        u = rng.random((dim, rank))
+        res = s3ttmc_tc(x, u)
+        assert np.allclose(res.a, dense_s3ttmc_tc(x, u), atol=1e-8)
+
+    def test_core_matches_dense(self, rng):
+        x = make_random_tensor(4, 6, 25, rng)
+        u = rng.random((6, 3))
+        res = s3ttmc_tc(x, u)
+        ref = unfold(dense_core(x, u), 0)
+        assert np.allclose(res.core.to_full_unfolding(), ref, atol=1e-9)
+
+    def test_core_fully_symmetric_for_orthonormal_factor(self, rng):
+        """Section IV-A: the core of a symmetric Tucker decomposition is
+        fully symmetric; we verify through the full tensor."""
+        x = make_random_tensor(3, 8, 25, rng)
+        u = random_init(8, 3, rng)
+        res = s3ttmc_tc(x, u)
+        c = res.core.to_full_tensor()
+        assert np.allclose(c, np.transpose(c, (1, 0, 2)), atol=1e-9)
+        assert np.allclose(c, np.transpose(c, (2, 1, 0)), atol=1e-9)
+
+    def test_times_core_reuses_y(self, rng):
+        x = make_random_tensor(4, 6, 20, rng)
+        u = rng.random((6, 3))
+        y = s3ttmc(x, u)
+        res = times_core(y, u)
+        assert res.y is y
+        assert np.allclose(res.a, dense_s3ttmc_tc(x, u), atol=1e-8)
+
+    def test_times_core_shape_validation(self, rng):
+        x = make_random_tensor(4, 6, 20, rng)
+        y = s3ttmc(x, rng.random((6, 3)))
+        with pytest.raises(ValueError):
+            times_core(y, rng.random((6, 4)))
+
+    def test_stats_include_gemms(self, rng):
+        x = make_random_tensor(3, 6, 15, rng)
+        u = rng.random((6, 3))
+        stats = KernelStats()
+        res = s3ttmc_tc(x, u, stats=stats)
+        assert res.stats is stats
+        # two GEMMs: R*S*I each costing 2*R*S*I flops, plus the scaling pass
+        s = res.y.sym_size
+        expected = 2 * (2 * 3 * s * 6) + s * 3
+        assert stats.extra_flops == expected
+
+
+class TestPropertyThreeInContext:
+    def test_weighted_product_equals_full_product(self, rng):
+        """Y_(1) C_(1)ᵀ == Y_p(1) M C_p(1)ᵀ (Property 3 end-to-end)."""
+        x = make_random_tensor(4, 7, 30, rng)
+        u = rng.random((7, 3))
+        res = s3ttmc_tc(x, u)
+        y_full = res.y.to_full_unfolding()
+        c_full = res.core.to_full_unfolding()
+        assert np.allclose(res.a, y_full @ c_full.T, atol=1e-8)
+
+    def test_overhead_is_small_fraction_of_flops(self, rng):
+        """TC adds only the two GEMMs on top of S³TTMc (Fig. 5d rationale)."""
+        x = make_random_tensor(5, 10, 60, rng)
+        u = rng.random((10, 3))
+        stats = KernelStats()
+        s3ttmc_tc(x, u, stats=stats)
+        assert stats.extra_flops < stats.kernel_flops
