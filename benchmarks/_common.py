@@ -23,6 +23,7 @@ from typing import Callable, Dict, Optional
 
 import numpy as np
 
+from repro.bench.harness import maybe_trace
 from repro.bench.records import Measurement, SeriesTable
 from repro.decomp.hosvd import random_init
 from repro.perfmodel.memory import kernel_footprint, suggest_nz_batch
@@ -92,13 +93,16 @@ def measure_cell(
         return EstimatedMeasurement(seconds=flops / rate, note="estimated")
 
     try:
-        with MemoryBudget(gigabytes=budget_gb):
-            fn = build()
-            times = []
-            for _ in range(max(1, repeats)):
-                tick = time.perf_counter()
-                fn()
-                times.append(time.perf_counter() - tick)
+        # maybe_trace honours REPRO_TRACE=path.jsonl: every cell of every
+        # benchmark appends its span/metric records with zero script changes.
+        with maybe_trace():
+            with MemoryBudget(gigabytes=budget_gb):
+                fn = build()
+                times = []
+                for _ in range(max(1, repeats)):
+                    tick = time.perf_counter()
+                    fn()
+                    times.append(time.perf_counter() - tick)
     except MemoryLimitError as exc:
         return Measurement.out_of_memory(note=exc.label)
     seconds = sum(times) / len(times)

@@ -30,6 +30,8 @@ Package map (see DESIGN.md for the full inventory):
 - :mod:`repro.hypergraph` / :mod:`repro.data` — datasets and applications
 - :mod:`repro.perfmodel` / :mod:`repro.parallel` / :mod:`repro.runtime` —
   complexity models, parallel substrate, memory budgets
+- :mod:`repro.obs` — span tracing, metrics, JSONL export
+  (``python -m repro.obs summarize``)
 - :mod:`repro.bench` — the harness regenerating every figure/table
 """
 
@@ -52,6 +54,7 @@ from .formats import (
 from .hypergraph import Hypergraph, adjacency_tensor
 from .apps import symmetric_apply
 from .cp import symmetric_cp_als, symmetric_mttkrp
+from .obs import TraceCollector
 from .runtime import MemoryBudget, MemoryLimitError
 from .validation import verify_kernels
 
@@ -77,6 +80,7 @@ __all__ = [
     "dataset_names",
     "DATASETS",
     "MemoryBudget",
+    "TraceCollector",
     "symmetric_apply",
     "symmetric_cp_als",
     "symmetric_mttkrp",

@@ -2,8 +2,10 @@
 
 from .harness import (
     DEFAULT_BUDGET_GB,
+    TRACE_ENV_VAR,
     bench_repeats,
     guarded_kernel_measurement,
+    maybe_trace,
     preferred_batch,
     timed_measurement,
 )
@@ -11,7 +13,9 @@ from .records import Measurement, SeriesTable, format_seconds, geometric_mean
 
 __all__ = [
     "DEFAULT_BUDGET_GB",
+    "TRACE_ENV_VAR",
     "bench_repeats",
+    "maybe_trace",
     "timed_measurement",
     "guarded_kernel_measurement",
     "preferred_batch",

@@ -5,24 +5,38 @@ for the paper's 256 GB node, (b) a pre-flight footprint check so hopeless
 configurations fail fast as ``OOM`` instead of grinding, and (c) repeat
 timing (the paper averages 10 runs; the default here is 3, configurable
 via ``REPRO_BENCH_REPEATS``).
+
+Setting ``REPRO_TRACE=path.jsonl`` makes every measurement run under a
+:class:`repro.obs.TraceCollector` and *append* its spans/events/metrics to
+that file — existing benchmark scripts gain trace output with zero code
+changes (``python -m repro.obs summarize path.jsonl`` to inspect).
 """
 
 from __future__ import annotations
 
 import os
 import time
-from typing import Callable, Optional
+import warnings
+from contextlib import contextmanager
+from typing import Callable, Iterator, Optional
 
+from ..obs import TraceCollector
+from ..obs.export import write_trace
 from ..perfmodel.memory import kernel_footprint, suggest_nz_batch
 from ..runtime.budget import MemoryBudget, MemoryLimitError
 from .records import Measurement
 
 __all__ = [
     "DEFAULT_BUDGET_GB",
+    "TRACE_ENV_VAR",
     "bench_repeats",
+    "maybe_trace",
     "timed_measurement",
     "guarded_kernel_measurement",
 ]
+
+#: Environment variable naming a JSONL file to append traces to.
+TRACE_ENV_VAR = "REPRO_TRACE"
 
 #: Scaled stand-in for the 256 GB Andes node (datasets are scaled ~100×).
 DEFAULT_BUDGET_GB = float(os.environ.get("REPRO_BENCH_BUDGET_GB", "1.5"))
@@ -31,6 +45,35 @@ DEFAULT_BUDGET_GB = float(os.environ.get("REPRO_BENCH_BUDGET_GB", "1.5"))
 def bench_repeats(default: int = 3) -> int:
     """Timing repeats per cell (``REPRO_BENCH_REPEATS`` overrides)."""
     return int(os.environ.get("REPRO_BENCH_REPEATS", str(default)))
+
+
+@contextmanager
+def maybe_trace() -> Iterator[Optional[TraceCollector]]:
+    """Opt-in tracing scope: active only when ``REPRO_TRACE`` is set.
+
+    On exit the collector's records are appended to the named JSONL file,
+    so a whole benchmark run accumulates one measurement per flush. An
+    unwritable path must not take down a (possibly hours-long) benchmark
+    run after the measurement already succeeded, so write failures warn
+    and the measurement result stands.
+    """
+    path = os.environ.get(TRACE_ENV_VAR)
+    if not path:
+        yield None
+        return
+    collector = TraceCollector()
+    try:
+        with collector:
+            yield collector
+    finally:
+        try:
+            write_trace(collector, path, append=True)
+        except OSError as exc:
+            warnings.warn(
+                f"{TRACE_ENV_VAR}: could not write trace to {path!r}: {exc}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
 
 
 def timed_measurement(
@@ -45,14 +88,15 @@ def timed_measurement(
     """
     n = repeats if repeats is not None else bench_repeats()
     times = []
-    try:
-        for _ in range(max(1, n)):
-            with MemoryBudget(gigabytes=budget_gb):
-                tick = time.perf_counter()
-                fn()
-                times.append(time.perf_counter() - tick)
-    except MemoryLimitError as exc:
-        return Measurement.out_of_memory(note=exc.label)
+    with maybe_trace():
+        try:
+            for _ in range(max(1, n)):
+                with MemoryBudget(gigabytes=budget_gb):
+                    tick = time.perf_counter()
+                    fn()
+                    times.append(time.perf_counter() - tick)
+        except MemoryLimitError as exc:
+            return Measurement.out_of_memory(note=exc.label)
     return Measurement.from_seconds(sum(times) / len(times))
 
 

@@ -23,6 +23,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..obs import trace as _trace
 from ..runtime.budget import release_bytes, request_bytes
 from ..symmetry.combinatorics import dense_size, sym_storage_size
 from ._segment import scatter_add_rows, segment_sum_by_ptr
@@ -121,19 +122,28 @@ def lattice_ttmc(
     elif plan.order != order:
         raise ValueError("plan order does not match indices")
 
-    for start, stop, lattice in plan.batches:
-        _accumulate_batch(
-            lattice,
-            values[start:stop],
-            factor,
-            rank,
-            intermediate,
-            out,
-            stats,
-            block_bytes,
-        )
-        if stats is not None:
-            stats.batches += 1
+    with _trace.span(
+        "lattice_ttmc",
+        intermediate=intermediate,
+        order=order,
+        unnz=unnz,
+        rank=rank,
+        dim=dim,
+    ):
+        for start, stop, lattice in plan.batches:
+            with _trace.span("lattice.batch", nz_start=start, nz_stop=stop):
+                _accumulate_batch(
+                    lattice,
+                    values[start:stop],
+                    factor,
+                    rank,
+                    intermediate,
+                    out,
+                    stats,
+                    block_bytes,
+                )
+            if stats is not None:
+                stats.batches += 1
     return out
 
 
@@ -152,31 +162,53 @@ def _accumulate_batch(
     k_prev = factor[lattice.leaf_values]
     k_prev_label = "K level 1"
     request_bytes(k_prev.nbytes, k_prev_label)
+    collector = _trace.active_collector()
     for level in range(2, order):
         layout = layout_for(intermediate, level, rank)
         edges = lattice.levels[level]
         label = f"K level {level}"
-        request_bytes(edges.n_nodes * layout.size * 8, label)
-        k_cur = np.empty((edges.n_nodes, layout.size), dtype=np.float64)
-        _compute_level(k_cur, k_prev, factor, edges, layout, block_bytes)
+        with _trace.span(
+            "lattice.level",
+            level=level,
+            nodes=edges.n_nodes,
+            edges=edges.n_edges,
+            entry_size=layout.size,
+        ):
+            request_bytes(edges.n_nodes * layout.size * 8, label)
+            k_cur = np.empty((edges.n_nodes, layout.size), dtype=np.float64)
+            _compute_level(k_cur, k_prev, factor, edges, layout, block_bytes)
         if stats is not None:
             stats.add_level(level, edges.n_nodes, edges.n_edges, layout.size)
+        if collector is not None:
+            collector.metrics.counter(f"lattice.flops.level_{level}").inc(
+                (2 * edges.n_edges - edges.n_nodes) * layout.size
+            )
+            collector.metrics.histogram("lattice.level_entries").observe(
+                edges.n_nodes * layout.size
+            )
         release_bytes(k_prev.nbytes, k_prev_label)
         k_prev, k_prev_label = k_cur, label
 
     # Top level: scale by non-zero values, scatter into output rows.
     top = lattice.levels[order]
     assert top.node is not None, "top lattice level must retain parent ids"
-    row_bytes = k_prev.shape[1] * 8
-    edge_block = max(1, block_bytes // max(2 * row_bytes, 1))
-    n_edges = top.n_edges
-    for estart in range(0, n_edges, edge_block):
-        estop = min(estart + edge_block, n_edges)
-        sl = slice(estart, estop)
-        contrib = k_prev[top.child[sl]] * values[top.node[sl], None]
-        scatter_add_rows(out, top.value[sl], contrib)
+    with _trace.span(
+        "lattice.scatter", edges=top.n_edges, entry_size=k_prev.shape[1]
+    ):
+        row_bytes = k_prev.shape[1] * 8
+        edge_block = max(1, block_bytes // max(2 * row_bytes, 1))
+        n_edges = top.n_edges
+        for estart in range(0, n_edges, edge_block):
+            estop = min(estart + edge_block, n_edges)
+            sl = slice(estart, estop)
+            contrib = k_prev[top.child[sl]] * values[top.node[sl], None]
+            scatter_add_rows(out, top.value[sl], contrib)
     if stats is not None:
         stats.add_scatter(n_edges, k_prev.shape[1])
+    if collector is not None:
+        collector.metrics.counter("lattice.scatter_flops").inc(
+            2 * n_edges * k_prev.shape[1]
+        )
     release_bytes(k_prev.nbytes, k_prev_label)
 
 

@@ -15,6 +15,7 @@ import numpy as np
 from ..formats.css import CSSTensor
 from ..formats.partial_sym import PartiallySymmetricTensor
 from ..formats.ucoo import SparseSymmetricTensor
+from ..obs import trace as _trace
 from .engine import DEFAULT_BLOCK_BYTES, lattice_ttmc
 from .plan import TTMcPlan, get_plan
 from .stats import KernelStats
@@ -84,18 +85,27 @@ def s3ttmc(
         raise ValueError("S³TTMc requires tensor order >= 2")
     if plan is None:
         plan = get_plan(ucoo, memoize, nz_batch_size)
-    data = lattice_ttmc(
-        ucoo.indices,
-        ucoo.values,
-        ucoo.dim,
-        factor,
-        intermediate="compact",
+    with _trace.span(
+        "s3ttmc",
+        kernel="symprop",
+        order=ucoo.order,
+        dim=ucoo.dim,
+        unnz=ucoo.unnz,
+        rank=factor.shape[1],
         memoize=memoize,
-        stats=stats,
-        nz_batch_size=nz_batch_size,
-        block_bytes=block_bytes,
-        plan=plan,
-    )
+    ):
+        data = lattice_ttmc(
+            ucoo.indices,
+            ucoo.values,
+            ucoo.dim,
+            factor,
+            intermediate="compact",
+            memoize=memoize,
+            stats=stats,
+            nz_batch_size=nz_batch_size,
+            block_bytes=block_bytes,
+            plan=plan,
+        )
     return PartiallySymmetricTensor(
         ucoo.dim, ucoo.order - 1, factor.shape[1], data
     )

@@ -19,6 +19,7 @@ from typing import Optional
 import numpy as np
 
 from ..formats.partial_sym import PartiallySymmetricTensor
+from ..obs import trace as _trace
 from .engine import DEFAULT_BLOCK_BYTES
 from .s3ttmc import SymmetricInput, s3ttmc
 from .stats import KernelStats
@@ -66,10 +67,13 @@ def times_core(
         raise ValueError(
             f"factor must be ({y.nrows}, {y.sym_dim}), got {factor.shape}"
         )
-    core = y.mode1_ttm(factor)  # C_p(1) = Uᵀ Y_p(1)
-    p = core.multiplicities()
-    scaled_core_t = core.data.T * p[:, None]  # M C_p(1)ᵀ, (S, R)
-    a = y.data @ scaled_core_t  # Y_p(1) M C_p(1)ᵀ, (I, R)
+    with _trace.span(
+        "times_core", nrows=y.nrows, rank=y.sym_dim, sym_size=y.sym_size
+    ):
+        core = y.mode1_ttm(factor)  # C_p(1) = Uᵀ Y_p(1)
+        p = core.multiplicities()
+        scaled_core_t = core.data.T * p[:, None]  # M C_p(1)ᵀ, (S, R)
+        a = y.data @ scaled_core_t  # Y_p(1) M C_p(1)ᵀ, (I, R)
     if stats is not None:
         s = y.sym_size
         rank = y.sym_dim

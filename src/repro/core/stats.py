@@ -61,7 +61,9 @@ class KernelStats:
         self.level_flops[level] = self.level_flops.get(level, 0) + flops
         self.level_nodes[level] = self.level_nodes.get(level, 0) + nodes
         self.level_edges[level] = self.level_edges.get(level, 0) + edges
-        self.intermediate_bytes = max(self.intermediate_bytes, 0) + nodes * entry_size * 8
+        # Peak single-level K footprint, matching merge()'s max semantics —
+        # levels are materialized one at a time, so their bytes never sum.
+        self.intermediate_bytes = max(self.intermediate_bytes, nodes * entry_size * 8)
 
     def add_scatter(self, edges: int, entry_size: int) -> None:
         """Record the value-scaled accumulation into output rows."""

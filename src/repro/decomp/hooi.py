@@ -24,6 +24,7 @@ import scipy.linalg
 from ..core.s3ttmc import SymmetricInput, _as_ucoo, s3ttmc
 from ..core.stats import KernelStats
 from ..formats.partial_sym import PartiallySymmetricTensor
+from ..obs import trace as _trace
 from ..runtime.budget import release_bytes, request_bytes
 from ..runtime.timer import PhaseTimer
 from .hosvd import initialize
@@ -117,56 +118,63 @@ def hooi(
     prev_objective = np.inf
     converged = False
     for _iteration in range(max_iters):
-        with timer.phase("s3ttmc"):
-            if kernel == "symprop":
-                y = s3ttmc(
-                    ucoo,
-                    factor,
-                    memoize=memoize,
-                    stats=stats,
-                    nz_batch_size=nz_batch_size,
-                )
-            else:
-                from ..baselines.css_ttmc import css_s3ttmc
-
-                y_full = css_s3ttmc(
-                    ucoo,
-                    factor,
-                    memoize=memoize,
-                    stats=stats,
-                    nz_batch_size=nz_batch_size,
-                )
-                # Compact for downstream steps (CSS-HOOI still runs SVD on
-                # the full matrix; keep y_full for that path).
-        with timer.phase("svd"):
-            if kernel == "symprop":
-                if svd_method == "expand":
-                    factor = _leading_left_singular_vectors_expand(y, rank)
+        with _trace.span(
+            "hooi.iteration",
+            iteration=_iteration,
+            kernel=kernel,
+            svd_method=svd_method,
+            rank=rank,
+        ):
+            with timer.phase("s3ttmc"):
+                if kernel == "symprop":
+                    y = s3ttmc(
+                        ucoo,
+                        factor,
+                        memoize=memoize,
+                        stats=stats,
+                        nz_batch_size=nz_batch_size,
+                    )
                 else:
-                    factor = _leading_left_singular_vectors_gram(y, rank)
-            else:
-                u, _s, _vt = scipy.linalg.svd(y_full, full_matrices=False)
-                factor = u[:, :rank].copy()
-        with timer.phase("core"):
-            if kernel == "symprop":
-                core = y.mode1_ttm(factor)
-            else:
-                c1 = factor.T @ y_full
-                # Compact the full core for uniform objective computation.
-                from ..symmetry.expansion import compact_from_full
+                    from ..baselines.css_ttmc import css_s3ttmc
 
-                core_data = compact_from_full(
-                    c1, ucoo.order - 1, rank, check_symmetry=False
+                    y_full = css_s3ttmc(
+                        ucoo,
+                        factor,
+                        memoize=memoize,
+                        stats=stats,
+                        nz_batch_size=nz_batch_size,
+                    )
+                    # Compact for downstream steps (CSS-HOOI still runs SVD on
+                    # the full matrix; keep y_full for that path).
+            with timer.phase("svd"):
+                if kernel == "symprop":
+                    if svd_method == "expand":
+                        factor = _leading_left_singular_vectors_expand(y, rank)
+                    else:
+                        factor = _leading_left_singular_vectors_gram(y, rank)
+                else:
+                    u, _s, _vt = scipy.linalg.svd(y_full, full_matrices=False)
+                    factor = u[:, :rank].copy()
+            with timer.phase("core"):
+                if kernel == "symprop":
+                    core = y.mode1_ttm(factor)
+                else:
+                    c1 = factor.T @ y_full
+                    # Compact the full core for uniform objective computation.
+                    from ..symmetry.expansion import compact_from_full
+
+                    core_data = compact_from_full(
+                        c1, ucoo.order - 1, rank, check_symmetry=False
+                    )
+                    core = PartiallySymmetricTensor(
+                        rank, ucoo.order - 1, rank, core_data
+                    )
+            with timer.phase("objective"):
+                core_norm_sq = core.norm_squared()
+                objective = norm_x_squared - core_norm_sq
+                trace.record(
+                    objective, relative_error(norm_x_squared, core), core_norm_sq
                 )
-                core = PartiallySymmetricTensor(
-                    rank, ucoo.order - 1, rank, core_data
-                )
-        with timer.phase("objective"):
-            core_norm_sq = core.norm_squared()
-            objective = norm_x_squared - core_norm_sq
-            trace.record(
-                objective, relative_error(norm_x_squared, core), core_norm_sq
-            )
         if prev_objective - objective <= tol * max(norm_x_squared, 1e-300):
             converged = True
             break

@@ -21,6 +21,7 @@ from ..core.s3ttmc import SymmetricInput, _as_ucoo, s3ttmc
 from ..core.s3ttmc_tc import times_core
 from ..core.stats import KernelStats
 from ..formats.partial_sym import PartiallySymmetricTensor
+from ..obs import trace as _trace
 from ..runtime.timer import PhaseTimer
 from ..symmetry.expansion import compact_from_full
 from .hosvd import initialize
@@ -77,38 +78,41 @@ def hoqri(
     converged = False
     a: Optional[np.ndarray] = None
     for _iteration in range(max_iters):
-        # QR at the top of the body (from the previous iteration's A) keeps
-        # the returned (factor, core, objective) triple consistent: on exit
-        # `core` was computed with the current `factor`.
-        if a is not None:
-            with timer.phase("qr"):
-                factor = _qr_orthonormal(a)
-        if kernel == "symprop":
-            with timer.phase("s3ttmc"):
-                y = s3ttmc(
-                    ucoo,
-                    factor,
-                    memoize=memoize,
-                    stats=stats,
-                    nz_batch_size=nz_batch_size,
+        with _trace.span(
+            "hoqri.iteration", iteration=_iteration, kernel=kernel, rank=rank
+        ):
+            # QR at the top of the body (from the previous iteration's A)
+            # keeps the returned (factor, core, objective) triple consistent:
+            # on exit `core` was computed with the current `factor`.
+            if a is not None:
+                with timer.phase("qr"):
+                    factor = _qr_orthonormal(a)
+            if kernel == "symprop":
+                with timer.phase("s3ttmc"):
+                    y = s3ttmc(
+                        ucoo,
+                        factor,
+                        memoize=memoize,
+                        stats=stats,
+                        nz_batch_size=nz_batch_size,
+                    )
+                with timer.phase("times_core"):
+                    result = times_core(y, factor, stats=stats)
+                core = result.core
+                a = result.a
+            else:
+                with timer.phase("nary"):
+                    a, c1 = nary_hoqri_step(ucoo, factor, stats=stats)
+                core_data = compact_from_full(
+                    c1, ucoo.order - 1, rank, check_symmetry=False
                 )
-            with timer.phase("times_core"):
-                result = times_core(y, factor, stats=stats)
-            core = result.core
-            a = result.a
-        else:
-            with timer.phase("nary"):
-                a, c1 = nary_hoqri_step(ucoo, factor, stats=stats)
-            core_data = compact_from_full(
-                c1, ucoo.order - 1, rank, check_symmetry=False
-            )
-            core = PartiallySymmetricTensor(rank, ucoo.order - 1, rank, core_data)
-        with timer.phase("objective"):
-            core_norm_sq = core.norm_squared()
-            objective = norm_x_squared - core_norm_sq
-            trace.record(
-                objective, relative_error(norm_x_squared, core), core_norm_sq
-            )
+                core = PartiallySymmetricTensor(rank, ucoo.order - 1, rank, core_data)
+            with timer.phase("objective"):
+                core_norm_sq = core.norm_squared()
+                objective = norm_x_squared - core_norm_sq
+                trace.record(
+                    objective, relative_error(norm_x_squared, core), core_norm_sq
+                )
         if prev_objective - objective <= tol * max(norm_x_squared, 1e-300):
             converged = True
             break

@@ -1,0 +1,58 @@
+"""Unified observability: span tracing, metrics, JSONL export, rollups.
+
+The measurement substrate behind every "where did the time/memory go?"
+question in this reproduction. Three pieces:
+
+* :mod:`repro.obs.trace` — hierarchical spans with an ambient collector
+  (near-zero overhead when disabled; thread-local span stacks).
+* :mod:`repro.obs.metrics` — counters, gauges, fixed-bucket histograms.
+* :mod:`repro.obs.export` — JSONL writer/reader and the per-phase /
+  per-lattice-level rollup (``python -m repro.obs summarize``).
+
+Wired in end-to-end: the lattice engine emits per-level spans, the
+decomposition loops emit per-iteration spans, ``PhaseTimer`` phases are
+spans, the memory budget emits request/release events, the parallel
+executor tags spans with worker/chunk ids, and the bench harness honours
+``REPRO_TRACE=path.jsonl``. See ``docs/observability.md``.
+"""
+
+from .export import (
+    TraceRecords,
+    TraceSummary,
+    read_trace,
+    render_summary,
+    summarize,
+    write_trace,
+)
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .trace import (
+    Span,
+    TraceCollector,
+    TraceEvent,
+    active_collector,
+    current_span_id,
+    event,
+    span,
+    tracing_enabled,
+)
+
+__all__ = [
+    "Span",
+    "TraceEvent",
+    "TraceCollector",
+    "active_collector",
+    "current_span_id",
+    "event",
+    "span",
+    "tracing_enabled",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "TraceRecords",
+    "TraceSummary",
+    "read_trace",
+    "render_summary",
+    "summarize",
+    "write_trace",
+]

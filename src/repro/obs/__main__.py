@@ -1,0 +1,47 @@
+"""Trace-file tooling.
+
+Usage::
+
+    python -m repro.obs summarize trace.jsonl
+    python -m repro.obs summarize trace.jsonl --title "hooi run"
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .export import read_trace, render_summary, summarize
+
+
+def main(argv: list | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Inspect JSONL traces written by repro.obs.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    p_sum = sub.add_parser(
+        "summarize", help="per-phase / per-lattice-level rollup of a trace"
+    )
+    p_sum.add_argument("trace", help="path to a JSONL trace file")
+    p_sum.add_argument("--title", default=None, help="table title override")
+    args = parser.parse_args(argv)
+
+    if args.command == "summarize":
+        path = Path(args.trace)
+        if not path.is_file():
+            print(f"trace file not found: {path}", file=sys.stderr)
+            return 2
+        records = read_trace(path)
+        if not records.spans and not records.events:
+            print(f"no trace records in {path}", file=sys.stderr)
+            return 1
+        title = args.title if args.title is not None else path.name
+        print(render_summary(summarize(records), title=title))
+        return 0
+    return 2  # pragma: no cover - argparse enforces the subcommand
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,322 @@
+"""Span-based tracing with an ambient collector.
+
+The tracer answers the question the paper's whole evaluation revolves
+around — *where did the time and memory go?* — with hierarchical spans:
+a ``hooi`` run contains iteration spans, iterations contain phase spans,
+phases contain per-lattice-level spans, levels carry node/edge/entry
+attributes. Point-in-time ``event`` records (budget requests/releases)
+interleave with spans.
+
+Design constraints, in order:
+
+1. **Near-zero overhead when disabled.** Kernels call :func:`span` on hot
+   paths (once per lattice level per batch). With no active collector the
+   call is one module-global load, one ``is None`` test and the return of
+   a shared no-op singleton — no allocation, no clock read.
+2. **Thread-correct nesting.** The *collector* is process-wide (worker
+   threads report into the measurement installed by the driving thread)
+   but the *open-span stack* is thread-local, so concurrent workers never
+   corrupt each other's parent chains. Cross-thread parentage is explicit:
+   the submitting thread captures :func:`current_span_id` and passes it as
+   ``parent_id`` (see :mod:`repro.parallel.executor`).
+3. **Nestable scopes.** Collectors stack like ``MemoryBudget``; the
+   innermost one receives the records.
+
+Usage::
+
+    from repro.obs import TraceCollector, span
+
+    with TraceCollector() as col:
+        with span("s3ttmc", kernel="symprop"):
+            ...
+    col.spans   # finished Span records, tree via span_id/parent_id
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from .metrics import MetricsRegistry
+
+__all__ = [
+    "Span",
+    "TraceEvent",
+    "TraceCollector",
+    "active_collector",
+    "tracing_enabled",
+    "span",
+    "begin_span",
+    "finish_span",
+    "event",
+    "current_span_id",
+]
+
+
+@dataclass(eq=False)  # identity semantics: attrs may hold non-comparable values
+class Span:
+    """One finished (or open) span: a named, attributed time interval."""
+
+    name: str
+    span_id: int
+    parent_id: Optional[int]
+    start: float
+    end: float = 0.0
+    thread: str = ""
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def seconds(self) -> float:
+        return max(0.0, self.end - self.start)
+
+    def set_attr(self, key: str, value: Any) -> None:
+        self.attrs[key] = value
+
+
+@dataclass
+class TraceEvent:
+    """A point-in-time record (e.g. one budget request)."""
+
+    name: str
+    timestamp: float
+    parent_id: Optional[int]
+    thread: str = ""
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+
+class TraceCollector:
+    """Receives spans/events; install with ``with`` to make it ambient.
+
+    Attributes
+    ----------
+    spans:
+        Finished spans in completion order (children precede parents).
+    events:
+        Point events in emission order.
+    metrics:
+        A :class:`~repro.obs.metrics.MetricsRegistry` scoped to this
+        collector's lifetime (per-level flop counters, budget gauges, …).
+    """
+
+    def __init__(self) -> None:
+        self.spans: List[Span] = []
+        self.events: List[TraceEvent] = []
+        self.metrics = MetricsRegistry()
+        self._lock = threading.Lock()
+        self._next_id = 0
+
+    # -- record sinks (called by the span machinery) ----------------------
+    def allocate_id(self) -> int:
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+            return span_id
+
+    def record_span(self, span: Span) -> None:
+        with self._lock:
+            self.spans.append(span)
+
+    def record_event(self, evt: TraceEvent) -> None:
+        with self._lock:
+            self.events.append(evt)
+
+    # -- queries ----------------------------------------------------------
+    def roots(self) -> List[Span]:
+        return [s for s in self.spans if s.parent_id is None]
+
+    def children(self, span_id: int) -> List[Span]:
+        return [s for s in self.spans if s.parent_id == span_id]
+
+    def find(self, name: str) -> List[Span]:
+        return [s for s in self.spans if s.name == name]
+
+    # -- scope management --------------------------------------------------
+    def __enter__(self) -> "TraceCollector":
+        global _ACTIVE
+        with _INSTALL_LOCK:
+            _COLLECTORS.append(self)
+            _ACTIVE = self
+        return self
+
+    def __exit__(self, *exc) -> None:
+        global _ACTIVE
+        with _INSTALL_LOCK:
+            if self in _COLLECTORS:
+                _COLLECTORS.remove(self)
+            _ACTIVE = _COLLECTORS[-1] if _COLLECTORS else None
+
+
+_INSTALL_LOCK = threading.Lock()
+_COLLECTORS: List[TraceCollector] = []
+#: Fast-path cache of the innermost collector (``None`` = tracing off).
+_ACTIVE: Optional[TraceCollector] = None
+
+_STACKS = threading.local()
+
+
+def _stack() -> List[Span]:
+    stack = getattr(_STACKS, "stack", None)
+    if stack is None:
+        stack = []
+        _STACKS.stack = stack
+    return stack
+
+
+def active_collector() -> Optional[TraceCollector]:
+    """Innermost installed collector, or ``None`` when tracing is off."""
+    return _ACTIVE
+
+
+def tracing_enabled() -> bool:
+    """``True`` when a collector is installed (one global load — hot-path
+    safe as a guard before building attribute dicts)."""
+    return _ACTIVE is not None
+
+
+def current_span_id() -> Optional[int]:
+    """Id of the innermost open span on *this* thread (for explicit
+    cross-thread parenting), or ``None``."""
+    stack = _stack()
+    return stack[-1].span_id if stack else None
+
+
+class _NullSpan:
+    """Shared do-nothing span for the disabled path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def set_attr(self, key: str, value: Any) -> None:
+        pass
+
+    @property
+    def attrs(self) -> Dict[str, Any]:
+        return {}
+
+
+_NULL_SPAN = _NullSpan()
+
+
+def begin_span(
+    name: str,
+    attrs: Optional[Dict[str, Any]] = None,
+    *,
+    parent_id: Optional[int] = None,
+) -> Optional[Span]:
+    """Open a span imperatively; returns ``None`` when tracing is off.
+
+    For callers that need the span's exact clock readings (e.g.
+    :class:`repro.runtime.timer.PhaseTimer`, whose totals must agree with
+    the trace rollup to the clock tick). Pair with :func:`finish_span`.
+    """
+    collector = _ACTIVE
+    if collector is None:
+        return None
+    stack = _stack()
+    parent = parent_id
+    if parent is None and stack:
+        parent = stack[-1].span_id
+    s = Span(
+        name=name,
+        span_id=collector.allocate_id(),
+        parent_id=parent,
+        start=time.perf_counter(),
+        thread=threading.current_thread().name,
+        attrs=attrs if attrs is not None else {},
+    )
+    s._collector = collector  # type: ignore[attr-defined]
+    stack.append(s)
+    return s
+
+
+def finish_span(s: Span, end: Optional[float] = None) -> None:
+    """Close a span from :func:`begin_span`, optionally at a caller-read
+    ``perf_counter`` timestamp (shared-clock agreement)."""
+    s.end = end if end is not None else time.perf_counter()
+    stack = _stack()
+    if stack and stack[-1] is s:
+        stack.pop()
+    elif s in stack:  # tolerate misnested exits rather than corrupting
+        stack.remove(s)
+    collector = getattr(s, "_collector", None) or _ACTIVE
+    if collector is not None:
+        collector.record_span(s)
+
+
+class _LiveSpan:
+    """Context manager materializing one :class:`Span` into a collector."""
+
+    __slots__ = ("_collector", "_parent_id", "span", "_name", "_attrs")
+
+    def __init__(
+        self,
+        collector: TraceCollector,
+        name: str,
+        parent_id: Optional[int],
+        attrs: Dict[str, Any],
+    ) -> None:
+        self._collector = collector
+        self._name = name
+        self._parent_id = parent_id
+        self._attrs = attrs
+        self.span: Optional[Span] = None
+
+    def __enter__(self) -> Span:
+        s = begin_span(self._name, self._attrs, parent_id=self._parent_id)
+        if s is None:  # collector exited between span() and __enter__
+            s = Span(
+                name=self._name,
+                span_id=self._collector.allocate_id(),
+                parent_id=self._parent_id,
+                start=time.perf_counter(),
+                thread=threading.current_thread().name,
+                attrs=self._attrs,
+            )
+            s._collector = self._collector  # type: ignore[attr-defined]
+            _stack().append(s)
+        self.span = s
+        return s
+
+    def __exit__(self, *exc) -> bool:
+        s = self.span
+        assert s is not None
+        finish_span(s)
+        return False
+
+
+def span(name: str, *, parent_id: Optional[int] = None, **attrs: Any):
+    """Open a span under the ambient collector (no-op when tracing is off).
+
+    ``parent_id`` overrides the thread-local parent — pass the submitting
+    thread's :func:`current_span_id` when crossing into a worker thread.
+    """
+    collector = _ACTIVE
+    if collector is None:
+        return _NULL_SPAN
+    return _LiveSpan(collector, name, parent_id, attrs)
+
+
+def event(name: str, *, parent_id: Optional[int] = None, **attrs: Any) -> None:
+    """Record a point-in-time event (no-op when tracing is off)."""
+    collector = _ACTIVE
+    if collector is None:
+        return
+    stack = _stack()
+    if parent_id is None and stack:
+        parent_id = stack[-1].span_id
+    collector.record_event(
+        TraceEvent(
+            name=name,
+            timestamp=time.perf_counter(),
+            parent_id=parent_id,
+            thread=threading.current_thread().name,
+            attrs=attrs,
+        )
+    )

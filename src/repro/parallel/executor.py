@@ -12,6 +12,7 @@ measure per-chunk costs that feed the Figure-6 scaling simulator
 
 from __future__ import annotations
 
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
@@ -22,6 +23,7 @@ import numpy as np
 from ..core.engine import lattice_ttmc
 from ..core.s3ttmc import SymmetricInput, _as_ucoo
 from ..formats.partial_sym import PartiallySymmetricTensor
+from ..obs import trace as _trace
 from ..symmetry.combinatorics import sym_storage_size
 from .partition import balanced_partition, estimate_nonzero_costs
 
@@ -55,31 +57,47 @@ def parallel_s3ttmc(
     cols = sym_storage_size(ucoo.order - 1, rank)
 
     chunk_seconds = [0.0] * len(ranges)
+    # Worker threads have their own (empty) span stacks; parent their chunk
+    # spans on the submitting thread's current span explicitly. Assigned
+    # inside the parallel.s3ttmc span below, read by the closure at call time.
+    parent_span = None
 
     def run(slot: int) -> np.ndarray:
         start, stop = ranges[slot]
-        tick = time.perf_counter()
-        partial = lattice_ttmc(
-            ucoo.indices[start:stop],
-            ucoo.values[start:stop],
-            ucoo.dim,
-            factor,
-            intermediate="compact",
-            memoize=memoize,
-        )
-        chunk_seconds[slot] = time.perf_counter() - tick
+        with _trace.span(
+            "parallel.chunk",
+            parent_id=parent_span,
+            chunk=slot,
+            nz_start=start,
+            nz_stop=stop,
+        ) as chunk_span:
+            chunk_span.set_attr("worker", threading.current_thread().name)
+            tick = time.perf_counter()
+            partial = lattice_ttmc(
+                ucoo.indices[start:stop],
+                ucoo.values[start:stop],
+                ucoo.dim,
+                factor,
+                intermediate="compact",
+                memoize=memoize,
+            )
+            chunk_seconds[slot] = time.perf_counter() - tick
         return partial
 
-    tick = time.perf_counter()
-    if len(ranges) <= 1:
-        partials = [run(i) for i in range(len(ranges))]
-    else:
-        with ThreadPoolExecutor(max_workers=n_workers) as pool:
-            partials = list(pool.map(run, range(len(ranges))))
-    elapsed = time.perf_counter() - tick
-    data = np.zeros((ucoo.dim, cols), dtype=np.float64)
-    for partial in partials:
-        data += partial
+    with _trace.span(
+        "parallel.s3ttmc", n_workers=n_workers, n_chunks=len(ranges)
+    ):
+        parent_span = _trace.current_span_id()
+        tick = time.perf_counter()
+        if len(ranges) <= 1:
+            partials = [run(i) for i in range(len(ranges))]
+        else:
+            with ThreadPoolExecutor(max_workers=n_workers) as pool:
+                partials = list(pool.map(run, range(len(ranges))))
+        elapsed = time.perf_counter() - tick
+        data = np.zeros((ucoo.dim, cols), dtype=np.float64)
+        for partial in partials:
+            data += partial
     if report is not None:
         report.n_workers = n_workers
         report.ranges = ranges

@@ -25,6 +25,8 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional
 
+from ..obs import trace as _trace
+
 __all__ = [
     "MemoryLimitError",
     "MemoryBudget",
@@ -88,10 +90,26 @@ class MemoryBudget:
             raise ValueError("nbytes must be >= 0")
         with self._lock:
             if self.limit_bytes is not None and self.in_use + nbytes > self.limit_bytes:
+                if _trace.tracing_enabled():
+                    _trace.event(
+                        "budget.refused",
+                        label=label,
+                        nbytes=nbytes,
+                        in_use=self.in_use,
+                        limit=self.limit_bytes,
+                    )
                 raise MemoryLimitError(label, nbytes, self.limit_bytes, self.in_use)
             self.in_use += nbytes
             self.peak = max(self.peak, self.in_use)
             self.allocations[label] = self.allocations.get(label, 0) + nbytes
+            in_use, peak = self.in_use, self.peak
+        collector = _trace.active_collector()
+        if collector is not None:
+            _trace.event(
+                "budget.request", label=label, nbytes=nbytes, in_use=in_use
+            )
+            collector.metrics.gauge("budget.peak_bytes").update_max(peak)
+            collector.metrics.counter("budget.requests").inc()
 
     def release(self, nbytes: int, label: str = "array") -> None:
         """Return previously requested bytes to the budget."""
@@ -104,6 +122,11 @@ class MemoryBudget:
                     del self.allocations[label]
                 else:
                     self.allocations[label] = remaining
+            in_use = self.in_use
+        if _trace.tracing_enabled():
+            _trace.event(
+                "budget.release", label=label, nbytes=nbytes, in_use=in_use
+            )
 
     # -- scope management --------------------------------------------------
     def __enter__(self) -> "MemoryBudget":
@@ -134,17 +157,26 @@ def current_budget() -> Optional[MemoryBudget]:
 
 
 def request_bytes(nbytes: int, label: str = "array") -> None:
-    """Declare ``nbytes`` against the active budget (no-op without one)."""
+    """Declare ``nbytes`` against the active budget.
+
+    Without a budget this only emits a trace event (and nothing at all
+    when tracing is off), so traces still capture allocation declarations
+    from budget-less runs.
+    """
     budget = current_budget()
     if budget is not None:
         budget.request(nbytes, label)
+    elif _trace.tracing_enabled():
+        _trace.event("budget.request", label=label, nbytes=int(nbytes))
 
 
 def release_bytes(nbytes: int, label: str = "array") -> None:
-    """Release ``nbytes`` from the active budget (no-op without one)."""
+    """Release ``nbytes`` from the active budget (see :func:`request_bytes`)."""
     budget = current_budget()
     if budget is not None:
         budget.release(nbytes, label)
+    elif _trace.tracing_enabled():
+        _trace.event("budget.release", label=label, nbytes=int(nbytes))
 
 
 @contextmanager

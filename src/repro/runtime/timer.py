@@ -3,6 +3,11 @@
 A :class:`PhaseTimer` accumulates wall-clock time per named phase across
 repeated entries — e.g. "s3ttmc", "svd", "qr", "core", "objective" inside a
 Tucker iteration loop — and reports totals and percentage breakdowns.
+
+Since the :mod:`repro.obs` layer landed, the timer is a thin *consumer*
+of the tracer: every ``phase(name)`` scope also opens a ``phase:<name>``
+span under the ambient collector (a no-op when tracing is off), so the
+``repro.obs summarize`` rollup and the timer report the same numbers.
 """
 
 from __future__ import annotations
@@ -11,6 +16,8 @@ import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, Iterator
+
+from ..obs import trace as _trace
 
 __all__ = ["PhaseTimer", "Stopwatch"]
 
@@ -32,13 +39,18 @@ class PhaseTimer:
 
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
-        start = time.perf_counter()
+        # Timer and trace span share the same two clock readings, so the
+        # `repro.obs summarize` rollup agrees with breakdown() exactly.
+        live = _trace.begin_span("phase:" + name, {"phase": name})
+        start = live.start if live is not None else time.perf_counter()
         try:
             yield
         finally:
-            elapsed = time.perf_counter() - start
-            self.totals[name] = self.totals.get(name, 0.0) + elapsed
+            end = time.perf_counter()
+            self.totals[name] = self.totals.get(name, 0.0) + (end - start)
             self.counts[name] = self.counts.get(name, 0) + 1
+            if live is not None:
+                _trace.finish_span(live, end)
 
     def add(self, name: str, seconds: float) -> None:
         """Record externally measured time under ``name``."""
@@ -57,9 +69,17 @@ class PhaseTimer:
         return {name: 100.0 * t / total for name, t in self.totals.items()}
 
     def merge(self, other: "PhaseTimer") -> None:
+        """Fold ``other``'s totals *and* counts into this timer.
+
+        Totals and counts merge independently: a phase present in
+        ``other.totals`` but absent from ``other.counts`` (external
+        ``totals`` mutation) contributes time but no entries, instead of
+        the phantom ``+1`` the old implementation invented.
+        """
         for name, t in other.totals.items():
-            self.add(name, t)
-            self.counts[name] += other.counts.get(name, 1) - 1
+            self.totals[name] = self.totals.get(name, 0.0) + t
+        for name, c in other.counts.items():
+            self.counts[name] = self.counts.get(name, 0) + c
 
 
 class Stopwatch:

@@ -110,3 +110,44 @@ class TestModelProperties:
         from repro.perfmodel.complexity import qr_cost, svd_cost
 
         assert svd_cost(60_000, 8, 10) > 1000 * qr_cost(60_000, 10)
+
+
+class TestKernelStatsAccounting:
+    def test_intermediate_bytes_is_peak_not_sum(self):
+        """Regression: levels are materialized one at a time, so the K
+        footprint is the *largest* level, not the running sum."""
+        stats = KernelStats()
+        stats.add_level(2, nodes=100, edges=200, entry_size=6)   # 4.8 KB
+        stats.add_level(3, nodes=50, edges=150, entry_size=56)   # 22.4 KB
+        stats.add_level(4, nodes=10, edges=40, entry_size=126)   # 10.08 KB
+        assert stats.intermediate_bytes == 50 * 56 * 8  # peak level only
+
+    def test_intermediate_bytes_matches_merge_semantics(self):
+        """add_level on one stats object must equal merge of per-level
+        stats objects (merge already took the max)."""
+        combined = KernelStats()
+        parts = []
+        for level, nodes, size in [(2, 30, 6), (3, 80, 20), (4, 5, 70)]:
+            combined.add_level(level, nodes, 2 * nodes, size)
+            part = KernelStats()
+            part.add_level(level, nodes, 2 * nodes, size)
+            parts.append(part)
+        merged = KernelStats()
+        for part in parts:
+            merged.merge(part)
+        assert merged.intermediate_bytes == combined.intermediate_bytes
+
+    def test_kernel_peak_footprint_bounded_by_model(self, rng):
+        """End-to-end: the recorded peak is one level's array, so it is no
+        larger than the closed-form per-level bound."""
+        from repro.symmetry.combinatorics import sym_storage_size
+
+        x = make_random_tensor(5, 12, 30, rng)
+        u = rng.random((12, 3))
+        stats = KernelStats()
+        s3ttmc(x, u, stats=stats)
+        worst = max(
+            stats.level_nodes[level] * sym_storage_size(level, 3) * 8
+            for level in stats.level_nodes
+        )
+        assert stats.intermediate_bytes == worst

@@ -1,0 +1,417 @@
+"""Tests for the repro.obs observability layer.
+
+Covers the span tracer (ambient collector, nesting, threads, disabled
+no-op path and its overhead), the metrics registry, JSONL export/import,
+the summarize rollup + CLI, and the end-to-end wiring through kernels,
+decompositions, the budget, the parallel executor and the bench harness.
+"""
+
+import json
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro import hooi, hoqri, random_sparse_symmetric, s3ttmc
+from repro.obs import (
+    MetricsRegistry,
+    TraceCollector,
+    active_collector,
+    read_trace,
+    render_summary,
+    span,
+    summarize,
+    tracing_enabled,
+    write_trace,
+)
+from repro.obs import trace as trace_mod
+from repro.obs.__main__ import main as obs_main
+from tests.conftest import make_random_tensor
+
+
+class TestTracer:
+    def test_disabled_is_noop_singleton(self):
+        assert active_collector() is None
+        assert not tracing_enabled()
+        a = span("anything", foo=1)
+        b = span("else")
+        assert a is b  # shared null span: no allocation when disabled
+        with a as s:
+            s.set_attr("ignored", True)
+        assert s.attrs == {}
+
+    def test_collector_records_span(self):
+        with TraceCollector() as col:
+            assert active_collector() is col
+            with span("work", items=3) as s:
+                assert s.attrs["items"] == 3
+        assert active_collector() is None
+        assert len(col.spans) == 1
+        rec = col.spans[0]
+        assert rec.name == "work"
+        assert rec.parent_id is None
+        assert rec.seconds >= 0.0
+
+    def test_nesting_parent_ids(self):
+        with TraceCollector() as col:
+            with span("outer") as outer:
+                with span("inner") as inner:
+                    pass
+        assert inner.parent_id == outer.span_id
+        assert col.children(outer.span_id) == [inner]
+        assert col.roots() == [outer]
+
+    def test_collectors_nest_like_budgets(self):
+        with TraceCollector() as outer:
+            with span("a"):
+                pass
+            with TraceCollector() as inner:
+                with span("b"):
+                    pass
+            with span("c"):
+                pass
+        assert [s.name for s in outer.spans] == ["a", "c"]
+        assert [s.name for s in inner.spans] == ["b"]
+
+    def test_thread_local_stacks(self):
+        """Worker spans don't inherit the driving thread's stack; explicit
+        parent ids carry the link across threads."""
+        recorded = {}
+
+        def worker(parent_id):
+            with span("chunk", parent_id=parent_id) as s:
+                recorded["implicit_parent"] = trace_mod.current_span_id()
+            recorded["span"] = s
+
+        with TraceCollector():
+            with span("driver") as driver:
+                t = threading.Thread(
+                    target=worker, args=(trace_mod.current_span_id(),)
+                )
+                t.start()
+                t.join()
+        assert recorded["span"].parent_id == driver.span_id
+        # inside the worker, its own span was the innermost
+        assert recorded["implicit_parent"] == recorded["span"].span_id
+        assert recorded["span"].thread != driver.thread
+
+    def test_events_attach_to_open_span(self):
+        with TraceCollector() as col:
+            with span("scope") as s:
+                trace_mod.event("tick", n=1)
+        assert len(col.events) == 1
+        assert col.events[0].parent_id == s.span_id
+        assert col.events[0].attrs == {"n": 1}
+
+    def test_begin_finish_shared_clock(self):
+        with TraceCollector() as col:
+            live = trace_mod.begin_span("manual")
+            end = time.perf_counter()
+            trace_mod.finish_span(live, end)
+        assert col.spans[0].end == end
+
+    def test_exception_still_records(self):
+        with TraceCollector() as col:
+            with pytest.raises(RuntimeError):
+                with span("failing"):
+                    raise RuntimeError("boom")
+        assert col.spans[0].name == "failing"
+        assert col.spans[0].end >= col.spans[0].start
+
+
+class TestMetrics:
+    def test_counter(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.counter("c").inc(4)
+        assert reg.as_dict()["c"] == 5
+        with pytest.raises(ValueError):
+            reg.counter("c").inc(-1)
+
+    def test_gauge_tracks_high_water(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("g")
+        g.set(10)
+        g.set(3)
+        g.update_max(7)
+        flat = reg.as_dict()
+        assert flat["g"] == 3
+        assert flat["g.max"] == 10
+
+    def test_histogram_buckets(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h", buckets=[10, 100, 1000])
+        for v in (1, 10, 11, 5000):
+            h.observe(v)
+        flat = reg.as_dict()
+        assert flat["h.count"] == 4
+        assert flat["h.sum"] == 5022
+        assert flat["h.le_10"] == 2
+        assert flat["h.le_100"] == 3
+        assert flat["h.le_1000"] == 3
+        assert flat["h.le_inf"] == 4
+        assert h.mean == pytest.approx(5022 / 4)
+
+    def test_kind_collision_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+        with pytest.raises(TypeError):
+            reg.histogram("x")
+
+    def test_bad_buckets_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.histogram("bad", buckets=[3, 1, 2])
+
+    def test_thread_safety(self):
+        reg = MetricsRegistry()
+
+        def bump():
+            for _ in range(1000):
+                reg.counter("n").inc()
+
+        threads = [threading.Thread(target=bump) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert reg.counter("n").value == 4000
+
+
+class TestExport:
+    def test_jsonl_roundtrip(self, tmp_path):
+        with TraceCollector() as col:
+            with span("a", k="v"):
+                trace_mod.event("e", n=2)
+            col.metrics.counter("calls").inc(3)
+        path = write_trace(col, tmp_path / "t.jsonl")
+        records = read_trace(path)
+        assert len(records.spans) == 1
+        assert records.spans[0]["name"] == "a"
+        assert records.spans[0]["attrs"] == {"k": "v"}
+        assert records.events[0]["name"] == "e"
+        assert records.metrics == [{"calls": 3}]
+
+    def test_append_accumulates(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        for _ in range(2):
+            with TraceCollector() as col:
+                with span("m"):
+                    pass
+            write_trace(col, path, append=True)
+        records = read_trace(path)
+        assert len(records.spans) == 2
+
+    def test_every_line_is_json(self, tmp_path):
+        with TraceCollector() as col:
+            with span("x", arr=np.int64(3)):  # non-JSON-native attr
+                pass
+        path = write_trace(col, tmp_path / "t.jsonl")
+        for line in path.read_text().splitlines():
+            json.loads(line)
+
+
+class TestSummarize:
+    def _traced_hooi(self, tmp_path, rng):
+        x = make_random_tensor(3, 25, 150, rng)
+        with TraceCollector() as col:
+            result = hooi(x, rank=3, max_iters=4, seed=0, kernel="symprop")
+        path = write_trace(col, tmp_path / "hooi.jsonl")
+        return col, result, path
+
+    def test_span_tree_iteration_phase_level(self, tmp_path, rng):
+        """Acceptance: iteration → phase → per-lattice-level spans."""
+        col, _result, path = self._traced_hooi(tmp_path, rng)
+        records = read_trace(path)
+        by_id = {s["id"]: s for s in records.spans}
+        levels = [s for s in records.spans if s["name"] == "lattice.level"]
+        assert levels, "no per-level spans recorded"
+        for lv in levels:
+            chain = []
+            node = lv
+            while node["parent"] is not None:
+                node = by_id[node["parent"]]
+                chain.append(node["name"])
+            assert "phase:s3ttmc" in chain
+            assert "hooi.iteration" in chain
+            assert lv["attrs"]["nodes"] > 0
+            assert lv["attrs"]["edges"] > 0
+            assert lv["attrs"]["entry_size"] > 0
+
+    def test_rollup_agrees_with_phase_timer(self, tmp_path, rng):
+        """Acceptance: summarize phase totals vs returned PhaseTimer <1%."""
+        col, result, path = self._traced_hooi(tmp_path, rng)
+        summary = summarize(read_trace(path))
+        for name, total in result.timer.totals.items():
+            assert summary.phases[name].seconds == pytest.approx(
+                total, rel=0.01
+            ), name
+            assert summary.phases[name].count == result.timer.counts[name]
+
+    def test_summarize_from_collector(self, tmp_path, rng):
+        col, result, _path = self._traced_hooi(tmp_path, rng)
+        summary = summarize(col)
+        assert summary.iterations == result.iterations
+        assert summary.levels  # per-level aggregates present
+
+    def test_render_mentions_phases_and_levels(self, tmp_path, rng):
+        col, _result, path = self._traced_hooi(tmp_path, rng)
+        text = render_summary(summarize(read_trace(path)), title="t")
+        assert "per-phase rollup" in text
+        assert "s3ttmc" in text
+        assert "lattice levels" in text
+
+    def test_cli_summarize(self, tmp_path, rng, capsys):
+        _col, _result, path = self._traced_hooi(tmp_path, rng)
+        assert obs_main(["summarize", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "per-phase rollup" in out
+        assert "s3ttmc" in out
+
+    def test_cli_missing_file(self, tmp_path, capsys):
+        assert obs_main(["summarize", str(tmp_path / "nope.jsonl")]) == 2
+
+    def test_cli_empty_file(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert obs_main(["summarize", str(empty)]) == 1
+
+
+class TestWiring:
+    def test_budget_events_and_peak_gauge(self, rng):
+        from repro.runtime.budget import MemoryBudget
+
+        x = make_random_tensor(4, 12, 60, rng)
+        u = rng.random((12, 3))
+        with TraceCollector() as col:
+            with MemoryBudget(gigabytes=4.0) as budget:
+                s3ttmc(x, u)
+        kinds = {e.name for e in col.events}
+        assert "budget.request" in kinds
+        assert "budget.release" in kinds
+        flat = col.metrics.as_dict()
+        assert flat["budget.peak_bytes.max"] == budget.peak
+        assert flat["budget.requests"] > 0
+
+    def test_budgetless_requests_still_traced(self, rng):
+        x = make_random_tensor(3, 10, 40, rng)
+        u = rng.random((10, 3))
+        with TraceCollector() as col:
+            s3ttmc(x, u)
+        assert any(e.name == "budget.request" for e in col.events)
+
+    def test_kernel_metrics(self, rng):
+        x = make_random_tensor(4, 12, 60, rng)
+        u = rng.random((12, 3))
+        with TraceCollector() as col:
+            s3ttmc(x, u)
+        flat = col.metrics.as_dict()
+        per_level = [k for k in flat if k.startswith("lattice.flops.level_")]
+        assert per_level
+        assert flat["lattice.scatter_flops"] > 0
+        assert flat["lattice.level_entries.count"] > 0
+
+    def test_hoqri_iteration_spans(self, rng):
+        x = make_random_tensor(3, 20, 100, rng)
+        with TraceCollector() as col:
+            result = hoqri(x, rank=3, max_iters=3, seed=0)
+        iters = col.find("hoqri.iteration")
+        assert len(iters) == result.iterations
+        assert col.find("times_core")
+
+    def test_parallel_chunks_tagged_and_parented(self, rng):
+        from repro.parallel.executor import parallel_s3ttmc
+
+        x = make_random_tensor(3, 30, 200, rng)
+        u = rng.random((30, 4))
+        with TraceCollector() as col:
+            with span("driver"):
+                parallel_s3ttmc(x, u, n_workers=2)
+        chunks = col.find("parallel.chunk")
+        assert chunks
+        roots = col.find("parallel.s3ttmc")
+        assert len(roots) == 1
+        for c in chunks:
+            assert c.parent_id == roots[0].span_id
+            assert "worker" in c.attrs
+            assert c.attrs["nz_stop"] > c.attrs["nz_start"]
+
+    def test_harness_env_hook(self, tmp_path, rng, monkeypatch):
+        """REPRO_TRACE makes timed_measurement append traces, no code changes."""
+        from repro.bench.harness import timed_measurement
+
+        x = make_random_tensor(3, 15, 80, rng)
+        u = rng.random((15, 3))
+        path = tmp_path / "bench.jsonl"
+        monkeypatch.setenv("REPRO_TRACE", str(path))
+        m = timed_measurement(lambda: s3ttmc(x, u), repeats=2, budget_gb=1.0)
+        assert m.ok
+        records = read_trace(path)
+        assert any(s["name"] == "s3ttmc" for s in records.spans)
+        assert records.metrics  # metrics line flushed
+        # a second measurement appends rather than truncates
+        before = len(records.spans)
+        timed_measurement(lambda: s3ttmc(x, u), repeats=1, budget_gb=1.0)
+        assert len(read_trace(path).spans) > before
+
+    def test_harness_no_env_no_file(self, tmp_path, rng, monkeypatch):
+        from repro.bench.harness import timed_measurement
+
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        x = make_random_tensor(3, 10, 40, rng)
+        u = rng.random((10, 3))
+        timed_measurement(lambda: s3ttmc(x, u), repeats=1, budget_gb=1.0)
+        assert active_collector() is None
+
+
+class TestDisabledOverhead:
+    def test_disabled_span_overhead_under_two_percent(self, rng):
+        """Acceptance: with tracing off, the tracer's hot-path cost is <2%
+        of kernel time versus a no-op stub.
+
+        Measured structurally rather than as an end-to-end diff (which
+        drowns in run-to-run noise): count the span/event call sites one
+        kernel invocation passes through, measure the per-call cost of the
+        disabled fast path, and compare the product against the kernel's
+        wall time.
+        """
+        x = make_random_tensor(4, 30, 400, rng)
+        u = rng.random((30, 5))
+        s3ttmc(x, u)  # warm plan/lattice caches
+
+        # how many tracer touchpoints does one call make?
+        with TraceCollector() as col:
+            s3ttmc(x, u)
+        touchpoints = len(col.spans) + len(col.events)
+
+        # per-call cost of the disabled path (span + enter/exit)
+        assert active_collector() is None
+        reps = 20_000
+        tick = time.perf_counter()
+        for _ in range(reps):
+            with span("x"):
+                pass
+        per_call = (time.perf_counter() - tick) / reps
+
+        # kernel wall time without tracing, best of 3
+        kernel = min(
+            _timed(lambda: s3ttmc(x, u)) for _ in range(3)
+        )
+        overhead = touchpoints * per_call
+        assert overhead < 0.02 * kernel, (
+            f"disabled tracer overhead {overhead * 1e6:.1f} µs is >=2% of "
+            f"kernel time {kernel * 1e3:.2f} ms ({touchpoints} touchpoints)"
+        )
+
+    def test_disabled_event_is_cheap_noop(self):
+        assert active_collector() is None
+        trace_mod.event("nothing", n=1)  # must not raise or allocate state
+
+
+def _timed(fn):
+    tick = time.perf_counter()
+    fn()
+    return time.perf_counter() - tick

@@ -48,3 +48,46 @@ class TestProfileCall:
 
         with pytest.raises(RuntimeError):
             profile_call(lambda: (_ for _ in ()).throw(RuntimeError("boom")))
+
+
+class TestFractionIn:
+    """Edge cases of ProfileReport.fraction_in."""
+
+    @staticmethod
+    def _report(elapsed, hotspots):
+        from repro.runtime import HotSpot, ProfileReport
+
+        return ProfileReport(
+            result=None,
+            elapsed=elapsed,
+            hotspots=[
+                HotSpot(function=f, calls=1, total_seconds=t, cumulative_seconds=t)
+                for f, t in hotspots
+            ],
+        )
+
+    def test_zero_elapsed(self):
+        report = self._report(0.0, [("engine.py:1(run)", 0.0)])
+        assert report.fraction_in("engine") == 0.0
+
+    def test_negative_elapsed(self):
+        assert self._report(-1.0, []).fraction_in("x") == 0.0
+
+    def test_no_matches(self):
+        report = self._report(1.0, [("engine.py:1(run)", 0.4)])
+        assert report.fraction_in("does-not-appear") == 0.0
+
+    def test_partial_match_fraction(self):
+        report = self._report(
+            2.0, [("engine.py:1(run)", 0.5), ("svd.py:2(go)", 1.5)]
+        )
+        assert report.fraction_in("engine") == 0.25
+
+    def test_clamped_at_one(self):
+        # hotspot times can exceed `elapsed` (profiler accounting skew);
+        # the fraction must still clamp to 1.0
+        report = self._report(1.0, [("engine.py:1(a)", 0.8), ("engine.py:2(b)", 0.9)])
+        assert report.fraction_in("engine") == 1.0
+
+    def test_empty_hotspots(self):
+        assert self._report(1.0, []).fraction_in("engine") == 0.0
