@@ -10,7 +10,13 @@ Rank overrides for the two high-order synthetic tensors keep HOOI's SVD
 *runnable* there (as it was on the paper's 256 GB node): scaling dims
 linearly cannot shrink an ``R^{N-1}`` term, so the rank is lowered instead
 (documented in EXPERIMENTS.md).
+
+``REPRO_FIG7_EXECUTION=thread|process`` routes every S³TTMc through the
+parallel backend (``hooi(..., execution=...)``); default ``serial``
+reproduces the single-core paper numbers.
 """
+
+import os
 
 import pytest
 from _common import BUDGET_GB, save_table
@@ -24,11 +30,13 @@ N_ITERS = 3
 #: rank overrides so the R^{N-1} SVD expansion scales with the 170x budget
 #: reduction (dims were scaled linearly; ranks cannot be on these two).
 FIG7_RANKS = {"L10": 3, "H12": 2}
+EXECUTION = os.environ.get("REPRO_FIG7_EXECUTION", "serial")
 
 
 def _run_algorithm(fn, tensor, rank, **kwargs) -> Measurement:
     import time
 
+    kwargs.setdefault("execution", EXECUTION)
     try:
         with MemoryBudget(gigabytes=BUDGET_GB):
             tick = time.perf_counter()

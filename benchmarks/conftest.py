@@ -12,7 +12,31 @@ sys.path.insert(0, str(Path(__file__).resolve().parent))
 from repro.data.datasets import DATASETS
 
 
+class _LazyDatasets:
+    """Dict-like view over the Table III stand-ins, loaded on first access.
+
+    Laziness keeps smoke runs (``REPRO_BENCH_TINY=1``) from paying for
+    datasets they never touch; repeated access within a session hits the
+    cache.
+    """
+
+    def __init__(self):
+        self._cache = {}
+
+    def __getitem__(self, name):
+        tensor = self._cache.get(name)
+        if tensor is None:
+            tensor = self._cache[name] = DATASETS[name].load(seed=0)
+        return tensor
+
+    def __iter__(self):
+        return iter(DATASETS)
+
+    def __len__(self):
+        return len(DATASETS)
+
+
 @pytest.fixture(scope="session")
 def datasets():
-    """All Table III stand-ins, loaded once per benchmark session."""
-    return {name: spec.load(seed=0) for name, spec in DATASETS.items()}
+    """All Table III stand-ins, loaded lazily once per benchmark session."""
+    return _LazyDatasets()

@@ -49,6 +49,7 @@ def lattice_ttmc(
     nz_batch_size: Optional[int] = None,
     block_bytes: int = DEFAULT_BLOCK_BYTES,
     out: Optional[np.ndarray] = None,
+    out_row_map: Optional[np.ndarray] = None,
     plan: Optional[TTMcPlan] = None,
 ) -> np.ndarray:
     """Evaluate S³TTMc over IOU non-zeros with the chosen intermediate layout.
@@ -78,12 +79,27 @@ def lattice_ttmc(
         Transient per-level gather buffer bound.
     out:
         Optional pre-allocated ``(I, cols)`` output to accumulate into.
+        When the engine allocates ``out`` itself, the allocation is
+        *declared* against the active :class:`~repro.runtime.budget.
+        MemoryBudget` (pre-flight OOM check + peak tracking) and released
+        again on handoff — ownership transfers to the caller, so the
+        engine must not leave the bytes pinned in ``in_use`` across
+        repeated calls (e.g. one per HOOI iteration).
+    out_row_map:
+        Optional ``(dim,)`` int64 map from global output row to a local
+        row of ``out`` (out-slicing for row-block accumulation). When
+        given, ``out`` is required and holds only the mapped rows —
+        ``out.shape = (n_local, cols)`` — and every top-level scatter
+        target must map to a valid local row. This is what lets parallel
+        workers accumulate into compact per-chunk row blocks instead of
+        private full-width ``(I, cols)`` copies.
     plan:
         Pre-built :class:`TTMcPlan` for this pattern (reuse across calls).
 
     Returns
     -------
-    ``(I, cols)`` matrix: ``Y_p(1)`` for compact, ``Y_(1)`` for full.
+    ``(I, cols)`` matrix: ``Y_p(1)`` for compact, ``Y_(1)`` for full
+    (or the ``(n_local, cols)`` row-block when ``out_row_map`` is given).
     """
     indices = np.asarray(indices, dtype=np.int64)
     values = np.asarray(values, dtype=np.float64)
@@ -105,46 +121,68 @@ def lattice_ttmc(
     else:
         raise ValueError(f"unknown intermediate layout {intermediate!r}")
 
-    if out is None:
-        request_bytes(dim * cols * 8, f"Y ({intermediate})")
-        out = np.zeros((dim, cols), dtype=np.float64)
-    elif out.shape != (dim, cols):
+    if out_row_map is not None:
+        out_row_map = np.asarray(out_row_map, dtype=np.int64)
+        if out is None:
+            raise ValueError("out_row_map requires a pre-allocated out")
+        if out_row_map.shape != (dim,):
+            raise ValueError(f"out_row_map must be ({dim},)")
+        if out.ndim != 2 or out.shape[1] != cols:
+            raise ValueError(f"out must be (n_local, {cols})")
+    elif out is not None and out.shape != (dim, cols):
         raise ValueError(f"out must be ({dim}, {cols})")
 
-    if stats is not None:
-        stats.output_bytes = out.nbytes
-
-    if unnz == 0:
-        return out
-
-    if plan is None:
-        plan = build_plan(indices, memoize, nz_batch_size)
-    elif plan.order != order:
+    if plan is not None and plan.order != order:
         raise ValueError("plan order does not match indices")
 
-    with _trace.span(
-        "lattice_ttmc",
-        intermediate=intermediate,
-        order=order,
-        unnz=unnz,
-        rank=rank,
-        dim=dim,
-    ):
-        for start, stop, lattice in plan.batches:
-            with _trace.span("lattice.batch", nz_start=start, nz_stop=stop):
-                _accumulate_batch(
-                    lattice,
-                    values[start:stop],
-                    factor,
-                    rank,
-                    intermediate,
-                    out,
-                    stats,
-                    block_bytes,
-                )
-            if stats is not None:
-                stats.batches += 1
-    return out
+    # When the engine allocates Y itself it only *pre-flights* the bytes
+    # against the budget (OOM check + peak); ownership transfers to the
+    # caller on return, so the request is paired with a release on every
+    # exit path — otherwise `in_use` climbs by one Y per kernel call.
+    owned_label = f"Y ({intermediate})"
+    owned_bytes = 0
+    if out is None:
+        owned_bytes = dim * cols * 8
+        request_bytes(owned_bytes, owned_label)
+        out = np.zeros((dim, cols), dtype=np.float64)
+
+    try:
+        if stats is not None:
+            stats.output_bytes = out.nbytes
+
+        if unnz == 0:
+            return out
+
+        if plan is None:
+            plan = build_plan(indices, memoize, nz_batch_size)
+
+        with _trace.span(
+            "lattice_ttmc",
+            intermediate=intermediate,
+            order=order,
+            unnz=unnz,
+            rank=rank,
+            dim=dim,
+        ):
+            for start, stop, lattice in plan.batches:
+                with _trace.span("lattice.batch", nz_start=start, nz_stop=stop):
+                    _accumulate_batch(
+                        lattice,
+                        values[start:stop],
+                        factor,
+                        rank,
+                        intermediate,
+                        out,
+                        stats,
+                        block_bytes,
+                        out_row_map,
+                    )
+                if stats is not None:
+                    stats.batches += 1
+        return out
+    finally:
+        if owned_bytes:
+            release_bytes(owned_bytes, owned_label)
 
 
 def _accumulate_batch(
@@ -156,6 +194,7 @@ def _accumulate_batch(
     out: np.ndarray,
     stats: Optional[KernelStats],
     block_bytes: int,
+    out_row_map: Optional[np.ndarray] = None,
 ) -> None:
     order = lattice.order
     # Level-1 K tensors are rows of U (identical in both layouts).
@@ -202,7 +241,10 @@ def _accumulate_batch(
             estop = min(estart + edge_block, n_edges)
             sl = slice(estart, estop)
             contrib = k_prev[top.child[sl]] * values[top.node[sl], None]
-            scatter_add_rows(out, top.value[sl], contrib)
+            rows = top.value[sl]
+            if out_row_map is not None:
+                rows = out_row_map[rows]
+            scatter_add_rows(out, rows, contrib)
     if stats is not None:
         stats.add_scatter(n_edges, k_prev.shape[1])
     if collector is not None:

@@ -1,0 +1,44 @@
+"""Execution-backend plumbing shared by the decomposition drivers.
+
+``hooi()`` and ``hoqri()`` accept ``execution="serial"|"thread"|"process"``.
+The non-serial paths route every S³TTMc through one
+:class:`~repro.parallel.backends.Backend` instance created *before* the
+iteration loop and closed after it — keeping the backend alive across
+iterations is what lets the chunk-plan cache (and, for the process
+backend, the worker processes with their shared-memory operands) amortize
+symbolic work down to iteration 1 only.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..parallel.backends import Backend, make_backend
+
+__all__ = ["resolve_backend"]
+
+EXECUTIONS = ("serial", "thread", "process")
+
+
+def resolve_backend(
+    execution: str, n_workers: Optional[int], kernel: str
+) -> Optional[Backend]:
+    """Backend for ``execution``, or ``None`` for the plain serial kernel.
+
+    ``execution="serial"`` keeps the existing direct :func:`s3ttmc` path
+    byte-for-byte (no chunking, no partition). Parallel execution only
+    exists for the symprop kernel — the CSS baseline has no chunked form.
+    """
+    if execution not in EXECUTIONS:
+        raise ValueError(
+            f"unknown execution {execution!r}; expected one of {EXECUTIONS}"
+        )
+    if execution == "serial":
+        if n_workers is not None:
+            raise ValueError("n_workers requires execution='thread'|'process'")
+        return None
+    if kernel != "symprop":
+        raise ValueError(
+            f"execution={execution!r} requires kernel='symprop', got {kernel!r}"
+        )
+    return make_backend(execution, n_workers)

@@ -27,6 +27,7 @@ from ..formats.partial_sym import PartiallySymmetricTensor
 from ..obs import trace as _trace
 from ..runtime.budget import release_bytes, request_bytes
 from ..runtime.timer import PhaseTimer
+from ._execution import resolve_backend
 from .hosvd import initialize
 from .objective import relative_error
 from .result import ConvergenceTrace, DecompositionResult
@@ -71,6 +72,8 @@ def hooi(
     memoize: str = "global",
     nz_batch_size: Optional[int] = None,
     timer: Optional[PhaseTimer] = None,
+    execution: str = "serial",
+    n_workers: Optional[int] = None,
 ) -> DecompositionResult:
     """Higher-Order Orthogonal Iteration for sparse symmetric tensors.
 
@@ -95,6 +98,14 @@ def hooi(
         Forwarded to the S³TTMc kernel.
     timer:
         Optional external :class:`PhaseTimer` to fill (else a fresh one).
+    execution, n_workers:
+        ``"serial"`` (default) runs the plain kernel; ``"thread"`` /
+        ``"process"`` route every S³TTMc through the parallel backend
+        (:mod:`repro.parallel.backends`), created once and kept alive
+        across iterations so chunk plans — and, for the process backend,
+        the worker processes with their shared-memory operands — are
+        reused. Requires ``kernel="symprop"``. ``n_workers`` defaults to
+        the core count.
     """
     ucoo = _as_ucoo(tensor)
     if ucoo.order < 2:
@@ -105,6 +116,7 @@ def hooi(
         raise ValueError(f"unknown kernel {kernel!r}")
     if svd_method not in ("expand", "gram"):
         raise ValueError(f"unknown svd_method {svd_method!r}")
+    backend = resolve_backend(execution, n_workers, kernel)
     rng = np.random.default_rng(seed)
     timer = timer if timer is not None else PhaseTimer()
     stats = KernelStats()
@@ -117,68 +129,89 @@ def hooi(
     core: Optional[PartiallySymmetricTensor] = None
     prev_objective = np.inf
     converged = False
-    for _iteration in range(max_iters):
-        with _trace.span(
-            "hooi.iteration",
-            iteration=_iteration,
-            kernel=kernel,
-            svd_method=svd_method,
-            rank=rank,
-        ):
-            with timer.phase("s3ttmc"):
-                if kernel == "symprop":
-                    y = s3ttmc(
-                        ucoo,
-                        factor,
-                        memoize=memoize,
-                        stats=stats,
-                        nz_batch_size=nz_batch_size,
-                    )
-                else:
-                    from ..baselines.css_ttmc import css_s3ttmc
+    try:
+        for _iteration in range(max_iters):
+            with _trace.span(
+                "hooi.iteration",
+                iteration=_iteration,
+                kernel=kernel,
+                svd_method=svd_method,
+                rank=rank,
+            ):
+                with timer.phase("s3ttmc"):
+                    if backend is not None:
+                        # Parallel path: plans (and, for the process backend,
+                        # worker-side state) persist across iterations.
+                        # KernelStats are not collected chunk-wise.
+                        from ..parallel.executor import parallel_s3ttmc
 
-                    y_full = css_s3ttmc(
-                        ucoo,
-                        factor,
-                        memoize=memoize,
-                        stats=stats,
-                        nz_batch_size=nz_batch_size,
-                    )
-                    # Compact for downstream steps (CSS-HOOI still runs SVD on
-                    # the full matrix; keep y_full for that path).
-            with timer.phase("svd"):
-                if kernel == "symprop":
-                    if svd_method == "expand":
-                        factor = _leading_left_singular_vectors_expand(y, rank)
+                        y = parallel_s3ttmc(
+                            ucoo,
+                            factor,
+                            backend=backend,
+                            memoize=memoize,
+                        )
+                    elif kernel == "symprop":
+                        y = s3ttmc(
+                            ucoo,
+                            factor,
+                            memoize=memoize,
+                            stats=stats,
+                            nz_batch_size=nz_batch_size,
+                        )
                     else:
-                        factor = _leading_left_singular_vectors_gram(y, rank)
-                else:
-                    u, _s, _vt = scipy.linalg.svd(y_full, full_matrices=False)
-                    factor = u[:, :rank].copy()
-            with timer.phase("core"):
-                if kernel == "symprop":
-                    core = y.mode1_ttm(factor)
-                else:
-                    c1 = factor.T @ y_full
-                    # Compact the full core for uniform objective computation.
-                    from ..symmetry.expansion import compact_from_full
+                        from ..baselines.css_ttmc import css_s3ttmc
 
-                    core_data = compact_from_full(
-                        c1, ucoo.order - 1, rank, check_symmetry=False
+                        y_full = css_s3ttmc(
+                            ucoo,
+                            factor,
+                            memoize=memoize,
+                            stats=stats,
+                            nz_batch_size=nz_batch_size,
+                        )
+                        # Compact for downstream steps (CSS-HOOI still runs
+                        # SVD on the full matrix; keep y_full for that path).
+                with timer.phase("svd"):
+                    if kernel == "symprop":
+                        if svd_method == "expand":
+                            factor = _leading_left_singular_vectors_expand(
+                                y, rank
+                            )
+                        else:
+                            factor = _leading_left_singular_vectors_gram(y, rank)
+                    else:
+                        u, _s, _vt = scipy.linalg.svd(y_full, full_matrices=False)
+                        factor = u[:, :rank].copy()
+                with timer.phase("core"):
+                    if kernel == "symprop":
+                        core = y.mode1_ttm(factor)
+                    else:
+                        c1 = factor.T @ y_full
+                        # Compact the full core for uniform objective
+                        # computation.
+                        from ..symmetry.expansion import compact_from_full
+
+                        core_data = compact_from_full(
+                            c1, ucoo.order - 1, rank, check_symmetry=False
+                        )
+                        core = PartiallySymmetricTensor(
+                            rank, ucoo.order - 1, rank, core_data
+                        )
+                with timer.phase("objective"):
+                    core_norm_sq = core.norm_squared()
+                    objective = norm_x_squared - core_norm_sq
+                    trace.record(
+                        objective,
+                        relative_error(norm_x_squared, core),
+                        core_norm_sq,
                     )
-                    core = PartiallySymmetricTensor(
-                        rank, ucoo.order - 1, rank, core_data
-                    )
-            with timer.phase("objective"):
-                core_norm_sq = core.norm_squared()
-                objective = norm_x_squared - core_norm_sq
-                trace.record(
-                    objective, relative_error(norm_x_squared, core), core_norm_sq
-                )
-        if prev_objective - objective <= tol * max(norm_x_squared, 1e-300):
-            converged = True
-            break
-        prev_objective = objective
+            if prev_objective - objective <= tol * max(norm_x_squared, 1e-300):
+                converged = True
+                break
+            prev_objective = objective
+    finally:
+        if backend is not None:
+            backend.close()
 
     assert core is not None, "max_iters must be >= 1"
     return DecompositionResult(

@@ -24,6 +24,7 @@ from ..formats.partial_sym import PartiallySymmetricTensor
 from ..obs import trace as _trace
 from ..runtime.timer import PhaseTimer
 from ..symmetry.expansion import compact_from_full
+from ._execution import resolve_backend
 from .hosvd import initialize
 from .objective import relative_error
 from .result import ConvergenceTrace, DecompositionResult
@@ -51,11 +52,16 @@ def hoqri(
     memoize: str = "global",
     nz_batch_size: Optional[int] = None,
     timer: Optional[PhaseTimer] = None,
+    execution: str = "serial",
+    n_workers: Optional[int] = None,
 ) -> DecompositionResult:
     """Higher-Order QR Iteration for sparse symmetric tensors.
 
     Parameters mirror :func:`repro.decomp.hooi.hooi`; ``kernel`` selects
     ``"symprop"`` (Algorithm 2) or ``"nary"`` (the original contraction).
+    ``execution="thread"|"process"`` routes the S³TTMc pass through the
+    parallel backend, reused across all iterations (requires
+    ``kernel="symprop"``).
     """
     ucoo = _as_ucoo(tensor)
     if ucoo.order < 2:
@@ -64,6 +70,7 @@ def hoqri(
         raise ValueError(f"rank must be in [1, {ucoo.dim}], got {rank}")
     if kernel not in ("symprop", "nary"):
         raise ValueError(f"unknown kernel {kernel!r}")
+    backend = resolve_backend(execution, n_workers, kernel)
     rng = np.random.default_rng(seed)
     timer = timer if timer is not None else PhaseTimer()
     stats = KernelStats()
@@ -77,46 +84,65 @@ def hoqri(
     prev_objective = np.inf
     converged = False
     a: Optional[np.ndarray] = None
-    for _iteration in range(max_iters):
-        with _trace.span(
-            "hoqri.iteration", iteration=_iteration, kernel=kernel, rank=rank
-        ):
-            # QR at the top of the body (from the previous iteration's A)
-            # keeps the returned (factor, core, objective) triple consistent:
-            # on exit `core` was computed with the current `factor`.
-            if a is not None:
-                with timer.phase("qr"):
-                    factor = _qr_orthonormal(a)
-            if kernel == "symprop":
-                with timer.phase("s3ttmc"):
-                    y = s3ttmc(
-                        ucoo,
-                        factor,
-                        memoize=memoize,
-                        stats=stats,
-                        nz_batch_size=nz_batch_size,
+    try:
+        for _iteration in range(max_iters):
+            with _trace.span(
+                "hoqri.iteration", iteration=_iteration, kernel=kernel, rank=rank
+            ):
+                # QR at the top of the body (from the previous iteration's A)
+                # keeps the returned (factor, core, objective) triple
+                # consistent: on exit `core` was computed with the current
+                # `factor`.
+                if a is not None:
+                    with timer.phase("qr"):
+                        factor = _qr_orthonormal(a)
+                if kernel == "symprop":
+                    with timer.phase("s3ttmc"):
+                        if backend is not None:
+                            from ..parallel.executor import parallel_s3ttmc
+
+                            y = parallel_s3ttmc(
+                                ucoo,
+                                factor,
+                                backend=backend,
+                                memoize=memoize,
+                            )
+                        else:
+                            y = s3ttmc(
+                                ucoo,
+                                factor,
+                                memoize=memoize,
+                                stats=stats,
+                                nz_batch_size=nz_batch_size,
+                            )
+                    with timer.phase("times_core"):
+                        result = times_core(y, factor, stats=stats)
+                    core = result.core
+                    a = result.a
+                else:
+                    with timer.phase("nary"):
+                        a, c1 = nary_hoqri_step(ucoo, factor, stats=stats)
+                    core_data = compact_from_full(
+                        c1, ucoo.order - 1, rank, check_symmetry=False
                     )
-                with timer.phase("times_core"):
-                    result = times_core(y, factor, stats=stats)
-                core = result.core
-                a = result.a
-            else:
-                with timer.phase("nary"):
-                    a, c1 = nary_hoqri_step(ucoo, factor, stats=stats)
-                core_data = compact_from_full(
-                    c1, ucoo.order - 1, rank, check_symmetry=False
-                )
-                core = PartiallySymmetricTensor(rank, ucoo.order - 1, rank, core_data)
-            with timer.phase("objective"):
-                core_norm_sq = core.norm_squared()
-                objective = norm_x_squared - core_norm_sq
-                trace.record(
-                    objective, relative_error(norm_x_squared, core), core_norm_sq
-                )
-        if prev_objective - objective <= tol * max(norm_x_squared, 1e-300):
-            converged = True
-            break
-        prev_objective = objective
+                    core = PartiallySymmetricTensor(
+                        rank, ucoo.order - 1, rank, core_data
+                    )
+                with timer.phase("objective"):
+                    core_norm_sq = core.norm_squared()
+                    objective = norm_x_squared - core_norm_sq
+                    trace.record(
+                        objective,
+                        relative_error(norm_x_squared, core),
+                        core_norm_sq,
+                    )
+            if prev_objective - objective <= tol * max(norm_x_squared, 1e-300):
+                converged = True
+                break
+            prev_objective = objective
+    finally:
+        if backend is not None:
+            backend.close()
 
     assert core is not None, "max_iters must be >= 1"
     return DecompositionResult(

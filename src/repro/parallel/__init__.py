@@ -1,7 +1,24 @@
-"""Parallel execution substrate: partitioning, threading, scaling simulation."""
+"""Parallel execution substrate: partitioning, backends, scaling simulation."""
 
+from .backends import (
+    BACKENDS,
+    Backend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    default_workers,
+    make_backend,
+)
 from .distributed import CommunicationPlan, plan_distribution, simulate_distributed_time
-from .executor import ParallelRunReport, measure_chunk_costs, parallel_s3ttmc
+from .executor import (
+    ChunkPlan,
+    ParallelJob,
+    ParallelRunReport,
+    chunk_row_block,
+    get_chunk_plans,
+    measure_chunk_costs,
+    parallel_s3ttmc,
+)
 from .partition import balanced_partition, block_partition, estimate_nonzero_costs
 from .simulate import (
     GAMMA0,
@@ -14,11 +31,22 @@ from .simulate import (
 )
 
 __all__ = [
+    "BACKENDS",
+    "Backend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "default_workers",
+    "make_backend",
     "CommunicationPlan",
     "plan_distribution",
     "simulate_distributed_time",
+    "ChunkPlan",
+    "ParallelJob",
     "parallel_s3ttmc",
     "measure_chunk_costs",
+    "get_chunk_plans",
+    "chunk_row_block",
     "ParallelRunReport",
     "block_partition",
     "balanced_partition",

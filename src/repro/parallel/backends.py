@@ -1,0 +1,528 @@
+"""Pluggable execution backends for the parallel S³TTMc executor.
+
+Three backends share one contract — evaluate a
+:class:`~repro.parallel.executor.ParallelJob`'s chunks and reduce the
+compact row-block partials into one ``(I, S_{N-1,R})`` output:
+
+``serial``
+    In-line loop over chunks, accumulating straight into the shared
+    output through the engine's ``out_row_map``-free path. The reference
+    implementation and the single-core fallback.
+``thread``
+    Persistent :class:`~concurrent.futures.ThreadPoolExecutor`. NumPy's
+    heavy vector ops release the GIL, so gathers/segment-sums overlap on
+    multi-core builds. Reduction is either *blocked* (compact per-chunk
+    row blocks merged under a lock — ``~I·S`` memory) or a pairwise
+    *tree* over full-width private partials (``p·I·S`` memory, kept for
+    comparison).
+``process``
+    Persistent worker processes fed via ``multiprocessing`` pipes with
+    operands in shared memory (:mod:`repro.parallel.shm`): true
+    multi-core execution in pure NumPy. Workers cache their chunk plans
+    across calls, so only the first kernel call of a decomposition pays
+    symbolic (lattice-build) cost.
+
+Backends are context managers; ``close()`` is idempotent. Create them
+directly, via :func:`make_backend`, or implicitly through
+``parallel_s3ttmc(..., backend="thread")`` /
+``hooi(..., execution="process")``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+import time
+from abc import ABC, abstractmethod
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..core.engine import lattice_ttmc
+from ..obs import trace as _trace
+from ..runtime.budget import release_bytes, request_bytes
+from . import shm as _shm
+from .executor import ChunkPlan, ParallelJob, ParallelRunReport, get_chunk_plans
+from .partition import assign_chunks
+
+__all__ = [
+    "Backend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "BACKENDS",
+    "default_workers",
+    "make_backend",
+]
+
+
+def default_workers() -> int:
+    """Default worker count: one per core."""
+    return max(1, os.cpu_count() or 1)
+
+
+class Backend(ABC):
+    """One parallel execution strategy with reusable worker state."""
+
+    name: str = "abstract"
+
+    def __init__(self, n_workers: Optional[int] = None) -> None:
+        if n_workers is not None and n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        self.n_workers = int(n_workers) if n_workers else default_workers()
+
+    @abstractmethod
+    def execute(
+        self, job: ParallelJob, report: Optional[ParallelRunReport] = None
+    ) -> np.ndarray:
+        """Run ``job`` and return the reduced ``(dim, cols)`` output."""
+
+    def close(self) -> None:
+        """Release worker state (idempotent)."""
+
+    def __enter__(self) -> "Backend":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- shared helpers ----------------------------------------------------
+    def _alloc_out(self, job: ParallelJob) -> np.ndarray:
+        # Pre-flight + peak-track the output, engine-style: the bytes are
+        # released on handoff by the caller of execute() via _handoff().
+        request_bytes(job.dim * job.cols * 8, "Y (parallel)")
+        return np.zeros((job.dim, job.cols), dtype=np.float64)
+
+    @staticmethod
+    def _handoff(job: ParallelJob) -> None:
+        release_bytes(job.dim * job.cols * 8, "Y (parallel)")
+
+    @staticmethod
+    def _fill_chunk_report(
+        report: Optional[ParallelRunReport], slot: int, seconds: float
+    ) -> None:
+        if report is not None and slot < len(report.chunk_seconds):
+            report.chunk_seconds[slot] = seconds
+
+
+class SerialBackend(Backend):
+    """Loop over chunks on the calling thread (reference/reduction-free)."""
+
+    name = "serial"
+
+    def __init__(self, n_workers: Optional[int] = None) -> None:
+        super().__init__(n_workers or 1)
+
+    def execute(
+        self, job: ParallelJob, report: Optional[ParallelRunReport] = None
+    ) -> np.ndarray:
+        plans = get_chunk_plans(job.tensor, job.ranges, job.memoize, report=report)
+        out = self._alloc_out(job)
+        try:
+            for slot, cp in enumerate(plans):
+                with _trace.span(
+                    "parallel.chunk", chunk=slot, nz_start=cp.start, nz_stop=cp.stop
+                ):
+                    tick = time.perf_counter()
+                    lattice_ttmc(
+                        job.indices[cp.start : cp.stop],
+                        job.values[cp.start : cp.stop],
+                        job.dim,
+                        job.factor,
+                        intermediate="compact",
+                        memoize=job.memoize,
+                        out=out,
+                        plan=cp.plan,
+                    )
+                    self._fill_chunk_report(
+                        report, slot, time.perf_counter() - tick
+                    )
+            return out
+        finally:
+            self._handoff(job)
+
+
+class ThreadBackend(Backend):
+    """Persistent thread pool with blocked or pairwise-tree reduction."""
+
+    name = "thread"
+
+    def __init__(self, n_workers: Optional[int] = None) -> None:
+        super().__init__(n_workers)
+        self._pool: Optional[ThreadPoolExecutor] = None
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.n_workers, thread_name_prefix="s3ttmc"
+            )
+        return self._pool
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def execute(
+        self, job: ParallelJob, report: Optional[ParallelRunReport] = None
+    ) -> np.ndarray:
+        plans = get_chunk_plans(job.tensor, job.ranges, job.memoize, report=report)
+        if job.reduction == "tree":
+            return self._execute_tree(job, plans, report)
+        return self._execute_blocked(job, plans, report)
+
+    # -- blocked: compact row-block partials merged under a lock -----------
+    def _execute_blocked(
+        self,
+        job: ParallelJob,
+        plans: List[ChunkPlan],
+        report: Optional[ParallelRunReport],
+    ) -> np.ndarray:
+        out = self._alloc_out(job)
+        partial_bytes = sum(cp.n_rows for cp in plans) * job.cols * 8
+        request_bytes(partial_bytes, "parallel partials (blocked)")
+        parent_span = _trace.current_span_id()
+        merge_lock = threading.Lock()
+        reduce_seconds = [0.0]
+
+        def run(slot: int) -> None:
+            cp = plans[slot]
+            with _trace.span(
+                "parallel.chunk",
+                parent_id=parent_span,
+                chunk=slot,
+                nz_start=cp.start,
+                nz_stop=cp.stop,
+            ) as chunk_span:
+                chunk_span.set_attr("worker", threading.current_thread().name)
+                tick = time.perf_counter()
+                partial = np.zeros((cp.n_rows, job.cols), dtype=np.float64)
+                lattice_ttmc(
+                    job.indices[cp.start : cp.stop],
+                    job.values[cp.start : cp.stop],
+                    job.dim,
+                    job.factor,
+                    intermediate="compact",
+                    memoize=job.memoize,
+                    out=partial,
+                    out_row_map=cp.row_map,
+                    plan=cp.plan,
+                )
+                self._fill_chunk_report(report, slot, time.perf_counter() - tick)
+                tick = time.perf_counter()
+                with merge_lock:
+                    out[cp.rows] += partial
+                    reduce_seconds[0] += time.perf_counter() - tick
+
+        try:
+            if len(plans) <= 1:
+                for slot in range(len(plans)):
+                    run(slot)
+            else:
+                list(self._ensure_pool().map(run, range(len(plans))))
+            if report is not None:
+                report.reduce_seconds = reduce_seconds[0]
+            return out
+        finally:
+            release_bytes(partial_bytes, "parallel partials (blocked)")
+            self._handoff(job)
+
+    # -- tree: full-width private partials, pairwise parallel reduce -------
+    def _execute_tree(
+        self,
+        job: ParallelJob,
+        plans: List[ChunkPlan],
+        report: Optional[ParallelRunReport],
+    ) -> np.ndarray:
+        n = len(plans)
+        partial_bytes = n * job.dim * job.cols * 8
+        request_bytes(partial_bytes, "parallel partials (tree)")
+        parent_span = _trace.current_span_id()
+
+        def run(slot: int) -> np.ndarray:
+            cp = plans[slot]
+            with _trace.span(
+                "parallel.chunk",
+                parent_id=parent_span,
+                chunk=slot,
+                nz_start=cp.start,
+                nz_stop=cp.stop,
+            ) as chunk_span:
+                chunk_span.set_attr("worker", threading.current_thread().name)
+                tick = time.perf_counter()
+                partial = lattice_ttmc(
+                    job.indices[cp.start : cp.stop],
+                    job.values[cp.start : cp.stop],
+                    job.dim,
+                    job.factor,
+                    intermediate="compact",
+                    memoize=job.memoize,
+                    plan=cp.plan,
+                )
+                self._fill_chunk_report(report, slot, time.perf_counter() - tick)
+            return partial
+
+        def merge(pair) -> np.ndarray:
+            a, b = pair
+            a += b
+            return a
+
+        try:
+            if n == 0:
+                out = self._alloc_out(job)
+                self._handoff(job)
+                return out
+            pool = self._ensure_pool() if n > 1 else None
+            if pool is None:
+                partials = [run(0)]
+            else:
+                partials = list(pool.map(run, range(n)))
+            tick = time.perf_counter()
+            while len(partials) > 1:
+                pairs = list(zip(partials[0::2], partials[1::2]))
+                merged = (
+                    list(pool.map(merge, pairs))
+                    if pool is not None and len(pairs) > 1
+                    else [merge(p) for p in pairs]
+                )
+                if len(partials) % 2:
+                    merged.append(partials[-1])
+                partials = merged
+            if report is not None:
+                report.reduce_seconds = time.perf_counter() - tick
+            return partials[0]
+        finally:
+            release_bytes(partial_bytes, "parallel partials (tree)")
+
+
+class ProcessBackend(Backend):
+    """Persistent worker processes with shared-memory operands.
+
+    Workers are spawned lazily on the first :meth:`execute` and live
+    until :meth:`close`; indices/values are written to shared memory once
+    per tensor, the factor buffer is rewritten in place per call, and
+    each worker caches its chunk plans across calls — iteration 2..n of
+    a decomposition pays no symbolic cost on any core.
+    """
+
+    name = "process"
+
+    def __init__(
+        self, n_workers: Optional[int] = None, *, start_method: Optional[str] = None
+    ) -> None:
+        super().__init__(n_workers)
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else "spawn"
+        self._ctx = multiprocessing.get_context(start_method)
+        # spawn-started processes have private resource trackers; see
+        # repro.parallel.shm.attach_shared_array.
+        self._untrack_attach = start_method != "fork"
+        self._workers: List[tuple] = []  # (Process, Connection)
+        self._tensor_token: Optional[tuple] = None
+        self._tensor_gen = 0
+        self._owned: Dict[str, object] = {}  # label -> SharedMemory
+        self._factor_view: Optional[np.ndarray] = None
+        self._factor_spec = None
+        self._attached_results: Dict[str, object] = {}  # name -> SharedMemory
+
+    # -- worker lifecycle --------------------------------------------------
+    def _ensure_workers(self) -> None:
+        if self._workers:
+            return
+        if not self._untrack_attach:
+            # Fork path: start the resource tracker *before* forking so
+            # every worker inherits it. With one shared tracker,
+            # register/unregister pairs from creators and attachers
+            # deduplicate and segment cleanup is exact (no spurious
+            # "leaked shared_memory" warnings from per-worker trackers).
+            try:  # pragma: no cover - tracker internals vary across versions
+                from multiprocessing import resource_tracker
+
+                resource_tracker.ensure_running()
+            except Exception:
+                pass
+        for worker_id in range(self.n_workers):
+            parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+            proc = self._ctx.Process(
+                target=_shm.worker_main,
+                args=(child_conn, worker_id, self._untrack_attach),
+                name=f"s3ttmc-worker-{worker_id}",
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            self._workers.append((proc, parent_conn))
+
+    def _broadcast(self, msg: tuple) -> None:
+        for _proc, conn in self._workers:
+            conn.send(msg)
+
+    def _ensure_tensor(self, job: ParallelJob) -> None:
+        token = (id(job.tensor), job.indices.shape, job.dim)
+        if token == self._tensor_token:
+            return
+        for label in ("indices", "values"):
+            _shm.close_and_unlink(self._owned.pop(label, None))
+        idx_shm, _v, idx_spec = _shm.create_shared_array(job.indices)
+        val_shm, _v, val_spec = _shm.create_shared_array(job.values)
+        self._owned["indices"] = idx_shm
+        self._owned["values"] = val_shm
+        self._tensor_token = token
+        self._tensor_gen += 1
+        self._broadcast(("tensor", self._tensor_gen, idx_spec, val_spec, job.dim))
+
+    def _ensure_factor(self, factor: np.ndarray) -> None:
+        if (
+            self._factor_view is not None
+            and self._factor_view.shape == factor.shape
+        ):
+            self._factor_view[...] = factor  # in-place: workers keep mapping
+            return
+        _shm.close_and_unlink(self._owned.pop("factor", None))
+        shm, view, spec = _shm.create_shared_array(factor)
+        self._owned["factor"] = shm
+        self._factor_view = view
+        self._factor_spec = spec
+        self._broadcast(("factor", spec))
+
+    def close(self) -> None:
+        for proc, conn in self._workers:
+            try:
+                conn.send(("close",))
+            except (OSError, BrokenPipeError):
+                pass
+        for proc, conn in self._workers:
+            proc.join(timeout=5)
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.terminate()
+                proc.join(timeout=5)
+            try:
+                conn.close()
+            except Exception:
+                pass
+        self._workers = []
+        for shm in self._attached_results.values():
+            try:
+                shm.close()
+            except Exception:
+                pass
+        self._attached_results = {}
+        for label in list(self._owned):
+            _shm.close_and_unlink(self._owned.pop(label))
+        self._factor_view = None
+        self._factor_spec = None
+        self._tensor_token = None
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter teardown
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- execution ---------------------------------------------------------
+    def execute(
+        self, job: ParallelJob, report: Optional[ParallelRunReport] = None
+    ) -> np.ndarray:
+        self._ensure_workers()
+        self._ensure_tensor(job)
+        self._ensure_factor(job.factor)
+        # Structure-only parent plans: row blocks for the reduce, no
+        # lattices (those live — and are cached — worker-side).
+        plans = get_chunk_plans(
+            job.tensor, job.ranges, job.memoize, with_lattice=False
+        )
+        slot_lists = assign_chunks(
+            [cp.stop - cp.start for cp in plans], self.n_workers
+        )
+        assignments: List[List[tuple]] = [
+            [(slot, plans[slot].start, plans[slot].stop) for slot in slots]
+            for slots in slot_lists
+        ]
+
+        partial_bytes = sum(cp.n_rows for cp in plans) * job.cols * 8
+        request_bytes(partial_bytes, "parallel partials (shm)")
+        out = self._alloc_out(job)
+        collector = _trace.active_collector()
+        try:
+            busy = []
+            for worker_id, chunks in enumerate(assignments):
+                if not chunks:
+                    continue
+                _proc, conn = self._workers[worker_id]
+                conn.send(("run", chunks, job.memoize, job.cols))
+                busy.append((worker_id, conn))
+            reduce_seconds = 0.0
+            hits = misses = 0
+            build_seconds = 0.0
+            for worker_id, conn in busy:
+                msg = conn.recv()
+                if msg[0] == "error":
+                    raise RuntimeError(
+                        f"s3ttmc worker {worker_id} failed: {msg[1]}"
+                    )
+                _op, spec, metas = msg
+                buffer = self._attach_result(spec)
+                for slot, offset, n_rows, build_s, numeric_s, hit in metas:
+                    cp = plans[slot]
+                    tick = time.perf_counter()
+                    out[cp.rows] += buffer[offset : offset + n_rows]
+                    reduce_seconds += time.perf_counter() - tick
+                    self._fill_chunk_report(report, slot, numeric_s)
+                    hits += bool(hit)
+                    misses += not hit
+                    build_seconds += build_s
+                    if collector is not None:
+                        _trace.event(
+                            "parallel.chunk.done",
+                            chunk=slot,
+                            worker=worker_id,
+                            numeric_seconds=numeric_s,
+                            build_seconds=build_s,
+                            plan_cache_hit=bool(hit),
+                        )
+            if collector is not None:
+                if hits:
+                    collector.metrics.counter("parallel.plan_cache.hits").inc(hits)
+                if misses:
+                    collector.metrics.counter("parallel.plan_cache.misses").inc(
+                        misses
+                    )
+            if report is not None:
+                report.reduce_seconds = reduce_seconds
+                report.plan_cache_hits += hits
+                report.plan_cache_misses += misses
+                report.plan_build_seconds += build_seconds
+            return out
+        finally:
+            release_bytes(partial_bytes, "parallel partials (shm)")
+            self._handoff(job)
+
+    def _attach_result(self, spec) -> np.ndarray:
+        shm = self._attached_results.get(spec.name)
+        if shm is None:
+            shm, _view = _shm.attach_shared_array(
+                spec, untrack=self._untrack_attach
+            )
+            self._attached_results[spec.name] = shm
+        return np.ndarray(spec.shape, dtype=np.dtype(spec.dtype), buffer=shm.buf)
+
+
+BACKENDS = {
+    "serial": SerialBackend,
+    "thread": ThreadBackend,
+    "process": ProcessBackend,
+}
+
+
+def make_backend(name: str, n_workers: Optional[int] = None) -> Backend:
+    """Instantiate a backend by name (``serial`` / ``thread`` / ``process``)."""
+    try:
+        cls = BACKENDS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {name!r}; expected one of {sorted(BACKENDS)}"
+        ) from None
+    return cls(n_workers)

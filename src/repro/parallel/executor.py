@@ -1,107 +1,358 @@
-"""Thread-parallel S³TTMc over non-zero partitions.
+"""Plan-aware parallel S³TTMc over non-zero partitions.
 
-Functionally identical to the serial kernel: each worker evaluates the
-lattice of its non-zero range into a private output, and the partials are
-reduced by summation (S³TTMc is a sum over non-zeros, so any partition is
-valid). On a multi-core NumPy build the heavy vector operations release
-the GIL and genuine speedup is possible; on this reproduction's single
--core container the executor is used for *correctness* (tests) and to
-measure per-chunk costs that feed the Figure-6 scaling simulator
-(:mod:`repro.parallel.simulate`).
+Functionally identical to the serial kernel: the non-zero list is split
+into balanced contiguous chunks, each chunk's sub-multiset lattice is
+evaluated independently, and the partials are reduced by summation
+(S³TTMc is a sum over non-zeros, so any partition is valid).
+
+What makes the layer *plan-aware* (the paper's CSS-tree amortization
+story, Figure 6):
+
+* **Chunk-plan cache.** Each chunk's lattice depends only on the sparsity
+  pattern and the partition, never on factor values — so it is built once
+  per ``(tensor pattern, partition, memoize)`` and reused across every
+  kernel call and every HOOI/HOQRI iteration (:func:`get_chunk_plans`,
+  memoized on the tensor object like :func:`repro.core.plan.get_plan`).
+  Cache behaviour is observable via the ``parallel.plan_cache.hits`` /
+  ``parallel.plan_cache.misses`` counters and per-chunk
+  ``parallel.plan_build`` spans.
+* **Pluggable execution backends** (:mod:`repro.parallel.backends`):
+  ``"serial"`` (in-line loop), ``"thread"`` (persistent pool; NumPy
+  releases the GIL on the heavy vector ops) and ``"process"``
+  (persistent worker processes with shared-memory operands — true
+  multi-core execution in pure NumPy).
+* **Blocked partial reduction.** Workers accumulate into *compact
+  row-blocks*: each chunk touches only the output rows whose index
+  values appear in its non-zeros, so its partial is ``(rows_c, S)``
+  instead of a private full ``(I, S)`` copy. Total reduction memory is
+  ``I·S + Σ_c rows_c·S ≈ I·S`` rather than ``p·I·S``, and the final
+  reduce is one indexed add per chunk. All partial buffers are declared
+  against the ambient :class:`~repro.runtime.budget.MemoryBudget`.
 """
 
 from __future__ import annotations
 
-import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..core.engine import lattice_ttmc
+from ..core.plan import TTMcPlan, build_plan
 from ..core.s3ttmc import SymmetricInput, _as_ucoo
 from ..formats.partial_sym import PartiallySymmetricTensor
 from ..obs import trace as _trace
 from ..symmetry.combinatorics import sym_storage_size
 from .partition import balanced_partition, estimate_nonzero_costs
 
-__all__ = ["ParallelRunReport", "parallel_s3ttmc", "measure_chunk_costs"]
+__all__ = [
+    "ChunkPlan",
+    "ParallelJob",
+    "ParallelRunReport",
+    "chunk_row_block",
+    "get_chunk_plans",
+    "parallel_s3ttmc",
+    "measure_chunk_costs",
+]
+
+#: Attribute under which chunk plans are memoized on the tensor object
+#: (same convention as :data:`repro.core.plan._CACHE_ATTR`).
+_CACHE_ATTR = "_parallel_chunk_plan_cache"
+#: Attribute caching balanced partitions per ``(n_chunks, rank)``.
+_RANGES_ATTR = "_parallel_ranges_cache"
+
+
+@dataclass(frozen=True)
+class ChunkPlan:
+    """Pattern-only execution state for one non-zero chunk.
+
+    ``rows`` are the sorted distinct output rows the chunk's top-level
+    scatter touches (exactly the distinct index values of its non-zeros);
+    ``row_map`` maps global row ids to ``0..len(rows)-1`` (``-1``
+    elsewhere) and is handed to the engine as ``out_row_map``. ``plan``
+    is the chunk's lattice plan; it is ``None`` for structure-only
+    entries (the process backend builds lattices worker-side).
+    """
+
+    start: int
+    stop: int
+    rows: np.ndarray
+    row_map: np.ndarray
+    plan: Optional[TTMcPlan]
+    build_seconds: float = 0.0
+
+    @property
+    def n_rows(self) -> int:
+        return self.rows.shape[0]
 
 
 @dataclass
 class ParallelRunReport:
-    """Outcome of one parallel kernel run."""
+    """Outcome of one parallel kernel run.
 
-    n_workers: int
-    ranges: List[Tuple[int, int]]
-    chunk_seconds: List[float]
-    elapsed: float
+    All fields default so callers can construct an empty report without
+    dummy values (``ParallelRunReport()``); the executor fills it in.
+    """
+
+    n_workers: int = 0
+    ranges: List[Tuple[int, int]] = field(default_factory=list)
+    chunk_seconds: List[float] = field(default_factory=list)
+    elapsed: float = 0.0
+    backend: str = ""
+    reduction: str = ""
+    plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
+    plan_build_seconds: float = 0.0
+    reduce_seconds: float = 0.0
+
+
+@dataclass(frozen=True)
+class ParallelJob:
+    """Everything a backend needs to run one parallel S³TTMc call."""
+
+    indices: np.ndarray
+    values: np.ndarray
+    dim: int
+    factor: np.ndarray
+    ranges: Tuple[Tuple[int, int], ...]
+    memoize: str
+    cols: int
+    reduction: str
+    tensor: object  # SparseSymmetricTensor — plan-cache anchor
+
+    @property
+    def order(self) -> int:
+        return self.indices.shape[1]
+
+    @property
+    def rank(self) -> int:
+        return self.factor.shape[1]
+
+
+def chunk_row_block(indices: np.ndarray, dim: int) -> Tuple[np.ndarray, np.ndarray]:
+    """``(rows, row_map)`` for one chunk's compact output block.
+
+    ``rows`` is the sorted distinct index values of the chunk (the exact
+    set of output rows its top-level scatter hits); ``row_map`` inverts
+    it over ``[0, dim)`` with ``-1`` for untouched rows.
+    """
+    rows = np.unique(indices)
+    row_map = np.full(dim, -1, dtype=np.int64)
+    row_map[rows] = np.arange(rows.shape[0], dtype=np.int64)
+    return rows, row_map
+
+
+def _plan_cache(tensor) -> dict:
+    cache = getattr(tensor, _CACHE_ATTR, None)
+    if cache is None:
+        cache = {}
+        setattr(tensor, _CACHE_ATTR, cache)
+    return cache
+
+
+def _count_cache(hits: int, misses: int, report: Optional[ParallelRunReport]) -> None:
+    collector = _trace.active_collector()
+    if collector is not None:
+        if hits:
+            collector.metrics.counter("parallel.plan_cache.hits").inc(hits)
+        if misses:
+            collector.metrics.counter("parallel.plan_cache.misses").inc(misses)
+    if report is not None:
+        report.plan_cache_hits += hits
+        report.plan_cache_misses += misses
+
+
+def get_chunk_plans(
+    tensor,
+    ranges: Sequence[Tuple[int, int]],
+    memoize: str = "global",
+    *,
+    with_lattice: bool = True,
+    report: Optional[ParallelRunReport] = None,
+) -> List[ChunkPlan]:
+    """Per-chunk plans for ``tensor`` under ``ranges``, cached on the tensor.
+
+    The cache key is ``(partition, memoize)`` — the pattern of a
+    :class:`~repro.formats.ucoo.SparseSymmetricTensor` is immutable by
+    convention, so each chunk's lattice is built exactly once and reused
+    across all kernel calls and decomposition iterations. Pass
+    ``with_lattice=False`` for structure-only entries (row blocks without
+    lattices — the process backend builds lattices worker-side); a later
+    ``with_lattice=True`` call upgrades the cached entry in place.
+    """
+    cache = _plan_cache(tensor)
+    key = (tuple(ranges), memoize)
+    plans = cache.get(key)
+    if plans is not None and (
+        not with_lattice or all(cp.plan is not None for cp in plans)
+    ):
+        # Structure-only lookups don't count: the hit/miss counters track
+        # lattice builds (the process backend reports its worker-side
+        # builds separately).
+        if with_lattice:
+            _count_cache(len(plans), 0, report)
+        return plans
+
+    indices = tensor.indices
+    dim = tensor.dim
+    hits = 0
+    misses = 0
+    out: List[ChunkPlan] = []
+    for slot, (start, stop) in enumerate(ranges):
+        prev = plans[slot] if plans is not None else None
+        if prev is not None and (prev.plan is not None or not with_lattice):
+            out.append(prev)
+            hits += 1
+            continue
+        misses += 1
+        if prev is not None:
+            rows, row_map = prev.rows, prev.row_map
+        else:
+            rows, row_map = chunk_row_block(indices[start:stop], dim)
+        plan = None
+        build_seconds = 0.0
+        if with_lattice:
+            with _trace.span(
+                "parallel.plan_build", chunk=slot, nz_start=start, nz_stop=stop
+            ):
+                tick = time.perf_counter()
+                plan = build_plan(indices[start:stop], memoize)
+                build_seconds = time.perf_counter() - tick
+        out.append(
+            ChunkPlan(
+                start=start,
+                stop=stop,
+                rows=rows,
+                row_map=row_map,
+                plan=plan,
+                build_seconds=build_seconds,
+            )
+        )
+    cache[key] = out
+    if with_lattice:
+        _count_cache(hits, misses, report)
+        if report is not None:
+            report.plan_build_seconds += sum(cp.build_seconds for cp in out)
+    return out
+
+
+def partition_ranges(
+    tensor, rank: int, n_chunks: int
+) -> Tuple[Tuple[int, int], ...]:
+    """Balanced non-zero partition, cached per ``(n_chunks, rank)``.
+
+    The cost estimate depends on the rank (row widths scale with it) but
+    not on factor values, so the partition — like the plans keyed on it —
+    is stable across iterations.
+    """
+    cache = getattr(tensor, _RANGES_ATTR, None)
+    if cache is None:
+        cache = {}
+        setattr(tensor, _RANGES_ATTR, cache)
+    key = (int(n_chunks), int(rank))
+    ranges = cache.get(key)
+    if ranges is None:
+        costs = estimate_nonzero_costs(tensor.indices, rank)
+        ranges = tuple(
+            r for r in balanced_partition(costs, n_chunks) if r[0] < r[1]
+        )
+        cache[key] = ranges
+    return ranges
 
 
 def parallel_s3ttmc(
     tensor: SymmetricInput,
     factor: np.ndarray,
-    n_workers: int,
+    n_workers: Optional[int] = None,
     *,
+    backend: Union[str, "Backend"] = "thread",
     memoize: str = "global",
+    reduction: str = "blocked",
     report: Optional[ParallelRunReport] = None,
 ) -> PartiallySymmetricTensor:
-    """S³TTMc with ``n_workers`` threads over balanced non-zero ranges."""
+    """S³TTMc over balanced non-zero chunks on a pluggable backend.
+
+    Parameters
+    ----------
+    tensor, factor:
+        As :func:`repro.core.s3ttmc.s3ttmc`.
+    n_workers:
+        Worker count (chunk count equals it). Defaults to the backend's
+        worker count when a live backend instance is passed, else to
+        ``os.cpu_count()``.
+    backend:
+        ``"serial"``, ``"thread"``, ``"process"`` or a live
+        :class:`~repro.parallel.backends.Backend` instance. String
+        backends are created and closed per call; pass an instance (or
+        use ``hooi(..., execution=...)``) to keep process workers — and
+        their worker-side plan caches — alive across iterations.
+    memoize:
+        Lattice memoization scope, forwarded to the chunk plans.
+    reduction:
+        ``"blocked"`` (compact row-block partials, ``~I·S`` reduction
+        memory — the default) or ``"tree"`` (full-width private partials
+        reduced pairwise — the legacy layout, kept for comparison).
+    report:
+        Optional :class:`ParallelRunReport` to fill.
+    """
+    from .backends import Backend, make_backend  # local: avoid import cycle
+
     ucoo = _as_ucoo(tensor)
     factor = np.asarray(factor, dtype=np.float64)
+    if factor.ndim != 2 or factor.shape[0] != ucoo.dim:
+        raise ValueError(f"factor must be ({ucoo.dim}, R), got {factor.shape}")
+    if reduction not in ("blocked", "tree"):
+        raise ValueError(f"unknown reduction {reduction!r}")
     rank = factor.shape[1]
-    costs = estimate_nonzero_costs(ucoo.indices, rank)
-    ranges = [r for r in balanced_partition(costs, n_workers) if r[0] < r[1]]
     cols = sym_storage_size(ucoo.order - 1, rank)
 
-    chunk_seconds = [0.0] * len(ranges)
-    # Worker threads have their own (empty) span stacks; parent their chunk
-    # spans on the submitting thread's current span explicitly. Assigned
-    # inside the parallel.s3ttmc span below, read by the closure at call time.
-    parent_span = None
+    owns_backend = False
+    if isinstance(backend, str):
+        backend = make_backend(backend, n_workers)
+        owns_backend = True
+    elif not isinstance(backend, Backend):
+        raise TypeError(f"backend must be a name or Backend, got {type(backend)!r}")
+    if n_workers is None:
+        n_workers = backend.n_workers
 
-    def run(slot: int) -> np.ndarray:
-        start, stop = ranges[slot]
-        with _trace.span(
-            "parallel.chunk",
-            parent_id=parent_span,
-            chunk=slot,
-            nz_start=start,
-            nz_stop=stop,
-        ) as chunk_span:
-            chunk_span.set_attr("worker", threading.current_thread().name)
-            tick = time.perf_counter()
-            partial = lattice_ttmc(
-                ucoo.indices[start:stop],
-                ucoo.values[start:stop],
-                ucoo.dim,
-                factor,
-                intermediate="compact",
-                memoize=memoize,
-            )
-            chunk_seconds[slot] = time.perf_counter() - tick
-        return partial
-
-    with _trace.span(
-        "parallel.s3ttmc", n_workers=n_workers, n_chunks=len(ranges)
-    ):
-        parent_span = _trace.current_span_id()
-        tick = time.perf_counter()
-        if len(ranges) <= 1:
-            partials = [run(i) for i in range(len(ranges))]
-        else:
-            with ThreadPoolExecutor(max_workers=n_workers) as pool:
-                partials = list(pool.map(run, range(len(ranges))))
-        elapsed = time.perf_counter() - tick
-        data = np.zeros((ucoo.dim, cols), dtype=np.float64)
-        for partial in partials:
-            data += partial
+    ranges = partition_ranges(ucoo, rank, max(1, n_workers))
+    job = ParallelJob(
+        indices=ucoo.indices,
+        values=ucoo.values,
+        dim=ucoo.dim,
+        factor=factor,
+        ranges=ranges,
+        memoize=memoize,
+        cols=cols,
+        reduction=reduction,
+        tensor=ucoo,
+    )
     if report is not None:
         report.n_workers = n_workers
-        report.ranges = ranges
-        report.chunk_seconds = chunk_seconds
+        report.ranges = list(ranges)
+        report.backend = backend.name
+        report.reduction = reduction
+        report.chunk_seconds = [0.0] * len(ranges)
+
+    try:
+        with _trace.span(
+            "parallel.s3ttmc",
+            backend=backend.name,
+            n_workers=n_workers,
+            n_chunks=len(ranges),
+            reduction=reduction,
+        ):
+            tick = time.perf_counter()
+            data = backend.execute(job, report)
+            elapsed = time.perf_counter() - tick
+        collector = _trace.active_collector()
+        if collector is not None:
+            collector.metrics.counter(f"parallel.runs.{backend.name}").inc()
+    finally:
+        if owns_backend:
+            backend.close()
+    if report is not None:
         report.elapsed = elapsed
     return PartiallySymmetricTensor(ucoo.dim, ucoo.order - 1, rank, data)
 
@@ -114,27 +365,30 @@ def measure_chunk_costs(
     memoize: str = "global",
     repeats: int = 1,
 ) -> List[float]:
-    """Serial per-chunk wall times for ``n_chunks`` balanced ranges.
+    """Serial per-chunk *numeric* wall times for ``n_chunks`` balanced ranges.
 
     These are the inputs to the Figure-6 scaling simulator: measured on one
-    core, scheduled analytically onto ``p`` workers.
+    core, scheduled analytically onto ``p`` workers. Chunk plans are built
+    (and cached) up front, so the measured cost is the per-iteration numeric
+    work — matching the paper's amortized-CSS-tree accounting.
     """
     ucoo = _as_ucoo(tensor)
     factor = np.asarray(factor, dtype=np.float64)
-    costs = estimate_nonzero_costs(ucoo.indices, factor.shape[1])
-    ranges = [r for r in balanced_partition(costs, n_chunks) if r[0] < r[1]]
+    ranges = partition_ranges(ucoo, factor.shape[1], n_chunks)
+    plans = get_chunk_plans(ucoo, ranges, memoize)
     out = []
-    for start, stop in ranges:
+    for cp in plans:
         best = np.inf
         for _ in range(max(1, repeats)):
             tick = time.perf_counter()
             lattice_ttmc(
-                ucoo.indices[start:stop],
-                ucoo.values[start:stop],
+                ucoo.indices[cp.start : cp.stop],
+                ucoo.values[cp.start : cp.stop],
                 ucoo.dim,
                 factor,
                 intermediate="compact",
                 memoize=memoize,
+                plan=cp.plan,
             )
             best = min(best, time.perf_counter() - tick)
         out.append(float(best))

@@ -15,7 +15,12 @@ import numpy as np
 
 from ..symmetry.combinatorics import binomial, sym_storage_size
 
-__all__ = ["estimate_nonzero_costs", "block_partition", "balanced_partition"]
+__all__ = [
+    "estimate_nonzero_costs",
+    "block_partition",
+    "balanced_partition",
+    "assign_chunks",
+]
 
 
 def estimate_nonzero_costs(
@@ -79,3 +84,25 @@ def balanced_partition(costs: np.ndarray, n_parts: int) -> List[Tuple[int, int]]
     bounds[0], bounds[-1] = 0, n
     bounds = np.maximum.accumulate(bounds)
     return [(int(bounds[i]), int(bounds[i + 1])) for i in range(n_parts)]
+
+
+def assign_chunks(sizes: "np.ndarray | List[float]", n_workers: int) -> List[List[int]]:
+    """LPT assignment of chunk ids to workers.
+
+    Greedy longest-processing-time: chunks sorted by decreasing ``sizes``
+    go to the currently least-loaded worker. With ``n_chunks == n_workers``
+    (the executor default) this degenerates to one chunk per worker; with
+    over-decomposition it balances uneven chunks.
+    """
+    if n_workers < 1:
+        raise ValueError("n_workers must be >= 1")
+    sizes = np.asarray(sizes, dtype=np.float64)
+    assignment: List[List[int]] = [[] for _ in range(n_workers)]
+    loads = np.zeros(n_workers, dtype=np.float64)
+    for chunk in np.argsort(-sizes, kind="stable"):
+        worker = int(np.argmin(loads))
+        assignment[worker].append(int(chunk))
+        loads[worker] += sizes[chunk]
+    for chunks in assignment:
+        chunks.sort()
+    return assignment

@@ -1,0 +1,271 @@
+"""Shared-memory plumbing for the process execution backend.
+
+The process backend ships operands to persistent worker processes via
+``multiprocessing.shared_memory`` instead of pickling them per call:
+
+* **indices / values** — written once per tensor generation, mapped
+  read-only by every worker;
+* **factor** — one buffer rewritten in place each kernel call (it is the
+  only operand that changes across HOOI/HOQRI iterations; same name ⇒
+  workers keep their mapping);
+* **results** — each worker owns one growable output buffer into which
+  it writes its chunks' compact row-block partials back-to-back; only
+  the (name, shape) spec crosses the pipe.
+
+Workers cache their chunk plans across calls keyed on
+``(tensor generation, chunk range, memoize)`` — the process-side half of
+the executor's plan cache, which is what makes iteration 2..n of a
+decomposition pay zero symbolic cost on every core.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import resource_tracker
+from multiprocessing.connection import Connection
+from multiprocessing.shared_memory import SharedMemory
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "ShmArraySpec",
+    "create_shared_array",
+    "attach_shared_array",
+    "close_and_unlink",
+    "worker_main",
+]
+
+
+@dataclass(frozen=True)
+class ShmArraySpec:
+    """Picklable handle to a NumPy array living in a shared segment."""
+
+    name: str
+    shape: Tuple[int, ...]
+    dtype: str
+
+    @property
+    def nbytes(self) -> int:
+        n = np.dtype(self.dtype).itemsize
+        for extent in self.shape:
+            n *= int(extent)
+        return n
+
+
+def create_shared_array(
+    array: np.ndarray, *, name_hint: str = ""
+) -> Tuple[SharedMemory, np.ndarray, ShmArraySpec]:
+    """Copy ``array`` into a fresh shared segment.
+
+    Returns ``(shm, view, spec)``; the creator owns the segment and must
+    :func:`close_and_unlink` it when done. ``name_hint`` is only a debug
+    aid — the kernel assigns the actual unique name.
+    """
+    array = np.ascontiguousarray(array)
+    shm = SharedMemory(create=True, size=max(1, array.nbytes))
+    view = np.ndarray(array.shape, dtype=array.dtype, buffer=shm.buf)
+    view[...] = array
+    return shm, view, ShmArraySpec(shm.name, tuple(array.shape), str(array.dtype))
+
+
+def attach_shared_array(
+    spec: ShmArraySpec, *, writeable: bool = False, untrack: bool = False
+) -> Tuple[SharedMemory, np.ndarray]:
+    """Map an existing segment; the attachment never owns the segment.
+
+    ``untrack=True`` works around bpo-38119 for **spawn**-started
+    processes: their private ``resource_tracker`` registers the attach
+    and would unlink the creator's segment at exit. Under **fork** the
+    tracker is shared with the creator, registration is set-deduplicated,
+    and unregistering here would instead *cancel* the creator's
+    registration — so leave it off (the default).
+    """
+    shm = SharedMemory(name=spec.name)
+    if untrack:
+        try:  # pragma: no cover - tracker internals vary across versions
+            resource_tracker.unregister(shm._name, "shared_memory")  # type: ignore[attr-defined]
+        except Exception:
+            pass
+    view = np.ndarray(spec.shape, dtype=np.dtype(spec.dtype), buffer=shm.buf)
+    if not writeable:
+        view.flags.writeable = False
+    return shm, view
+
+
+def close_and_unlink(shm: Optional[SharedMemory]) -> None:
+    """Best-effort teardown (idempotent; segments may already be gone)."""
+    if shm is None:
+        return
+    try:
+        shm.close()
+    except Exception:
+        pass
+    try:
+        shm.unlink()
+    except Exception:
+        pass
+
+
+# ---------------------------------------------------------------------------
+# Worker process
+# ---------------------------------------------------------------------------
+
+
+class _WorkerState:
+    """Everything one worker process keeps alive between calls."""
+
+    def __init__(self, untrack_attach: bool = False) -> None:
+        self.untrack_attach = untrack_attach
+        self.tensor_gen = -1
+        self.dim = 0
+        self.segments: Dict[str, SharedMemory] = {}
+        self.indices: Optional[np.ndarray] = None
+        self.values: Optional[np.ndarray] = None
+        self.factor: Optional[np.ndarray] = None
+        self.factor_name = ""
+        # (tensor_gen, start, stop, memoize) -> (plan, rows, row_map)
+        self.plan_cache: Dict[tuple, tuple] = {}
+        self.result: Optional[SharedMemory] = None
+
+    def attach(self, key: str, spec: ShmArraySpec) -> np.ndarray:
+        old = self.segments.pop(key, None)
+        if old is not None:
+            try:
+                old.close()
+            except Exception:
+                pass
+        shm, view = attach_shared_array(spec, untrack=self.untrack_attach)
+        self.segments[key] = shm
+        return view
+
+    def ensure_result(self, nbytes: int) -> SharedMemory:
+        if self.result is not None and self.result.size >= nbytes:
+            return self.result
+        close_and_unlink(self.result)
+        self.result = SharedMemory(create=True, size=max(1, nbytes))
+        return self.result
+
+    def teardown(self) -> None:
+        for shm in self.segments.values():
+            try:
+                shm.close()
+            except Exception:
+                pass
+        self.segments.clear()
+        close_and_unlink(self.result)
+        self.result = None
+
+
+def _run_chunks(state: _WorkerState, chunks, memoize: str, cols: int):
+    """Evaluate assigned chunks into the worker's result buffer."""
+    import time
+
+    from ..core.engine import lattice_ttmc
+    from ..core.plan import build_plan
+    from .executor import chunk_row_block
+
+    assert state.indices is not None and state.values is not None
+    assert state.factor is not None
+    total_rows = 0
+    prepared = []
+    for slot, start, stop in chunks:
+        key = (state.tensor_gen, start, stop, memoize)
+        cached = state.plan_cache.get(key)
+        build_seconds = 0.0
+        hit = cached is not None
+        if cached is None:
+            tick = time.perf_counter()
+            rows, row_map = chunk_row_block(state.indices[start:stop], state.dim)
+            plan = build_plan(state.indices[start:stop], memoize)
+            build_seconds = time.perf_counter() - tick
+            cached = (plan, rows, row_map)
+            state.plan_cache[key] = cached
+        prepared.append((slot, start, stop, cached, build_seconds, hit))
+        total_rows += cached[1].shape[0]
+
+    shm = state.ensure_result(total_rows * cols * 8)
+    buffer = np.ndarray((total_rows, cols), dtype=np.float64, buffer=shm.buf)
+    metas = []
+    offset = 0
+    for slot, start, stop, (plan, rows, row_map), build_seconds, hit in prepared:
+        n_rows = rows.shape[0]
+        block = buffer[offset : offset + n_rows]
+        block[...] = 0.0
+        tick = time.perf_counter()
+        lattice_ttmc(
+            state.indices[start:stop],
+            state.values[start:stop],
+            state.dim,
+            state.factor,
+            intermediate="compact",
+            memoize=memoize,
+            out=block,
+            out_row_map=row_map,
+            plan=plan,
+        )
+        numeric_seconds = time.perf_counter() - tick
+        metas.append((slot, offset, n_rows, build_seconds, numeric_seconds, hit))
+        offset += n_rows
+    spec = ShmArraySpec(shm.name, (total_rows, cols), "float64")
+    return spec, metas
+
+
+def worker_main(
+    conn: Connection, worker_id: int, untrack_attach: bool = False
+) -> None:
+    """Persistent worker loop; one per process, fed over a duplex pipe.
+
+    Messages (tuples, first element is the op):
+
+    ``("tensor", gen, idx_spec, val_spec, dim)``
+        Attach a new tensor generation read-only; invalidates nothing —
+        old plans stay keyed under their generation.
+    ``("factor", spec)``
+        (Re-)attach the factor buffer. The parent rewrites the segment in
+        place between calls; a new name arrives only when the shape grew.
+    ``("run", chunks, memoize, cols)``
+        Evaluate ``chunks`` (``(slot, start, stop)`` triples); reply
+        ``("done", result_spec, metas)`` with per-chunk
+        ``(slot, row_offset, n_rows, build_s, numeric_s, plan_cache_hit)``.
+    ``("close",)``
+        Tear down segments and exit.
+    """
+    state = _WorkerState(untrack_attach)
+    try:
+        while True:
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError):
+                break
+            op = msg[0]
+            try:
+                if op == "tensor":
+                    _op, gen, idx_spec, val_spec, dim = msg
+                    state.tensor_gen = gen
+                    state.dim = dim
+                    state.indices = state.attach("indices", idx_spec)
+                    state.values = state.attach("values", val_spec)
+                elif op == "factor":
+                    spec = msg[1]
+                    state.factor = state.attach("factor", spec)
+                    state.factor_name = spec.name
+                elif op == "run":
+                    _op, chunks, memoize, cols = msg
+                    spec, metas = _run_chunks(state, chunks, memoize, cols)
+                    conn.send(("done", spec, metas))
+                elif op == "close":
+                    conn.send(("closed",))
+                    break
+                else:  # pragma: no cover - protocol misuse
+                    conn.send(("error", f"unknown op {op!r}"))
+            except Exception as exc:  # surface worker failures to the parent
+                import traceback
+
+                conn.send(("error", f"{exc!r}\n{traceback.format_exc()}"))
+    finally:
+        state.teardown()
+        try:
+            conn.close()
+        except Exception:
+            pass

@@ -103,21 +103,71 @@ class TestEngineChunking:
             lattice_ttmc(x.indices, x.values, 6, rng.random((6, 2)), intermediate="banded")
 
 
+class TestOutRowMap:
+    def test_compact_row_block_matches_full(self, rng):
+        """out_row_map writes each global row into its local slot."""
+        from repro.parallel import chunk_row_block
+
+        x = make_random_tensor(4, 12, 50, rng)
+        u = rng.random((12, 3))
+        start, stop = 5, min(30, x.unnz)
+        full = lattice_ttmc(x.indices[start:stop], x.values[start:stop], x.dim, u)
+        rows, row_map = chunk_row_block(x.indices[start:stop], x.dim)
+        out = np.zeros((rows.shape[0], full.shape[1]))
+        lattice_ttmc(
+            x.indices[start:stop],
+            x.values[start:stop],
+            x.dim,
+            u,
+            out=out,
+            out_row_map=row_map,
+        )
+        assert np.allclose(out, full[rows], atol=1e-12)
+        untouched = np.setdiff1d(np.arange(x.dim), rows)
+        assert np.allclose(full[untouched], 0.0)
+
+    def test_row_map_requires_out(self, rng):
+        x = make_random_tensor(3, 6, 15, rng)
+        u = rng.random((6, 2))
+        row_map = np.arange(6, dtype=np.int64)
+        with pytest.raises(ValueError):
+            lattice_ttmc(x.indices, x.values, x.dim, u, out_row_map=row_map)
+
+    def test_row_map_shape_validation(self, rng):
+        x = make_random_tensor(3, 6, 15, rng)
+        u = rng.random((6, 2))
+        out = np.zeros((6, 3))
+        with pytest.raises(ValueError):
+            lattice_ttmc(
+                x.indices,
+                x.values,
+                x.dim,
+                u,
+                out=out,
+                out_row_map=np.arange(4, dtype=np.int64),
+            )
+
+
 class TestBudgetLifecycle:
-    def test_in_use_returns_to_output_only(self, rng):
-        """After a kernel run, only the returned Y remains accounted."""
+    def test_in_use_returns_to_baseline(self, rng):
+        """The kernel releases every byte it requested — including the Y it
+        returns (release-on-handoff: ownership transfers to the caller at
+        return, so repeated calls must not drift the accounting)."""
         from repro.runtime.budget import MemoryBudget
 
         x = make_random_tensor(4, 10, 40, rng)
         u = rng.random((10, 3))
         with MemoryBudget() as budget:
-            y = s3ttmc(x, u)
-            # Lattice structure bytes stay (cached plan) + output; all
-            # transient K-levels and gather tables must be released.
+            s3ttmc(x, u)
+            # Lattice structure bytes stay (cached plan); all transient
+            # K-levels, gather tables and the handed-off Y are released.
             leftovers = {
                 k: v
                 for k, v in budget.allocations.items()
-                if k.startswith("K level") or "gather" in k
+                if k.startswith("K level") or "gather" in k or k.startswith("Y (")
             }
             assert leftovers == {}, leftovers
-            assert budget.in_use >= y.nbytes
+            baseline = budget.in_use
+            for _ in range(3):
+                s3ttmc(x, u)
+            assert budget.in_use == baseline

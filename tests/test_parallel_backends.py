@@ -1,0 +1,229 @@
+"""Backend v2 tests: correctness across backends, plan-cache reuse,
+blocked reduction, process-worker persistence, and decomposition wiring."""
+
+import numpy as np
+import pytest
+
+from repro.core import s3ttmc
+from repro.decomp import hooi, hoqri
+from repro.obs.trace import TraceCollector
+from repro.parallel import (
+    BACKENDS,
+    ParallelRunReport,
+    chunk_row_block,
+    get_chunk_plans,
+    make_backend,
+    parallel_s3ttmc,
+)
+from repro.parallel.partition import assign_chunks
+from tests.conftest import make_random_tensor
+
+
+def _counter(col, name):
+    metric = col.metrics.counter(name)
+    return metric.value
+
+
+class TestBackendCorrectness:
+    @pytest.mark.parametrize("backend", sorted(BACKENDS))
+    @pytest.mark.parametrize("order", [3, 4, 5])
+    def test_matches_serial_kernel(self, backend, order, rng):
+        x = make_random_tensor(order, 10, 50, rng)
+        u = rng.random((10, 3))
+        serial = s3ttmc(x, u).unfolding
+        got = parallel_s3ttmc(x, u, 3, backend=backend).unfolding
+        assert np.allclose(got, serial, atol=1e-10), backend
+
+    def test_tree_reduction_matches_blocked(self, rng):
+        x = make_random_tensor(4, 12, 60, rng)
+        u = rng.random((12, 3))
+        blocked = parallel_s3ttmc(x, u, 4, backend="thread", reduction="blocked")
+        tree = parallel_s3ttmc(x, u, 4, backend="thread", reduction="tree")
+        assert np.allclose(blocked.unfolding, tree.unfolding, atol=1e-12)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            make_backend("gpu")
+
+    def test_unknown_reduction_rejected(self, rng):
+        x = make_random_tensor(3, 8, 20, rng)
+        with pytest.raises(ValueError):
+            parallel_s3ttmc(x, rng.random((8, 2)), 2, reduction="atomic")
+
+    def test_backend_instance_reused(self, rng):
+        x = make_random_tensor(4, 10, 40, rng)
+        u1 = rng.random((10, 3))
+        u2 = rng.random((10, 3))
+        with make_backend("thread", 2) as backend:
+            y1 = parallel_s3ttmc(x, u1, backend=backend).unfolding
+            y2 = parallel_s3ttmc(x, u2, backend=backend).unfolding
+        assert np.allclose(y1, s3ttmc(x, u1).unfolding, atol=1e-10)
+        assert np.allclose(y2, s3ttmc(x, u2).unfolding, atol=1e-10)
+
+
+class TestChunkPlanCache:
+    def test_each_chunk_lattice_built_once(self, rng, monkeypatch):
+        """Across repeated kernel calls, ``build_plan`` runs once per chunk."""
+        import repro.parallel.executor as executor
+
+        x = make_random_tensor(4, 10, 60, rng)
+        u = rng.random((10, 3))
+        calls = []
+        real = executor.build_plan
+
+        def spy(indices, memoize="global", *args, **kwargs):
+            calls.append(indices.shape)
+            return real(indices, memoize, *args, **kwargs)
+
+        monkeypatch.setattr(executor, "build_plan", spy)
+        report = ParallelRunReport()
+        parallel_s3ttmc(x, u, 3, backend="serial", report=report)
+        n_chunks = len(report.ranges)
+        assert len(calls) == n_chunks
+        for _ in range(3):
+            parallel_s3ttmc(x, u, 3, backend="serial")
+        assert len(calls) == n_chunks  # warm: zero symbolic work
+
+    def test_cache_counters(self, rng):
+        x = make_random_tensor(4, 10, 60, rng)
+        u = rng.random((10, 3))
+        with TraceCollector() as col:
+            report = ParallelRunReport()
+            parallel_s3ttmc(x, u, 2, backend="thread", report=report)
+            n_chunks = len(report.ranges)
+            assert _counter(col, "parallel.plan_cache.misses") == n_chunks
+            warm = ParallelRunReport()
+            parallel_s3ttmc(x, u, 2, backend="thread", report=warm)
+            assert _counter(col, "parallel.plan_cache.hits") == n_chunks
+            assert warm.plan_cache_hits == n_chunks
+            assert warm.plan_cache_misses == 0
+            assert _counter(col, "parallel.runs.thread") == 2
+            assert len(col.find("parallel.plan_build")) == n_chunks
+
+    def test_structure_only_upgrade(self, rng):
+        """A with_lattice=False entry is upgraded in place, not rebuilt."""
+        x = make_random_tensor(3, 8, 30, rng)
+        mid = x.unnz // 2
+        ranges = ((0, mid), (mid, x.unnz))
+        bare = get_chunk_plans(x, ranges, with_lattice=False)
+        assert all(cp.plan is None for cp in bare)
+        full = get_chunk_plans(x, ranges, with_lattice=True)
+        assert all(cp.plan is not None for cp in full)
+        assert full[0].rows is bare[0].rows  # row blocks carried over
+
+    def test_chunk_row_block_roundtrip(self, rng):
+        x = make_random_tensor(4, 12, 40, rng)
+        rows, row_map = chunk_row_block(x.indices[5:25], x.dim)
+        assert np.array_equal(rows, np.unique(x.indices[5:25]))
+        assert np.array_equal(row_map[rows], np.arange(rows.shape[0]))
+        untouched = np.setdiff1d(np.arange(x.dim), rows)
+        assert np.all(row_map[untouched] == -1)
+
+
+class TestProcessBackend:
+    def test_worker_plan_cache_persists(self, rng):
+        x = make_random_tensor(4, 10, 50, rng)
+        u = rng.random((10, 3))
+        with make_backend("process", 2) as backend:
+            cold = ParallelRunReport()
+            parallel_s3ttmc(x, u, backend=backend, report=cold)
+            assert cold.plan_cache_misses == len(cold.ranges)
+            warm = ParallelRunReport()
+            parallel_s3ttmc(x, u, backend=backend, report=warm)
+            assert warm.plan_cache_misses == 0
+            assert warm.plan_cache_hits == len(warm.ranges)
+
+    def test_factor_rewrite_in_place(self, rng):
+        """Changed factor values (same shape) reach workers via the shm
+        rewrite; results track the new factor."""
+        x = make_random_tensor(3, 9, 30, rng)
+        u1 = rng.random((9, 2))
+        u2 = rng.random((9, 2))
+        with make_backend("process", 2) as backend:
+            parallel_s3ttmc(x, u1, backend=backend)
+            y2 = parallel_s3ttmc(x, u2, backend=backend).unfolding
+        assert np.allclose(y2, s3ttmc(x, u2).unfolding, atol=1e-10)
+
+    def test_report_backend_label(self, rng):
+        x = make_random_tensor(3, 8, 20, rng)
+        u = rng.random((8, 2))
+        for name in sorted(BACKENDS):
+            report = ParallelRunReport()
+            parallel_s3ttmc(x, u, 2, backend=name, report=report)
+            assert report.backend == name
+            assert report.reduction == "blocked"
+            assert report.elapsed > 0
+
+
+class TestAssignChunks:
+    def test_lpt_balances(self):
+        assignment = assign_chunks([5.0, 4.0, 3.0, 3.0, 2.0, 1.0], 2)
+        loads = [sum([5.0, 4.0, 3.0, 3.0, 2.0, 1.0][i] for i in w) for w in assignment]
+        assert abs(loads[0] - loads[1]) <= 2.0
+        assert sorted(i for w in assignment for i in w) == list(range(6))
+
+    def test_one_chunk_per_worker(self):
+        assignment = assign_chunks([1.0, 1.0, 1.0], 3)
+        assert sorted(map(tuple, assignment)) == [(0,), (1,), (2,)]
+
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError):
+            assign_chunks([1.0], 0)
+
+
+class TestReportDefaults:
+    def test_all_fields_default(self):
+        report = ParallelRunReport()
+        assert report.n_workers == 0
+        assert report.ranges == []
+        assert report.chunk_seconds == []
+        assert report.elapsed == 0.0
+        assert report.backend == ""
+        assert report.plan_cache_hits == 0
+        assert report.plan_cache_misses == 0
+
+
+class TestDecompositionWiring:
+    @pytest.mark.parametrize("execution", ["thread", "process"])
+    def test_hooi_matches_serial(self, execution, rng):
+        x = make_random_tensor(4, 12, 50, rng)
+        base = hooi(x, 3, max_iters=3, seed=5)
+        got = hooi(x, 3, max_iters=3, seed=5, execution=execution, n_workers=2)
+        assert np.allclose(got.factor, base.factor, atol=1e-9)
+        assert np.allclose(got.trace.objective, base.trace.objective, atol=1e-9)
+
+    def test_hoqri_matches_serial(self, rng):
+        x = make_random_tensor(4, 12, 50, rng)
+        base = hoqri(x, 3, max_iters=3, seed=5)
+        got = hoqri(x, 3, max_iters=3, seed=5, execution="thread", n_workers=2)
+        assert np.allclose(got.factor, base.factor, atol=1e-9)
+
+    def test_warmed_cache_across_iterations(self, rng):
+        """5-iteration HOOI on the parallel backend builds each chunk's
+        lattice exactly once — iterations 2..5 pay zero symbolic cost."""
+        x = make_random_tensor(4, 12, 50, rng)
+        with TraceCollector() as col:
+            hooi(x, 3, max_iters=5, tol=0.0, seed=5, execution="thread", n_workers=2)
+        runs = col.find("parallel.s3ttmc")
+        builds = col.find("parallel.plan_build")
+        assert len(runs) == 5
+        n_chunks = _counter(col, "parallel.plan_cache.misses")
+        assert len(builds) == n_chunks  # one build per chunk, ever
+        assert _counter(col, "parallel.plan_cache.hits") == 4 * n_chunks
+
+    def test_execution_requires_symprop(self, rng):
+        x = make_random_tensor(3, 8, 20, rng)
+        with pytest.raises(ValueError, match="symprop"):
+            hooi(x, 2, execution="thread", kernel="css")
+        with pytest.raises(ValueError, match="symprop"):
+            hoqri(x, 2, execution="process", kernel="nary")
+
+    def test_n_workers_requires_parallel_execution(self, rng):
+        x = make_random_tensor(3, 8, 20, rng)
+        with pytest.raises(ValueError, match="n_workers"):
+            hooi(x, 2, n_workers=2)
+
+    def test_unknown_execution(self, rng):
+        x = make_random_tensor(3, 8, 20, rng)
+        with pytest.raises(ValueError, match="execution"):
+            hooi(x, 2, execution="cluster")
