@@ -29,6 +29,7 @@ from repro.decomp.hosvd import random_init
 from repro.perfmodel.memory import kernel_footprint, suggest_nz_batch
 from repro.perfmodel.predict import RateCalibration, kernel_flops_model
 from repro.runtime.budget import MemoryBudget, MemoryLimitError
+from repro.runtime.context import ExecContext
 
 BUDGET_GB = float(os.environ.get("REPRO_BENCH_BUDGET_GB", "1.5"))
 REPEATS = int(os.environ.get("REPRO_BENCH_REPEATS", "1"))
@@ -95,8 +96,14 @@ def measure_cell(
     try:
         # maybe_trace honours REPRO_TRACE=path.jsonl: every cell of every
         # benchmark appends its span/metric records with zero script changes.
-        with maybe_trace():
-            with MemoryBudget(gigabytes=budget_gb):
+        # Each cell runs under its own ExecContext (fresh budget, the trace
+        # collector when tracing) so cells never share peaks or records;
+        # format/plan construction in build() shares the budget with the
+        # timed repeats, as the paper's pre-built formats do.
+        with maybe_trace() as collector:
+            with ExecContext(
+                budget=MemoryBudget(gigabytes=budget_gb), collector=collector
+            ):
                 fn = build()
                 times = []
                 for _ in range(max(1, repeats)):

@@ -55,7 +55,7 @@ from .hypergraph import Hypergraph, adjacency_tensor
 from .apps import symmetric_apply
 from .cp import symmetric_cp_als, symmetric_mttkrp
 from .obs import TraceCollector
-from .runtime import MemoryBudget, MemoryLimitError
+from .runtime import ExecContext, MemoryBudget, MemoryLimitError, current_context
 from .validation import verify_kernels
 
 __version__ = "1.0.0"
@@ -80,6 +80,8 @@ __all__ = [
     "dataset_names",
     "DATASETS",
     "MemoryBudget",
+    "ExecContext",
+    "current_context",
     "TraceCollector",
     "symmetric_apply",
     "symmetric_cp_als",

@@ -18,6 +18,7 @@ from ..core.engine import DEFAULT_BLOCK_BYTES, lattice_ttmc
 from ..core.plan import TTMcPlan, get_plan
 from ..core.s3ttmc import SymmetricInput, _as_ucoo
 from ..core.stats import KernelStats
+from ..runtime.context import ExecContext, resolve_context
 
 __all__ = ["css_s3ttmc", "css_s3ttmc_tc"]
 
@@ -31,12 +32,14 @@ def css_s3ttmc(
     nz_batch_size: Optional[int] = None,
     block_bytes: int = DEFAULT_BLOCK_BYTES,
     plan: Optional[TTMcPlan] = None,
+    ctx: Optional[ExecContext] = None,
 ) -> np.ndarray:
     """CSS-format S³TTMc with full intermediates.
 
     Returns the full matricized ``Y_(1) ∈ R^{I × R^{N-1}}`` (row-major
     column layout matching Eq. 3's Kronecker flattening).
     """
+    ctx = resolve_context(ctx)
     ucoo = _as_ucoo(tensor)
     factor = np.asarray(factor, dtype=np.float64)
     if plan is None:
@@ -52,6 +55,7 @@ def css_s3ttmc(
         nz_batch_size=nz_batch_size,
         block_bytes=block_bytes,
         plan=plan,
+        ctx=ctx,
     )
 
 
@@ -63,6 +67,7 @@ def css_s3ttmc_tc(
     stats: Optional[KernelStats] = None,
     nz_batch_size: Optional[int] = None,
     block_bytes: int = DEFAULT_BLOCK_BYTES,
+    ctx: Optional[ExecContext] = None,
 ) -> np.ndarray:
     """TTMcTC on the CSS baseline: full ``Y_(1)``, full core, two GEMMs.
 
@@ -78,6 +83,7 @@ def css_s3ttmc_tc(
         stats=stats,
         nz_batch_size=nz_batch_size,
         block_bytes=block_bytes,
+        ctx=ctx,
     )
     c1 = factor.T @ y1
     if stats is not None:

@@ -21,7 +21,7 @@ from ..core._segment import scatter_add_rows
 from ..core.stats import KernelStats
 from ..formats.partial_sym import PartiallySymmetricTensor
 from ..formats.ucoo import SparseSymmetricTensor
-from ..runtime.budget import release_bytes, request_bytes
+from ..runtime.context import ExecContext, resolve_context
 from ..symmetry.permutations import expand_iou
 
 __all__ = ["nary_ttmc_tc", "nary_hoqri_step"]
@@ -36,6 +36,7 @@ def nary_ttmc_tc(
     *,
     stats: Optional[KernelStats] = None,
     chunk: int = _DEFAULT_CHUNK,
+    ctx: Optional[ExecContext] = None,
 ) -> np.ndarray:
     """``A ∈ R^{I×R}`` via per-non-zero n-ary contraction.
 
@@ -52,6 +53,7 @@ def nary_ttmc_tc(
     chunk:
         Number of expanded non-zeros processed per vectorized block.
     """
+    ctx = resolve_context(ctx)
     factor = np.asarray(factor, dtype=np.float64)
     order = tensor.order
     rank = factor.shape[1]
@@ -60,9 +62,10 @@ def nary_ttmc_tc(
     if core.sym_dim != rank or core.nrows != rank or core.sym_order != order - 1:
         raise ValueError("core shape does not match tensor/factor")
 
-    c1 = core.to_full_unfolding()  # (R, R^{N-1}); budget-accounted
+    with ctx.scope():
+        c1 = core.to_full_unfolding()  # (R, R^{N-1}); budget-accounted
     exp_idx, exp_val, _ = expand_iou(tensor.indices, tensor.values)
-    request_bytes(exp_idx.nbytes + exp_val.nbytes, "n-ary expanded nonzeros")
+    ctx.request_bytes(exp_idx.nbytes + exp_val.nbytes, "n-ary expanded nonzeros")
     nnz = exp_val.shape[0]
 
     a = np.zeros((tensor.dim, rank), dtype=np.float64)
@@ -74,19 +77,19 @@ def nary_ttmc_tc(
         n = block.shape[0]
         # Kronecker chain over modes 2..N (row-major, mode 2 slowest).
         w = factor[block[:, 1]]
-        request_bytes(n * width * 8, "n-ary kron chain")
+        ctx.request_bytes(n * width * 8, "n-ary kron chain")
         for t in range(2, order):
             w = (w[:, :, None] * factor[block[:, t]][:, None, :]).reshape(n, -1)
         contrib = (w @ c1.T) * vals[:, None]
         scatter_add_rows(a, block[:, 0], contrib)
-        release_bytes(n * width * 8, "n-ary kron chain")
+        ctx.release_bytes(n * width * 8, "n-ary kron chain")
         if stats is not None:
             # Kron chain: sum_{t=2..N-1} n * R^t multiplies.
             for t in range(2, order):
                 stats.level_flops[t] = stats.level_flops.get(t, 0) + n * rank**t
             stats.add_gemm(n, rank, width)
             stats.add_scatter(n, rank)
-    release_bytes(exp_idx.nbytes + exp_val.nbytes, "n-ary expanded nonzeros")
+    ctx.release_bytes(exp_idx.nbytes + exp_val.nbytes, "n-ary expanded nonzeros")
     if stats is not None:
         stats.output_bytes = a.nbytes
     return a
@@ -98,6 +101,7 @@ def nary_hoqri_step(
     *,
     stats: Optional[KernelStats] = None,
     chunk: int = _DEFAULT_CHUNK,
+    ctx: Optional[ExecContext] = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """One full HOQRI iteration body in the original intermediate-free style.
 
@@ -109,6 +113,7 @@ def nary_hoqri_step(
 
     Returns ``(A, C_(1))`` with ``A ∈ R^{I×R}`` and ``C_(1) ∈ R^{R×R^{N-1}}``.
     """
+    ctx = resolve_context(ctx)
     factor = np.asarray(factor, dtype=np.float64)
     order = tensor.order
     rank = factor.shape[1]
@@ -116,8 +121,8 @@ def nary_hoqri_step(
         raise ValueError(f"factor must be ({tensor.dim}, R)")
     width = rank ** (order - 1)
     exp_idx, exp_val, _ = expand_iou(tensor.indices, tensor.values)
-    request_bytes(exp_idx.nbytes + exp_val.nbytes, "n-ary expanded nonzeros")
-    request_bytes(rank * width * 8, "n-ary full core")
+    ctx.request_bytes(exp_idx.nbytes + exp_val.nbytes, "n-ary expanded nonzeros")
+    ctx.request_bytes(rank * width * 8, "n-ary full core")
     nnz = exp_val.shape[0]
 
     def chains(start: int, stop: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -150,7 +155,7 @@ def nary_hoqri_step(
         scatter_add_rows(a, block[:, 0], contrib)
         if stats is not None:
             stats.add_gemm(stop - start, rank, width)
-    release_bytes(exp_idx.nbytes + exp_val.nbytes, "n-ary expanded nonzeros")
+    ctx.release_bytes(exp_idx.nbytes + exp_val.nbytes, "n-ary expanded nonzeros")
     if stats is not None:
         stats.output_bytes = a.nbytes
     return a, c1

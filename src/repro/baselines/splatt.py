@@ -21,7 +21,7 @@ from ..core._segment import segment_sum_by_ptr
 from ..core.stats import KernelStats
 from ..formats.csf import CSFTensor
 from ..formats.ucoo import SparseSymmetricTensor
-from ..runtime.budget import release_bytes, request_bytes
+from ..runtime.context import ExecContext, resolve_context
 
 __all__ = ["splatt_ttmc", "csf_ttmc"]
 
@@ -31,6 +31,7 @@ def csf_ttmc(
     factor: np.ndarray,
     *,
     stats: Optional[KernelStats] = None,
+    ctx: Optional[ExecContext] = None,
 ) -> np.ndarray:
     """TTMc over all modes except the CSF root mode.
 
@@ -40,6 +41,7 @@ def csf_ttmc(
     ``kron(U[v, :], payload(child))``. Root payloads are the rows of the
     full ``Y_(root mode) ∈ R^{I × R^{N-1}}``.
     """
+    ctx = resolve_context(ctx)
     factor = np.asarray(factor, dtype=np.float64)
     if factor.ndim != 2 or factor.shape[0] != csf.dim:
         raise ValueError(f"factor must be ({csf.dim}, R), got {factor.shape}")
@@ -51,30 +53,30 @@ def csf_ttmc(
     # payload = scalar value.
     payload = segment_sum_by_ptr(csf.values[:, None], trie.child_ptr[order - 1])
     payload_label = f"CSF payload depth {order}"
-    request_bytes(payload.nbytes, payload_label)
+    ctx.request_bytes(payload.nbytes, payload_label)
     for depth in range(order - 1, 0, -1):
         child_values = trie.values[depth]  # nodes at depth+1 (0-based list)
         n_children = child_values.shape[0]
         width = payload.shape[1]
         contrib_label = f"CSF contrib depth {depth}"
-        request_bytes(n_children * rank * width * 8, contrib_label)
+        ctx.request_bytes(n_children * rank * width * 8, contrib_label)
         contrib = (factor[child_values][:, :, None] * payload[:, None, :]).reshape(
             n_children, rank * width
         )
         if stats is not None:
             stats.add_level(order - depth + 1, n_children, n_children, rank * width)
-        release_bytes(payload.nbytes, payload_label)
+        ctx.release_bytes(payload.nbytes, payload_label)
         payload = segment_sum_by_ptr(contrib, trie.child_ptr[depth - 1])
         payload_label = f"CSF payload depth {depth}"
-        request_bytes(payload.nbytes, payload_label)
-        release_bytes(contrib.nbytes, contrib_label)
+        ctx.request_bytes(payload.nbytes, payload_label)
+        ctx.release_bytes(contrib.nbytes, contrib_label)
 
     root_values = trie.values[0]
     out_cols = rank ** (order - 1)
-    request_bytes(csf.dim * out_cols * 8, "Y (SPLATT full)")
+    ctx.request_bytes(csf.dim * out_cols * 8, "Y (SPLATT full)")
     out = np.zeros((csf.dim, out_cols), dtype=np.float64)
     out[root_values] = payload
-    release_bytes(payload.nbytes, payload_label)
+    ctx.release_bytes(payload.nbytes, payload_label)
     if stats is not None:
         stats.output_bytes = out.nbytes
     return out
@@ -85,6 +87,7 @@ def splatt_ttmc(
     factor: np.ndarray,
     *,
     stats: Optional[KernelStats] = None,
+    ctx: Optional[ExecContext] = None,
 ) -> np.ndarray:
     """End-to-end SPLATT pipeline from a symmetric tensor.
 
@@ -92,5 +95,7 @@ def splatt_ttmc(
     allocation, so the expansion is where this baseline hits the memory
     budget first.
     """
-    csf = CSFTensor.from_symmetric(tensor)
-    return csf_ttmc(csf, factor, stats=stats)
+    ctx = resolve_context(ctx)
+    with ctx.scope():
+        csf = CSFTensor.from_symmetric(tensor)
+        return csf_ttmc(csf, factor, stats=stats, ctx=ctx)

@@ -24,6 +24,7 @@ from ..obs import TraceCollector
 from ..obs.export import write_trace
 from ..perfmodel.memory import kernel_footprint, suggest_nz_batch
 from ..runtime.budget import MemoryBudget, MemoryLimitError
+from ..runtime.context import ExecContext
 from .records import Measurement
 
 __all__ = [
@@ -82,16 +83,23 @@ def timed_measurement(
     repeats: Optional[int] = None,
     budget_gb: float = DEFAULT_BUDGET_GB,
 ) -> Measurement:
-    """Run ``fn`` under the budget ``repeats`` times; report the mean.
+    """Run ``fn`` under one per-cell :class:`ExecContext` ``repeats``
+    times; report the mean.
 
-    A :class:`MemoryLimitError` (at any repeat) renders as ``OOM``.
+    Every cell gets its own context (fresh budget; the ``REPRO_TRACE``
+    collector when tracing), so concurrent or interleaved cells can never
+    share budget peaks or trace records. A :class:`MemoryLimitError` (at
+    any repeat) renders as ``OOM``.
     """
     n = repeats if repeats is not None else bench_repeats()
     times = []
-    with maybe_trace():
+    with maybe_trace() as collector:
+        ctx = ExecContext(
+            budget=MemoryBudget(gigabytes=budget_gb), collector=collector
+        )
         try:
-            for _ in range(max(1, n)):
-                with MemoryBudget(gigabytes=budget_gb):
+            with ctx:
+                for _ in range(max(1, n)):
                     tick = time.perf_counter()
                     fn()
                     times.append(time.perf_counter() - tick)

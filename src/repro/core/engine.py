@@ -23,8 +23,7 @@ from typing import Optional
 
 import numpy as np
 
-from ..obs import trace as _trace
-from ..runtime.budget import release_bytes, request_bytes
+from ..runtime.context import ExecContext, resolve_context
 from ..symmetry.combinatorics import dense_size, sym_storage_size
 from ._segment import scatter_add_rows, segment_sum_by_ptr
 from .lattice import Lattice
@@ -51,6 +50,7 @@ def lattice_ttmc(
     out: Optional[np.ndarray] = None,
     out_row_map: Optional[np.ndarray] = None,
     plan: Optional[TTMcPlan] = None,
+    ctx: Optional[ExecContext] = None,
 ) -> np.ndarray:
     """Evaluate S³TTMc over IOU non-zeros with the chosen intermediate layout.
 
@@ -95,12 +95,18 @@ def lattice_ttmc(
         private full-width ``(I, cols)`` copies.
     plan:
         Pre-built :class:`TTMcPlan` for this pattern (reuse across calls).
+    ctx:
+        Optional :class:`~repro.runtime.context.ExecContext`; its budget
+        governs the allocation declarations and its collector receives
+        the spans/metrics. ``None`` resolves to the ambient context, so
+        legacy budget/trace scoping keeps working.
 
     Returns
     -------
     ``(I, cols)`` matrix: ``Y_p(1)`` for compact, ``Y_(1)`` for full
     (or the ``(n_local, cols)`` row-block when ``out_row_map`` is given).
     """
+    ctx = resolve_context(ctx)
     indices = np.asarray(indices, dtype=np.int64)
     values = np.asarray(values, dtype=np.float64)
     factor = np.asarray(factor, dtype=np.float64)
@@ -143,7 +149,7 @@ def lattice_ttmc(
     owned_bytes = 0
     if out is None:
         owned_bytes = dim * cols * 8
-        request_bytes(owned_bytes, owned_label)
+        ctx.request_bytes(owned_bytes, owned_label)
         out = np.zeros((dim, cols), dtype=np.float64)
 
     try:
@@ -156,7 +162,7 @@ def lattice_ttmc(
         if plan is None:
             plan = build_plan(indices, memoize, nz_batch_size)
 
-        with _trace.span(
+        with ctx.span(
             "lattice_ttmc",
             intermediate=intermediate,
             order=order,
@@ -165,7 +171,7 @@ def lattice_ttmc(
             dim=dim,
         ):
             for start, stop, lattice in plan.batches:
-                with _trace.span("lattice.batch", nz_start=start, nz_stop=stop):
+                with ctx.span("lattice.batch", nz_start=start, nz_stop=stop):
                     _accumulate_batch(
                         lattice,
                         values[start:stop],
@@ -176,13 +182,14 @@ def lattice_ttmc(
                         stats,
                         block_bytes,
                         out_row_map,
+                        ctx,
                     )
                 if stats is not None:
                     stats.batches += 1
         return out
     finally:
         if owned_bytes:
-            release_bytes(owned_bytes, owned_label)
+            ctx.release_bytes(owned_bytes, owned_label)
 
 
 def _accumulate_batch(
@@ -195,27 +202,29 @@ def _accumulate_batch(
     stats: Optional[KernelStats],
     block_bytes: int,
     out_row_map: Optional[np.ndarray] = None,
+    ctx: Optional[ExecContext] = None,
 ) -> None:
+    ctx = resolve_context(ctx)
     order = lattice.order
     # Level-1 K tensors are rows of U (identical in both layouts).
     k_prev = factor[lattice.leaf_values]
     k_prev_label = "K level 1"
-    request_bytes(k_prev.nbytes, k_prev_label)
-    collector = _trace.active_collector()
+    ctx.request_bytes(k_prev.nbytes, k_prev_label)
+    collector = ctx.effective_collector()
     for level in range(2, order):
         layout = layout_for(intermediate, level, rank)
         edges = lattice.levels[level]
         label = f"K level {level}"
-        with _trace.span(
+        with ctx.span(
             "lattice.level",
             level=level,
             nodes=edges.n_nodes,
             edges=edges.n_edges,
             entry_size=layout.size,
         ):
-            request_bytes(edges.n_nodes * layout.size * 8, label)
+            ctx.request_bytes(edges.n_nodes * layout.size * 8, label)
             k_cur = np.empty((edges.n_nodes, layout.size), dtype=np.float64)
-            _compute_level(k_cur, k_prev, factor, edges, layout, block_bytes)
+            _compute_level(k_cur, k_prev, factor, edges, layout, block_bytes, ctx)
         if stats is not None:
             stats.add_level(level, edges.n_nodes, edges.n_edges, layout.size)
         if collector is not None:
@@ -225,13 +234,13 @@ def _accumulate_batch(
             collector.metrics.histogram("lattice.level_entries").observe(
                 edges.n_nodes * layout.size
             )
-        release_bytes(k_prev.nbytes, k_prev_label)
+        ctx.release_bytes(k_prev.nbytes, k_prev_label)
         k_prev, k_prev_label = k_cur, label
 
     # Top level: scale by non-zero values, scatter into output rows.
     top = lattice.levels[order]
     assert top.node is not None, "top lattice level must retain parent ids"
-    with _trace.span(
+    with ctx.span(
         "lattice.scatter", edges=top.n_edges, entry_size=k_prev.shape[1]
     ):
         row_bytes = k_prev.shape[1] * 8
@@ -251,7 +260,7 @@ def _accumulate_batch(
         collector.metrics.counter("lattice.scatter_flops").inc(
             2 * n_edges * k_prev.shape[1]
         )
-    release_bytes(k_prev.nbytes, k_prev_label)
+    ctx.release_bytes(k_prev.nbytes, k_prev_label)
 
 
 def _compute_level(
@@ -261,6 +270,7 @@ def _compute_level(
     edges,
     layout,
     block_bytes: int,
+    ctx: Optional[ExecContext] = None,
 ) -> None:
     """Fill ``k_cur`` node-chunk by node-chunk.
 
@@ -269,6 +279,7 @@ def _compute_level(
     with both gathers hoisted to per-level row tables; edges are node-major
     so a single segment-sum finishes each chunk.
     """
+    ctx = resolve_context(ctx)
     n_nodes = k_cur.shape[0]
     if n_nodes == 0:
         return
@@ -285,7 +296,7 @@ def _compute_level(
     if hoist:
         gathered_factor = np.ascontiguousarray(factor[:, layout.last_index])
         expanded_prev = np.ascontiguousarray(k_prev[:, layout.parent_loc])
-        request_bytes(hoist_bytes, "level gather tables")
+        ctx.request_bytes(hoist_bytes, "level gather tables")
     try:
         for group in edges.groups:
             degree = group.degree
@@ -307,4 +318,4 @@ def _compute_level(
                     )
     finally:
         if hoist:
-            release_bytes(hoist_bytes, "level gather tables")
+            ctx.release_bytes(hoist_bytes, "level gather tables")

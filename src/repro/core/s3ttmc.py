@@ -15,7 +15,7 @@ import numpy as np
 from ..formats.css import CSSTensor
 from ..formats.partial_sym import PartiallySymmetricTensor
 from ..formats.ucoo import SparseSymmetricTensor
-from ..obs import trace as _trace
+from ..runtime.context import ExecContext, resolve_context
 from .engine import DEFAULT_BLOCK_BYTES, lattice_ttmc
 from .plan import TTMcPlan, get_plan
 from .stats import KernelStats
@@ -44,6 +44,7 @@ def s3ttmc(
     nz_batch_size: Optional[int] = None,
     block_bytes: int = DEFAULT_BLOCK_BYTES,
     plan: Optional[TTMcPlan] = None,
+    ctx: Optional[ExecContext] = None,
 ) -> PartiallySymmetricTensor:
     """Symmetry-propagated S³TTMc.
 
@@ -68,6 +69,9 @@ def s3ttmc(
         Pre-built execution plan. When omitted, the plan is built on first
         use and memoized on the tensor (the CSS-tree analogue: structure is
         pattern-only and reused across iterations).
+    ctx:
+        Optional :class:`~repro.runtime.context.ExecContext` carrying the
+        run's budget and trace collector; defaults to the ambient context.
 
     Returns
     -------
@@ -85,7 +89,8 @@ def s3ttmc(
         raise ValueError("S³TTMc requires tensor order >= 2")
     if plan is None:
         plan = get_plan(ucoo, memoize, nz_batch_size)
-    with _trace.span(
+    ctx = resolve_context(ctx)
+    with ctx.span(
         "s3ttmc",
         kernel="symprop",
         order=ucoo.order,
@@ -105,6 +110,7 @@ def s3ttmc(
             nz_batch_size=nz_batch_size,
             block_bytes=block_bytes,
             plan=plan,
+            ctx=ctx,
         )
     return PartiallySymmetricTensor(
         ucoo.dim, ucoo.order - 1, factor.shape[1], data

@@ -19,7 +19,7 @@ from typing import Optional
 import numpy as np
 
 from ..formats.partial_sym import PartiallySymmetricTensor
-from ..obs import trace as _trace
+from ..runtime.context import ExecContext, resolve_context
 from .engine import DEFAULT_BLOCK_BYTES
 from .s3ttmc import SymmetricInput, s3ttmc
 from .stats import KernelStats
@@ -56,18 +56,20 @@ def times_core(
     factor: np.ndarray,
     *,
     stats: Optional[KernelStats] = None,
+    ctx: Optional[ExecContext] = None,
 ) -> TTMcTCResult:
     """Steps 2–3 of Algorithm 2, given an already-computed ``Y_p``.
 
     Split out so HOQRI can reuse one S³TTMc result for both the core update
     and the ``A`` matrix.
     """
+    ctx = resolve_context(ctx)
     factor = np.asarray(factor, dtype=np.float64)
     if factor.shape != (y.nrows, y.sym_dim):
         raise ValueError(
             f"factor must be ({y.nrows}, {y.sym_dim}), got {factor.shape}"
         )
-    with _trace.span(
+    with ctx.span(
         "times_core", nrows=y.nrows, rank=y.sym_dim, sym_size=y.sym_size
     ):
         core = y.mode1_ttm(factor)  # C_p(1) = Uᵀ Y_p(1)
@@ -92,11 +94,14 @@ def s3ttmc_tc(
     nz_batch_size: Optional[int] = None,
     block_bytes: int = DEFAULT_BLOCK_BYTES,
     plan=None,
+    ctx: Optional[ExecContext] = None,
 ) -> TTMcTCResult:
     """Full S³TTMcTC-SP: S³TTMc followed by the two Property-2/3 GEMMs.
 
-    See :func:`repro.core.s3ttmc.s3ttmc` for the shared parameters.
+    See :func:`repro.core.s3ttmc.s3ttmc` for the shared parameters; ``ctx``
+    carries the run's budget/collector (ambient when ``None``).
     """
+    ctx = resolve_context(ctx)
     y = s3ttmc(
         tensor,
         factor,
@@ -105,5 +110,6 @@ def s3ttmc_tc(
         nz_batch_size=nz_batch_size,
         block_bytes=block_bytes,
         plan=plan,
+        ctx=ctx,
     )
-    return times_core(y, np.asarray(factor, dtype=np.float64), stats=stats)
+    return times_core(y, np.asarray(factor, dtype=np.float64), stats=stats, ctx=ctx)

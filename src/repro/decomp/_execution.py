@@ -1,44 +1,101 @@
-"""Execution-backend plumbing shared by the decomposition drivers.
+"""Execution-context plumbing shared by the decomposition drivers.
 
-``hooi()`` and ``hoqri()`` accept ``execution="serial"|"thread"|"process"``.
-The non-serial paths route every S³TTMc through one
-:class:`~repro.parallel.backends.Backend` instance created *before* the
-iteration loop and closed after it — keeping the backend alive across
-iterations is what lets the chunk-plan cache (and, for the process
-backend, the worker processes with their shared-memory operands) amortize
-symbolic work down to iteration 1 only.
+``hooi()`` and ``hoqri()`` accept either an explicit
+:class:`~repro.runtime.context.ExecContext` (``ctx=``) or the legacy
+``execution="serial"|"thread"|"process"`` / ``n_workers`` keywords. Both
+roads lead here:
+
+* :func:`resolve_run_context` turns the caller's arguments into the
+  context the run executes under — the explicit one, or an ephemeral
+  child derived from the ambient context carrying the legacy overrides
+  (sharing the ambient budget/collector/plan cache).
+* :func:`acquire_backend` validates the settings via
+  :meth:`~repro.runtime.context.ExecContext.validate` and returns the
+  context's backend for parallel executions, creating and adopting one
+  when the context doesn't own one yet. Keeping the backend on the
+  context across iterations is what lets the chunk-plan cache (and, for
+  the process backend, the worker processes with their shared-memory
+  operands) amortize symbolic work down to iteration 1 only.
+
+:func:`resolve_backend` remains as the legacy one-shot helper.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Tuple
 
 from ..parallel.backends import Backend, make_backend
+from ..runtime.context import EXECUTIONS, ExecContext, current_context
 
-__all__ = ["resolve_backend"]
+__all__ = ["acquire_backend", "resolve_backend", "resolve_run_context"]
 
-EXECUTIONS = ("serial", "thread", "process")
+
+def resolve_run_context(
+    ctx: Optional[ExecContext],
+    execution: Optional[str],
+    n_workers: Optional[int],
+) -> Tuple[ExecContext, bool]:
+    """The context a decomposition run executes under, plus ownership.
+
+    Returns ``(run_ctx, owns_ctx)``: with an explicit ``ctx`` the caller
+    keeps ownership (``owns_ctx=False`` — its backend outlives the run);
+    otherwise an ephemeral child of the ambient context is derived with
+    the legacy keyword overrides and ``owns_ctx=True`` tells the driver
+    to ``close()`` it (and any backend it adopted) when the run ends.
+
+    ``execution`` may not be combined with an explicit ``ctx`` — the
+    context already states how to execute.
+    """
+    if ctx is not None:
+        if execution is not None and execution != ctx.execution:
+            raise ValueError(
+                f"execution={execution!r} conflicts with ctx.execution="
+                f"{ctx.execution!r}; configure the ExecContext instead"
+            )
+        if n_workers is not None and n_workers != ctx.n_workers:
+            raise ValueError(
+                "n_workers conflicts with ctx.n_workers; configure the "
+                "ExecContext instead"
+            )
+        return ctx, False
+    base = current_context()
+    if execution is None and n_workers is None and not base.is_ambient:
+        return base, False  # run inside the active explicit context
+    run_ctx = base.derive(
+        execution=execution if execution is not None else base.execution,
+        n_workers=n_workers,
+    )
+    return run_ctx, True
+
+
+def acquire_backend(ctx: ExecContext, kernel: str) -> Optional[Backend]:
+    """Validated backend for ``ctx``, or ``None`` for the serial path.
+
+    ``execution="serial"`` keeps the direct :func:`s3ttmc` path
+    byte-for-byte (no chunking, no partition). Parallel execution only
+    exists for the symprop kernel with compact intermediates — the CSS
+    baseline's full layout has no chunked form.
+    """
+    ctx.validate(
+        kernel=kernel, intermediate="full" if kernel == "css" else "compact"
+    )
+    if ctx.execution == "serial":
+        return None
+    if ctx.backend is None:
+        ctx.adopt_backend(make_backend(ctx.execution, ctx.n_workers))
+    return ctx.backend
 
 
 def resolve_backend(
     execution: str, n_workers: Optional[int], kernel: str
 ) -> Optional[Backend]:
-    """Backend for ``execution``, or ``None`` for the plain serial kernel.
+    """Legacy one-shot helper: backend for ``execution``, or ``None``.
 
-    ``execution="serial"`` keeps the existing direct :func:`s3ttmc` path
-    byte-for-byte (no chunking, no partition). Parallel execution only
-    exists for the symprop kernel — the CSS baseline has no chunked form.
+    Unlike :func:`acquire_backend`, the returned backend belongs to the
+    caller (close it yourself). Validation is delegated to
+    :meth:`ExecContext.validate` so error messages stay uniform.
     """
-    if execution not in EXECUTIONS:
-        raise ValueError(
-            f"unknown execution {execution!r}; expected one of {EXECUTIONS}"
-        )
+    ExecContext(execution=execution, n_workers=n_workers).validate(kernel=kernel)
     if execution == "serial":
-        if n_workers is not None:
-            raise ValueError("n_workers requires execution='thread'|'process'")
         return None
-    if kernel != "symprop":
-        raise ValueError(
-            f"execution={execution!r} requires kernel='symprop', got {kernel!r}"
-        )
     return make_backend(execution, n_workers)

@@ -24,10 +24,9 @@ import scipy.linalg
 from ..core.s3ttmc import SymmetricInput, _as_ucoo, s3ttmc
 from ..core.stats import KernelStats
 from ..formats.partial_sym import PartiallySymmetricTensor
-from ..obs import trace as _trace
-from ..runtime.budget import release_bytes, request_bytes
+from ..runtime.context import ExecContext, resolve_context
 from ..runtime.timer import PhaseTimer
-from ._execution import resolve_backend
+from ._execution import acquire_backend, resolve_run_context
 from .hosvd import initialize
 from .objective import relative_error
 from .result import ConvergenceTrace, DecompositionResult
@@ -36,26 +35,28 @@ __all__ = ["hooi"]
 
 
 def _leading_left_singular_vectors_expand(
-    y: PartiallySymmetricTensor, rank: int
+    y: PartiallySymmetricTensor, rank: int, ctx: Optional[ExecContext] = None
 ) -> np.ndarray:
+    ctx = resolve_context(ctx)
     full = y.to_full_unfolding()  # raises MemoryLimitError when too large
     try:
         u, _s, _vt = scipy.linalg.svd(full, full_matrices=False)
     finally:
-        release_bytes(full.nbytes, "PartiallySymmetricTensor.full_unfolding")
+        ctx.release_bytes(full.nbytes, "PartiallySymmetricTensor.full_unfolding")
     return u[:, :rank].copy()
 
 
 def _leading_left_singular_vectors_gram(
-    y: PartiallySymmetricTensor, rank: int
+    y: PartiallySymmetricTensor, rank: int, ctx: Optional[ExecContext] = None
 ) -> np.ndarray:
+    ctx = resolve_context(ctx)
     dim = y.nrows
-    request_bytes(dim * dim * 8, "HOOI Gram matrix")
+    ctx.request_bytes(dim * dim * 8, "HOOI Gram matrix")
     try:
         gram = y.weighted_unfolding() @ y.data.T
         _vals, vecs = scipy.linalg.eigh(gram, subset_by_index=[dim - rank, dim - 1])
     finally:
-        release_bytes(dim * dim * 8, "HOOI Gram matrix")
+        ctx.release_bytes(dim * dim * 8, "HOOI Gram matrix")
     return vecs[:, ::-1].copy()
 
 
@@ -72,8 +73,9 @@ def hooi(
     memoize: str = "global",
     nz_batch_size: Optional[int] = None,
     timer: Optional[PhaseTimer] = None,
-    execution: str = "serial",
+    execution: Optional[str] = None,
     n_workers: Optional[int] = None,
+    ctx: Optional[ExecContext] = None,
 ) -> DecompositionResult:
     """Higher-Order Orthogonal Iteration for sparse symmetric tensors.
 
@@ -99,13 +101,20 @@ def hooi(
     timer:
         Optional external :class:`PhaseTimer` to fill (else a fresh one).
     execution, n_workers:
-        ``"serial"`` (default) runs the plain kernel; ``"thread"`` /
-        ``"process"`` route every S³TTMc through the parallel backend
-        (:mod:`repro.parallel.backends`), created once and kept alive
-        across iterations so chunk plans — and, for the process backend,
-        the worker processes with their shared-memory operands — are
-        reused. Requires ``kernel="symprop"``. ``n_workers`` defaults to
-        the core count.
+        Legacy execution overrides. ``"serial"`` (the default) runs the
+        plain kernel; ``"thread"`` / ``"process"`` route every S³TTMc
+        through the parallel backend (:mod:`repro.parallel.backends`),
+        created once and kept alive across iterations so chunk plans —
+        and, for the process backend, the worker processes with their
+        shared-memory operands — are reused. Requires
+        ``kernel="symprop"``. ``n_workers`` defaults to the core count.
+        May not be combined with ``ctx``.
+    ctx:
+        Optional :class:`~repro.runtime.context.ExecContext` governing
+        the whole run: its budget, collector, execution backend, plan
+        cache, and default seed. ``None`` derives an ephemeral context
+        from the ambient one (so legacy ``with MemoryBudget(...):`` /
+        ``with TraceCollector():`` call sites behave exactly as before).
     """
     ucoo = _as_ucoo(tensor)
     if ucoo.order < 2:
@@ -116,102 +125,115 @@ def hooi(
         raise ValueError(f"unknown kernel {kernel!r}")
     if svd_method not in ("expand", "gram"):
         raise ValueError(f"unknown svd_method {svd_method!r}")
-    backend = resolve_backend(execution, n_workers, kernel)
+    run_ctx, owns_ctx = resolve_run_context(ctx, execution, n_workers)
+    backend = acquire_backend(run_ctx, kernel)
+    if seed is None:
+        seed = run_ctx.seed
     rng = np.random.default_rng(seed)
     timer = timer if timer is not None else PhaseTimer()
     stats = KernelStats()
     trace = ConvergenceTrace()
 
-    with timer.phase("init"):
-        factor = initialize(ucoo, rank, init, rng)
-        norm_x_squared = ucoo.norm_squared()
-
     core: Optional[PartiallySymmetricTensor] = None
     prev_objective = np.inf
     converged = False
     try:
-        for _iteration in range(max_iters):
-            with _trace.span(
-                "hooi.iteration",
-                iteration=_iteration,
-                kernel=kernel,
-                svd_method=svd_method,
-                rank=rank,
-            ):
-                with timer.phase("s3ttmc"):
-                    if backend is not None:
-                        # Parallel path: plans (and, for the process backend,
-                        # worker-side state) persist across iterations.
-                        # KernelStats are not collected chunk-wise.
-                        from ..parallel.executor import parallel_s3ttmc
+        with run_ctx.scope():
+            with timer.phase("init"):
+                factor = initialize(ucoo, rank, init, rng, ctx=run_ctx)
+                norm_x_squared = ucoo.norm_squared()
 
-                        y = parallel_s3ttmc(
-                            ucoo,
-                            factor,
-                            backend=backend,
-                            memoize=memoize,
-                        )
-                    elif kernel == "symprop":
-                        y = s3ttmc(
-                            ucoo,
-                            factor,
-                            memoize=memoize,
-                            stats=stats,
-                            nz_batch_size=nz_batch_size,
-                        )
-                    else:
-                        from ..baselines.css_ttmc import css_s3ttmc
+            for _iteration in range(max_iters):
+                with run_ctx.span(
+                    "hooi.iteration",
+                    iteration=_iteration,
+                    kernel=kernel,
+                    svd_method=svd_method,
+                    rank=rank,
+                ):
+                    with timer.phase("s3ttmc"):
+                        if backend is not None:
+                            # Parallel path: plans (and, for the process
+                            # backend, worker-side state) persist across
+                            # iterations. KernelStats are not collected
+                            # chunk-wise.
+                            from ..parallel.executor import parallel_s3ttmc
 
-                        y_full = css_s3ttmc(
-                            ucoo,
-                            factor,
-                            memoize=memoize,
-                            stats=stats,
-                            nz_batch_size=nz_batch_size,
-                        )
-                        # Compact for downstream steps (CSS-HOOI still runs
-                        # SVD on the full matrix; keep y_full for that path).
-                with timer.phase("svd"):
-                    if kernel == "symprop":
-                        if svd_method == "expand":
-                            factor = _leading_left_singular_vectors_expand(
-                                y, rank
+                            y = parallel_s3ttmc(
+                                ucoo,
+                                factor,
+                                backend=backend,
+                                memoize=memoize,
+                                ctx=run_ctx,
+                            )
+                        elif kernel == "symprop":
+                            y = s3ttmc(
+                                ucoo,
+                                factor,
+                                memoize=memoize,
+                                stats=stats,
+                                nz_batch_size=nz_batch_size,
+                                ctx=run_ctx,
                             )
                         else:
-                            factor = _leading_left_singular_vectors_gram(y, rank)
-                    else:
-                        u, _s, _vt = scipy.linalg.svd(y_full, full_matrices=False)
-                        factor = u[:, :rank].copy()
-                with timer.phase("core"):
-                    if kernel == "symprop":
-                        core = y.mode1_ttm(factor)
-                    else:
-                        c1 = factor.T @ y_full
-                        # Compact the full core for uniform objective
-                        # computation.
-                        from ..symmetry.expansion import compact_from_full
+                            from ..baselines.css_ttmc import css_s3ttmc
 
-                        core_data = compact_from_full(
-                            c1, ucoo.order - 1, rank, check_symmetry=False
+                            y_full = css_s3ttmc(
+                                ucoo,
+                                factor,
+                                memoize=memoize,
+                                stats=stats,
+                                nz_batch_size=nz_batch_size,
+                                ctx=run_ctx,
+                            )
+                            # Compact for downstream steps (CSS-HOOI still
+                            # runs SVD on the full matrix; keep y_full for
+                            # that path).
+                    with timer.phase("svd"):
+                        if kernel == "symprop":
+                            if svd_method == "expand":
+                                factor = _leading_left_singular_vectors_expand(
+                                    y, rank, ctx=run_ctx
+                                )
+                            else:
+                                factor = _leading_left_singular_vectors_gram(
+                                    y, rank, ctx=run_ctx
+                                )
+                        else:
+                            u, _s, _vt = scipy.linalg.svd(
+                                y_full, full_matrices=False
+                            )
+                            factor = u[:, :rank].copy()
+                    with timer.phase("core"):
+                        if kernel == "symprop":
+                            core = y.mode1_ttm(factor)
+                        else:
+                            c1 = factor.T @ y_full
+                            # Compact the full core for uniform objective
+                            # computation.
+                            from ..symmetry.expansion import compact_from_full
+
+                            core_data = compact_from_full(
+                                c1, ucoo.order - 1, rank, check_symmetry=False
+                            )
+                            core = PartiallySymmetricTensor(
+                                rank, ucoo.order - 1, rank, core_data
+                            )
+                    with timer.phase("objective"):
+                        core_norm_sq = core.norm_squared()
+                        objective = norm_x_squared - core_norm_sq
+                        trace.record(
+                            objective,
+                            relative_error(norm_x_squared, core),
+                            core_norm_sq,
                         )
-                        core = PartiallySymmetricTensor(
-                            rank, ucoo.order - 1, rank, core_data
-                        )
-                with timer.phase("objective"):
-                    core_norm_sq = core.norm_squared()
-                    objective = norm_x_squared - core_norm_sq
-                    trace.record(
-                        objective,
-                        relative_error(norm_x_squared, core),
-                        core_norm_sq,
-                    )
-            if prev_objective - objective <= tol * max(norm_x_squared, 1e-300):
-                converged = True
-                break
-            prev_objective = objective
+                if prev_objective - objective <= tol * max(norm_x_squared, 1e-300):
+                    converged = True
+                    break
+                prev_objective = objective
     finally:
-        if backend is not None:
-            backend.close()
+        if owns_ctx:
+            run_ctx.close()
 
     assert core is not None, "max_iters must be >= 1"
     return DecompositionResult(

@@ -21,10 +21,10 @@ from ..core.s3ttmc import SymmetricInput, _as_ucoo, s3ttmc
 from ..core.s3ttmc_tc import times_core
 from ..core.stats import KernelStats
 from ..formats.partial_sym import PartiallySymmetricTensor
-from ..obs import trace as _trace
+from ..runtime.context import ExecContext
 from ..runtime.timer import PhaseTimer
 from ..symmetry.expansion import compact_from_full
-from ._execution import resolve_backend
+from ._execution import acquire_backend, resolve_run_context
 from .hosvd import initialize
 from .objective import relative_error
 from .result import ConvergenceTrace, DecompositionResult
@@ -52,8 +52,9 @@ def hoqri(
     memoize: str = "global",
     nz_batch_size: Optional[int] = None,
     timer: Optional[PhaseTimer] = None,
-    execution: str = "serial",
+    execution: Optional[str] = None,
     n_workers: Optional[int] = None,
+    ctx: Optional[ExecContext] = None,
 ) -> DecompositionResult:
     """Higher-Order QR Iteration for sparse symmetric tensors.
 
@@ -61,7 +62,9 @@ def hoqri(
     ``"symprop"`` (Algorithm 2) or ``"nary"`` (the original contraction).
     ``execution="thread"|"process"`` routes the S³TTMc pass through the
     parallel backend, reused across all iterations (requires
-    ``kernel="symprop"``).
+    ``kernel="symprop"``). ``ctx`` supplies a full
+    :class:`~repro.runtime.context.ExecContext` (budget, collector,
+    backend, plan cache, default seed) instead of the legacy keywords.
     """
     ucoo = _as_ucoo(tensor)
     if ucoo.order < 2:
@@ -70,79 +73,85 @@ def hoqri(
         raise ValueError(f"rank must be in [1, {ucoo.dim}], got {rank}")
     if kernel not in ("symprop", "nary"):
         raise ValueError(f"unknown kernel {kernel!r}")
-    backend = resolve_backend(execution, n_workers, kernel)
+    run_ctx, owns_ctx = resolve_run_context(ctx, execution, n_workers)
+    backend = acquire_backend(run_ctx, kernel)
+    if seed is None:
+        seed = run_ctx.seed
     rng = np.random.default_rng(seed)
     timer = timer if timer is not None else PhaseTimer()
     stats = KernelStats()
     trace = ConvergenceTrace()
-
-    with timer.phase("init"):
-        factor = initialize(ucoo, rank, init, rng)
-        norm_x_squared = ucoo.norm_squared()
 
     core: Optional[PartiallySymmetricTensor] = None
     prev_objective = np.inf
     converged = False
     a: Optional[np.ndarray] = None
     try:
-        for _iteration in range(max_iters):
-            with _trace.span(
-                "hoqri.iteration", iteration=_iteration, kernel=kernel, rank=rank
-            ):
-                # QR at the top of the body (from the previous iteration's A)
-                # keeps the returned (factor, core, objective) triple
-                # consistent: on exit `core` was computed with the current
-                # `factor`.
-                if a is not None:
-                    with timer.phase("qr"):
-                        factor = _qr_orthonormal(a)
-                if kernel == "symprop":
-                    with timer.phase("s3ttmc"):
-                        if backend is not None:
-                            from ..parallel.executor import parallel_s3ttmc
+        with run_ctx.scope():
+            with timer.phase("init"):
+                factor = initialize(ucoo, rank, init, rng, ctx=run_ctx)
+                norm_x_squared = ucoo.norm_squared()
 
-                            y = parallel_s3ttmc(
-                                ucoo,
-                                factor,
-                                backend=backend,
-                                memoize=memoize,
-                            )
-                        else:
-                            y = s3ttmc(
-                                ucoo,
-                                factor,
-                                memoize=memoize,
-                                stats=stats,
-                                nz_batch_size=nz_batch_size,
-                            )
-                    with timer.phase("times_core"):
-                        result = times_core(y, factor, stats=stats)
-                    core = result.core
-                    a = result.a
-                else:
-                    with timer.phase("nary"):
-                        a, c1 = nary_hoqri_step(ucoo, factor, stats=stats)
-                    core_data = compact_from_full(
-                        c1, ucoo.order - 1, rank, check_symmetry=False
-                    )
-                    core = PartiallySymmetricTensor(
-                        rank, ucoo.order - 1, rank, core_data
-                    )
-                with timer.phase("objective"):
-                    core_norm_sq = core.norm_squared()
-                    objective = norm_x_squared - core_norm_sq
-                    trace.record(
-                        objective,
-                        relative_error(norm_x_squared, core),
-                        core_norm_sq,
-                    )
-            if prev_objective - objective <= tol * max(norm_x_squared, 1e-300):
-                converged = True
-                break
-            prev_objective = objective
+            for _iteration in range(max_iters):
+                with run_ctx.span(
+                    "hoqri.iteration", iteration=_iteration, kernel=kernel, rank=rank
+                ):
+                    # QR at the top of the body (from the previous iteration's A)
+                    # keeps the returned (factor, core, objective) triple
+                    # consistent: on exit `core` was computed with the current
+                    # `factor`.
+                    if a is not None:
+                        with timer.phase("qr"):
+                            factor = _qr_orthonormal(a)
+                    if kernel == "symprop":
+                        with timer.phase("s3ttmc"):
+                            if backend is not None:
+                                from ..parallel.executor import parallel_s3ttmc
+
+                                y = parallel_s3ttmc(
+                                    ucoo,
+                                    factor,
+                                    backend=backend,
+                                    memoize=memoize,
+                                    ctx=run_ctx,
+                                )
+                            else:
+                                y = s3ttmc(
+                                    ucoo,
+                                    factor,
+                                    memoize=memoize,
+                                    stats=stats,
+                                    nz_batch_size=nz_batch_size,
+                                    ctx=run_ctx,
+                                )
+                        with timer.phase("times_core"):
+                            result = times_core(y, factor, stats=stats, ctx=run_ctx)
+                        core = result.core
+                        a = result.a
+                    else:
+                        with timer.phase("nary"):
+                            a, c1 = nary_hoqri_step(ucoo, factor, stats=stats)
+                        core_data = compact_from_full(
+                            c1, ucoo.order - 1, rank, check_symmetry=False
+                        )
+                        core = PartiallySymmetricTensor(
+                            rank, ucoo.order - 1, rank, core_data
+                        )
+                    with timer.phase("objective"):
+                        core_norm_sq = core.norm_squared()
+                        objective = norm_x_squared - core_norm_sq
+                        trace.record(
+                            objective,
+                            relative_error(norm_x_squared, core),
+                            core_norm_sq,
+                        )
+                if prev_objective - objective <= tol * max(norm_x_squared, 1e-300):
+                    converged = True
+                    break
+                prev_objective = objective
     finally:
-        if backend is not None:
-            backend.close()
+        if owns_ctx:
+            run_ctx.close()
 
     assert core is not None, "max_iters must be >= 1"
     return DecompositionResult(

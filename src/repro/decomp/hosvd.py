@@ -17,7 +17,7 @@ import scipy.linalg
 import scipy.sparse as sp
 
 from ..formats.ucoo import SparseSymmetricTensor
-from ..runtime.budget import release_bytes, request_bytes
+from ..runtime.context import ExecContext, resolve_context
 from ..symmetry.permutations import expand_iou
 
 __all__ = ["random_init", "hosvd_init", "initialize"]
@@ -37,11 +37,14 @@ def random_init(
     return q
 
 
-def _sparse_unfolding(tensor: SparseSymmetricTensor) -> sp.csr_matrix:
+def _sparse_unfolding(
+    tensor: SparseSymmetricTensor, ctx: ExecContext | None = None
+) -> sp.csr_matrix:
     """``X_(1)`` as a sparse matrix with deduplicated suffix columns."""
+    ctx = resolve_context(ctx)
     dim = tensor.dim
     nnz = tensor.nnz
-    request_bytes(nnz * tensor.order * 8 + nnz * 8, "HOSVD expansion")
+    ctx.request_bytes(nnz * tensor.order * 8 + nnz * 8, "HOSVD expansion")
     exp_idx, exp_val, _ = expand_iou(tensor.indices, tensor.values)
     try:
         if tensor.order == 1:
@@ -55,7 +58,7 @@ def _sparse_unfolding(tensor: SparseSymmetricTensor) -> sp.csr_matrix:
             (exp_val, (exp_idx[:, 0], cols)), shape=(dim, max(n_cols, 1))
         )
     finally:
-        release_bytes(nnz * tensor.order * 8 + nnz * 8, "HOSVD expansion")
+        ctx.release_bytes(nnz * tensor.order * 8 + nnz * 8, "HOSVD expansion")
 
 
 def hosvd_init(
@@ -66,6 +69,7 @@ def hosvd_init(
     n_power_iters: int = 4,
     oversample: int = 8,
     seed: int = 0,
+    ctx: ExecContext | None = None,
 ) -> np.ndarray:
     """Leading left singular vectors of ``X_(1)``.
 
@@ -83,10 +87,11 @@ def hosvd_init(
         raise ValueError(f"rank {rank} exceeds dimension {tensor.dim}")
     if method not in ("gram", "randomized"):
         raise ValueError(f"unknown HOSVD method {method!r}")
+    ctx = resolve_context(ctx)
     dim = tensor.dim
-    x1 = _sparse_unfolding(tensor)
+    x1 = _sparse_unfolding(tensor, ctx)
     if method == "gram":
-        request_bytes(dim * dim * 8, "HOSVD Gram matrix")
+        ctx.request_bytes(dim * dim * 8, "HOSVD Gram matrix")
         try:
             gram = (x1 @ x1.T).toarray()
             # Top-`rank` eigenvectors of the symmetric PSD Gram = left
@@ -95,12 +100,12 @@ def hosvd_init(
                 gram, subset_by_index=[dim - rank, dim - 1]
             )
         finally:
-            release_bytes(dim * dim * 8, "HOSVD Gram matrix")
+            ctx.release_bytes(dim * dim * 8, "HOSVD Gram matrix")
         u = vecs[:, ::-1].copy()  # descending eigenvalue order
     else:
         rng = np.random.default_rng(seed)
         k = min(rank + max(oversample, 0), dim)
-        request_bytes(dim * k * 8 * 2, "HOSVD randomized sketch")
+        ctx.request_bytes(dim * k * 8 * 2, "HOSVD randomized sketch")
         try:
             sketch = x1 @ (x1.T @ rng.standard_normal((dim, k)))
             q, _ = np.linalg.qr(sketch)
@@ -112,7 +117,7 @@ def hosvd_init(
             top = np.argsort(vals)[::-1][:rank]
             u = q @ vecs[:, top]
         finally:
-            release_bytes(dim * k * 8 * 2, "HOSVD randomized sketch")
+            ctx.release_bytes(dim * k * 8 * 2, "HOSVD randomized sketch")
     # Deterministic sign convention: largest-magnitude entry positive.
     peaks = np.abs(u).argmax(axis=0)
     u *= np.sign(u[peaks, np.arange(rank)] + (u[peaks, np.arange(rank)] == 0))
@@ -124,6 +129,8 @@ def initialize(
     rank: int,
     init: str | np.ndarray = "random",
     rng: np.random.Generator | None = None,
+    *,
+    ctx: ExecContext | None = None,
 ) -> np.ndarray:
     """Resolve an ``init`` spec: ``"random"``, ``"hosvd"`` or an explicit array."""
     if isinstance(init, np.ndarray):
@@ -136,5 +143,5 @@ def initialize(
     if init == "random":
         return random_init(tensor.dim, rank, rng)
     if init == "hosvd":
-        return hosvd_init(tensor, rank)
+        return hosvd_init(tensor, rank, ctx=ctx)
     raise ValueError(f"unknown init {init!r}")

@@ -17,6 +17,7 @@ import scipy.linalg
 
 from ..core.stats import KernelStats
 from ..formats.coo import COOTensor
+from ..runtime.context import ExecContext, resolve_context
 from ..runtime.timer import PhaseTimer
 from .ttmc import general_ttmc
 
@@ -86,6 +87,7 @@ def general_hooi(
     init: Union[str, Sequence[np.ndarray]] = "random",
     seed: Optional[int] = None,
     timer: Optional[PhaseTimer] = None,
+    ctx: Optional[ExecContext] = None,
 ) -> GeneralTuckerResult:
     """Alternating least squares Tucker for a general sparse tensor.
 
@@ -93,7 +95,11 @@ def general_hooi(
     Each sweep updates every mode via the leading left singular vectors of
     the corresponding TTMc unfolding; the objective is
     ``‖X‖² − ‖C‖²`` with the core from the final mode of the sweep.
+    ``ctx`` supplies the run's budget/collector/seed (ambient when
+    ``None``) — same entry contract as the symmetric drivers, so bench
+    comparisons are apples-to-apples.
     """
+    ctx = resolve_context(ctx)
     order = tensor.order
     if isinstance(ranks, int):
         ranks = [ranks] * order
@@ -102,36 +108,39 @@ def general_hooi(
         raise ValueError(f"need {order} ranks")
     if any(not 1 <= r <= tensor.dim for r in ranks):
         raise ValueError("each rank must be in [1, dim]")
+    if seed is None:
+        seed = ctx.seed
     rng = np.random.default_rng(seed)
     timer = timer if timer is not None else PhaseTimer()
     stats = KernelStats()
-
-    with timer.phase("init"):
-        factors = _init_factors(tensor, ranks, init, rng)
-        norm_x_squared = tensor.norm_squared()
 
     trace: List[float] = []
     converged = False
     prev = np.inf
     core: Optional[np.ndarray] = None
-    for _sweep in range(max_iters):
-        for mode in range(order):
-            with timer.phase("ttmc"):
-                y = general_ttmc(tensor, factors, mode, stats=stats)
-            with timer.phase("svd"):
-                u, _s, _vt = scipy.linalg.svd(y, full_matrices=False)
-                factors[mode] = u[:, : ranks[mode]].copy()
-            if mode == order - 1:
-                with timer.phase("core"):
-                    c_unfold = factors[mode].T @ y
-                    core = c_unfold
-        assert core is not None
-        objective = norm_x_squared - float(np.sum(core**2))
-        trace.append(objective)
-        if prev - objective <= tol * max(norm_x_squared, 1e-300):
-            converged = True
-            break
-        prev = objective
+    with ctx.scope():
+        with timer.phase("init"):
+            factors = _init_factors(tensor, ranks, init, rng)
+            norm_x_squared = tensor.norm_squared()
+
+        for _sweep in range(max_iters):
+            for mode in range(order):
+                with timer.phase("ttmc"):
+                    y = general_ttmc(tensor, factors, mode, stats=stats)
+                with timer.phase("svd"):
+                    u, _s, _vt = scipy.linalg.svd(y, full_matrices=False)
+                    factors[mode] = u[:, : ranks[mode]].copy()
+                if mode == order - 1:
+                    with timer.phase("core"):
+                        c_unfold = factors[mode].T @ y
+                        core = c_unfold
+            assert core is not None
+            objective = norm_x_squared - float(np.sum(core**2))
+            trace.append(objective)
+            if prev - objective <= tol * max(norm_x_squared, 1e-300):
+                converged = True
+                break
+            prev = objective
 
     # Reshape the final core unfolding (mode N-1 rooted) to the full core:
     # columns of c_unfold are modes 0..N-2 in row-major order.

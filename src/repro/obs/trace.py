@@ -13,14 +13,20 @@ Design constraints, in order:
    paths (once per lattice level per batch). With no active collector the
    call is one module-global load, one ``is None`` test and the return of
    a shared no-op singleton — no allocation, no clock read.
-2. **Thread-correct nesting.** The *collector* is process-wide (worker
-   threads report into the measurement installed by the driving thread)
-   but the *open-span stack* is thread-local, so concurrent workers never
-   corrupt each other's parent chains. Cross-thread parentage is explicit:
-   the submitting thread captures :func:`current_span_id` and passes it as
-   ``parent_id`` (see :mod:`repro.parallel.executor`).
+2. **Thread-correct nesting.** The *collector* is process-wide by default
+   (worker threads report into the measurement installed by the driving
+   thread) but the *open-span stack* is thread-local, so concurrent
+   workers never corrupt each other's parent chains. Cross-thread
+   parentage is explicit: the submitting thread captures
+   :func:`current_span_id` and passes it as ``parent_id`` (see
+   :mod:`repro.parallel.executor`).
 3. **Nestable scopes.** Collectors stack like ``MemoryBudget``; the
    innermost one receives the records.
+4. **Per-thread isolation on demand.** :func:`collector_scope` installs a
+   *thread-local* collector override that shadows the process-wide one —
+   this is how :class:`repro.runtime.context.ExecContext` keeps two
+   concurrent runs (each with its own collector) from cross-contaminating
+   each other's traces while sharing one process.
 
 Usage::
 
@@ -36,6 +42,7 @@ from __future__ import annotations
 
 import threading
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
@@ -46,6 +53,7 @@ __all__ = [
     "TraceEvent",
     "TraceCollector",
     "active_collector",
+    "collector_scope",
     "tracing_enabled",
     "span",
     "begin_span",
@@ -165,14 +173,38 @@ def _stack() -> List[Span]:
 
 
 def active_collector() -> Optional[TraceCollector]:
-    """Innermost installed collector, or ``None`` when tracing is off."""
-    return _ACTIVE
+    """Collector receiving this thread's records, or ``None``.
+
+    A thread-local override (see :func:`collector_scope`) shadows the
+    process-wide installed collector; with neither, tracing is off.
+    """
+    override = getattr(_STACKS, "collector", None)
+    return override if override is not None else _ACTIVE
 
 
 def tracing_enabled() -> bool:
-    """``True`` when a collector is installed (one global load — hot-path
-    safe as a guard before building attribute dicts)."""
-    return _ACTIVE is not None
+    """``True`` when a collector is reachable from this thread (one TLS
+    read plus one global load — hot-path safe as a guard before building
+    attribute dicts)."""
+    return getattr(_STACKS, "collector", None) is not None or _ACTIVE is not None
+
+
+@contextmanager
+def collector_scope(collector: TraceCollector):
+    """Route this thread's ambient span/event emission to ``collector``.
+
+    Unlike ``with collector:`` (which installs process-wide), the override
+    is strictly thread-local: other threads keep whatever collector they
+    see, so two runs on two threads can each trace into their own
+    collector. Used by :meth:`repro.runtime.context.ExecContext.scope` and
+    by parallel workers adopting their job's context.
+    """
+    prev = getattr(_STACKS, "collector", None)
+    _STACKS.collector = collector
+    try:
+        yield collector
+    finally:
+        _STACKS.collector = prev
 
 
 def current_span_id() -> Optional[int]:
@@ -209,14 +241,18 @@ def begin_span(
     attrs: Optional[Dict[str, Any]] = None,
     *,
     parent_id: Optional[int] = None,
+    collector: Optional[TraceCollector] = None,
 ) -> Optional[Span]:
     """Open a span imperatively; returns ``None`` when tracing is off.
 
     For callers that need the span's exact clock readings (e.g.
     :class:`repro.runtime.timer.PhaseTimer`, whose totals must agree with
     the trace rollup to the clock tick). Pair with :func:`finish_span`.
+    ``collector`` routes the span explicitly (execution-context path),
+    bypassing the ambient lookup.
     """
-    collector = _ACTIVE
+    if collector is None:
+        collector = active_collector()
     if collector is None:
         return None
     stack = _stack()
@@ -245,7 +281,7 @@ def finish_span(s: Span, end: Optional[float] = None) -> None:
         stack.pop()
     elif s in stack:  # tolerate misnested exits rather than corrupting
         stack.remove(s)
-    collector = getattr(s, "_collector", None) or _ACTIVE
+    collector = getattr(s, "_collector", None) or active_collector()
     if collector is not None:
         collector.record_span(s)
 
@@ -269,18 +305,13 @@ class _LiveSpan:
         self.span: Optional[Span] = None
 
     def __enter__(self) -> Span:
-        s = begin_span(self._name, self._attrs, parent_id=self._parent_id)
-        if s is None:  # collector exited between span() and __enter__
-            s = Span(
-                name=self._name,
-                span_id=self._collector.allocate_id(),
-                parent_id=self._parent_id,
-                start=time.perf_counter(),
-                thread=threading.current_thread().name,
-                attrs=self._attrs,
-            )
-            s._collector = self._collector  # type: ignore[attr-defined]
-            _stack().append(s)
+        # Pinning the collector captured at span() creation keeps the span
+        # routed even if the ambient collector changes before __enter__.
+        s = begin_span(
+            self._name, self._attrs, parent_id=self._parent_id,
+            collector=self._collector,
+        )
+        assert s is not None  # explicit collector: begin_span never bails
         self.span = s
         return s
 
@@ -291,21 +322,41 @@ class _LiveSpan:
         return False
 
 
-def span(name: str, *, parent_id: Optional[int] = None, **attrs: Any):
+def span(
+    name: str,
+    *,
+    parent_id: Optional[int] = None,
+    collector: Optional[TraceCollector] = None,
+    **attrs: Any,
+):
     """Open a span under the ambient collector (no-op when tracing is off).
 
     ``parent_id`` overrides the thread-local parent — pass the submitting
     thread's :func:`current_span_id` when crossing into a worker thread.
+    ``collector`` routes the span into that collector explicitly instead
+    of the ambient one (the :class:`~repro.runtime.context.ExecContext`
+    path).
     """
-    collector = _ACTIVE
+    if collector is None:
+        collector = active_collector()
     if collector is None:
         return _NULL_SPAN
     return _LiveSpan(collector, name, parent_id, attrs)
 
 
-def event(name: str, *, parent_id: Optional[int] = None, **attrs: Any) -> None:
-    """Record a point-in-time event (no-op when tracing is off)."""
-    collector = _ACTIVE
+def event(
+    name: str,
+    *,
+    parent_id: Optional[int] = None,
+    collector: Optional[TraceCollector] = None,
+    **attrs: Any,
+) -> None:
+    """Record a point-in-time event (no-op when tracing is off).
+
+    ``collector`` routes the event explicitly, as for :func:`span`.
+    """
+    if collector is None:
+        collector = active_collector()
     if collector is None:
         return
     stack = _stack()

@@ -42,7 +42,8 @@ import numpy as np
 
 from ..core.engine import lattice_ttmc
 from ..obs import trace as _trace
-from ..runtime.budget import release_bytes, request_bytes
+from ..runtime.budget import MemoryLimitError
+from ..runtime.context import ExecContext, resolve_context, tensor_generation
 from . import shm as _shm
 from .executor import ChunkPlan, ParallelJob, ParallelRunReport, get_chunk_plans
 from .partition import assign_chunks
@@ -89,15 +90,19 @@ class Backend(ABC):
         self.close()
 
     # -- shared helpers ----------------------------------------------------
+    @staticmethod
+    def _job_ctx(job: ParallelJob) -> ExecContext:
+        return resolve_context(job.ctx)
+
     def _alloc_out(self, job: ParallelJob) -> np.ndarray:
         # Pre-flight + peak-track the output, engine-style: the bytes are
         # released on handoff by the caller of execute() via _handoff().
-        request_bytes(job.dim * job.cols * 8, "Y (parallel)")
+        self._job_ctx(job).request_bytes(job.dim * job.cols * 8, "Y (parallel)")
         return np.zeros((job.dim, job.cols), dtype=np.float64)
 
     @staticmethod
     def _handoff(job: ParallelJob) -> None:
-        release_bytes(job.dim * job.cols * 8, "Y (parallel)")
+        resolve_context(job.ctx).release_bytes(job.dim * job.cols * 8, "Y (parallel)")
 
     @staticmethod
     def _fill_chunk_report(
@@ -118,11 +123,14 @@ class SerialBackend(Backend):
     def execute(
         self, job: ParallelJob, report: Optional[ParallelRunReport] = None
     ) -> np.ndarray:
-        plans = get_chunk_plans(job.tensor, job.ranges, job.memoize, report=report)
+        ctx = self._job_ctx(job)
+        plans = get_chunk_plans(
+            job.tensor, job.ranges, job.memoize, report=report, ctx=ctx
+        )
         out = self._alloc_out(job)
         try:
             for slot, cp in enumerate(plans):
-                with _trace.span(
+                with ctx.span(
                     "parallel.chunk", chunk=slot, nz_start=cp.start, nz_stop=cp.stop
                 ):
                     tick = time.perf_counter()
@@ -135,6 +143,7 @@ class SerialBackend(Backend):
                         memoize=job.memoize,
                         out=out,
                         plan=cp.plan,
+                        ctx=ctx,
                     )
                     self._fill_chunk_report(
                         report, slot, time.perf_counter() - tick
@@ -168,7 +177,10 @@ class ThreadBackend(Backend):
     def execute(
         self, job: ParallelJob, report: Optional[ParallelRunReport] = None
     ) -> np.ndarray:
-        plans = get_chunk_plans(job.tensor, job.ranges, job.memoize, report=report)
+        plans = get_chunk_plans(
+            job.tensor, job.ranges, job.memoize, report=report,
+            ctx=self._job_ctx(job),
+        )
         if job.reduction == "tree":
             return self._execute_tree(job, plans, report)
         return self._execute_blocked(job, plans, report)
@@ -180,16 +192,19 @@ class ThreadBackend(Backend):
         plans: List[ChunkPlan],
         report: Optional[ParallelRunReport],
     ) -> np.ndarray:
+        ctx = self._job_ctx(job)
         out = self._alloc_out(job)
         partial_bytes = sum(cp.n_rows for cp in plans) * job.cols * 8
-        request_bytes(partial_bytes, "parallel partials (blocked)")
+        ctx.request_bytes(partial_bytes, "parallel partials (blocked)")
         parent_span = _trace.current_span_id()
         merge_lock = threading.Lock()
         reduce_seconds = [0.0]
 
         def run(slot: int) -> None:
             cp = plans[slot]
-            with _trace.span(
+            # Enter the job's context on this worker thread so budget and
+            # collector resolve here exactly as on the submitting thread.
+            with ctx.scope(), ctx.span(
                 "parallel.chunk",
                 parent_id=parent_span,
                 chunk=slot,
@@ -209,6 +224,7 @@ class ThreadBackend(Backend):
                     out=partial,
                     out_row_map=cp.row_map,
                     plan=cp.plan,
+                    ctx=ctx,
                 )
                 self._fill_chunk_report(report, slot, time.perf_counter() - tick)
                 tick = time.perf_counter()
@@ -226,7 +242,7 @@ class ThreadBackend(Backend):
                 report.reduce_seconds = reduce_seconds[0]
             return out
         finally:
-            release_bytes(partial_bytes, "parallel partials (blocked)")
+            ctx.release_bytes(partial_bytes, "parallel partials (blocked)")
             self._handoff(job)
 
     # -- tree: full-width private partials, pairwise parallel reduce -------
@@ -236,14 +252,15 @@ class ThreadBackend(Backend):
         plans: List[ChunkPlan],
         report: Optional[ParallelRunReport],
     ) -> np.ndarray:
+        ctx = self._job_ctx(job)
         n = len(plans)
         partial_bytes = n * job.dim * job.cols * 8
-        request_bytes(partial_bytes, "parallel partials (tree)")
+        ctx.request_bytes(partial_bytes, "parallel partials (tree)")
         parent_span = _trace.current_span_id()
 
         def run(slot: int) -> np.ndarray:
             cp = plans[slot]
-            with _trace.span(
+            with ctx.scope(), ctx.span(
                 "parallel.chunk",
                 parent_id=parent_span,
                 chunk=slot,
@@ -260,6 +277,7 @@ class ThreadBackend(Backend):
                     intermediate="compact",
                     memoize=job.memoize,
                     plan=cp.plan,
+                    ctx=ctx,
                 )
                 self._fill_chunk_report(report, slot, time.perf_counter() - tick)
             return partial
@@ -294,7 +312,7 @@ class ThreadBackend(Backend):
                 report.reduce_seconds = time.perf_counter() - tick
             return partials[0]
         finally:
-            release_bytes(partial_bytes, "parallel partials (tree)")
+            ctx.release_bytes(partial_bytes, "parallel partials (tree)")
 
 
 class ProcessBackend(Backend):
@@ -361,7 +379,9 @@ class ProcessBackend(Backend):
             conn.send(msg)
 
     def _ensure_tensor(self, job: ParallelJob) -> None:
-        token = (id(job.tensor), job.indices.shape, job.dim)
+        # tensor_generation (not id()) — generations are never reused, so
+        # a new tensor at a recycled address cannot alias a stale token.
+        token = (tensor_generation(job.tensor), job.indices.shape, job.dim)
         if token == self._tensor_token:
             return
         for label in ("indices", "values"):
@@ -426,13 +446,14 @@ class ProcessBackend(Backend):
     def execute(
         self, job: ParallelJob, report: Optional[ParallelRunReport] = None
     ) -> np.ndarray:
+        ctx = self._job_ctx(job)
         self._ensure_workers()
         self._ensure_tensor(job)
         self._ensure_factor(job.factor)
         # Structure-only parent plans: row blocks for the reduce, no
         # lattices (those live — and are cached — worker-side).
         plans = get_chunk_plans(
-            job.tensor, job.ranges, job.memoize, with_lattice=False
+            job.tensor, job.ranges, job.memoize, with_lattice=False, ctx=ctx
         )
         slot_lists = assign_chunks(
             [cp.stop - cp.start for cp in plans], self.n_workers
@@ -443,27 +464,43 @@ class ProcessBackend(Backend):
         ]
 
         partial_bytes = sum(cp.n_rows for cp in plans) * job.cols * 8
-        request_bytes(partial_bytes, "parallel partials (shm)")
+        ctx.request_bytes(partial_bytes, "parallel partials (shm)")
         out = self._alloc_out(job)
-        collector = _trace.active_collector()
+        collector = ctx.effective_collector()
+        # Snapshot the budget *after* the partials/output requests so the
+        # workers' mirrored budgets sit on top of everything the parent
+        # has already committed for this run.
+        budget = ctx.effective_budget()
+        budget_spec = (
+            (budget.limit_bytes, budget.in_use) if budget is not None else None
+        )
         try:
             busy = []
             for worker_id, chunks in enumerate(assignments):
                 if not chunks:
                     continue
                 _proc, conn = self._workers[worker_id]
-                conn.send(("run", chunks, job.memoize, job.cols))
+                conn.send(("run", chunks, job.memoize, job.cols, budget_spec))
                 busy.append((worker_id, conn))
             reduce_seconds = 0.0
             hits = misses = 0
             build_seconds = 0.0
-            for worker_id, conn in busy:
-                msg = conn.recv()
+            # Drain every busy worker before raising: a failure reply must
+            # not leave successful replies in pipes to be misread as the
+            # next call's responses.
+            replies = [(worker_id, conn.recv()) for worker_id, conn in busy]
+            for worker_id, msg in replies:
+                if msg[0] == "oom":
+                    _op, label, nbytes, limit, in_use = msg
+                    raise MemoryLimitError(label, nbytes, limit, in_use)
                 if msg[0] == "error":
                     raise RuntimeError(
                         f"s3ttmc worker {worker_id} failed: {msg[1]}"
                     )
-                _op, spec, metas = msg
+            for worker_id, msg in replies:
+                _op, spec, metas, worker_peak = msg
+                if budget is not None and worker_peak:
+                    budget.observe_peak(worker_peak)
                 buffer = self._attach_result(spec)
                 for slot, offset, n_rows, build_s, numeric_s, hit in metas:
                     cp = plans[slot]
@@ -477,6 +514,7 @@ class ProcessBackend(Backend):
                     if collector is not None:
                         _trace.event(
                             "parallel.chunk.done",
+                            collector=collector,
                             chunk=slot,
                             worker=worker_id,
                             numeric_seconds=numeric_s,
@@ -497,7 +535,7 @@ class ProcessBackend(Backend):
                 report.plan_build_seconds += build_seconds
             return out
         finally:
-            release_bytes(partial_bytes, "parallel partials (shm)")
+            ctx.release_bytes(partial_bytes, "parallel partials (shm)")
             self._handoff(job)
 
     def _attach_result(self, spec) -> np.ndarray:

@@ -12,10 +12,12 @@ story, Figure 6):
   pattern and the partition, never on factor values — so it is built once
   per ``(tensor pattern, partition, memoize)`` and reused across every
   kernel call and every HOOI/HOQRI iteration (:func:`get_chunk_plans`,
-  memoized on the tensor object like :func:`repro.core.plan.get_plan`).
-  Cache behaviour is observable via the ``parallel.plan_cache.hits`` /
-  ``parallel.plan_cache.misses`` counters and per-chunk
-  ``parallel.plan_build`` spans.
+  held on the execution context's
+  :class:`~repro.runtime.context.PlanCache`, weakly keyed by the tensor;
+  the ambient context's cache gives legacy call sites process-wide
+  reuse). Cache behaviour is observable via the
+  ``parallel.plan_cache.hits`` / ``parallel.plan_cache.misses`` counters
+  and per-chunk ``parallel.plan_build`` spans.
 * **Pluggable execution backends** (:mod:`repro.parallel.backends`):
   ``"serial"`` (in-line loop), ``"thread"`` (persistent pool; NumPy
   releases the GIL on the heavy vector ops) and ``"process"``
@@ -27,7 +29,8 @@ story, Figure 6):
   instead of a private full ``(I, S)`` copy. Total reduction memory is
   ``I·S + Σ_c rows_c·S ≈ I·S`` rather than ``p·I·S``, and the final
   reduce is one indexed add per chunk. All partial buffers are declared
-  against the ambient :class:`~repro.runtime.budget.MemoryBudget`.
+  against the job context's :class:`~repro.runtime.budget.MemoryBudget`
+  (the ambient one when no explicit context is given).
 """
 
 from __future__ import annotations
@@ -42,7 +45,7 @@ from ..core.engine import lattice_ttmc
 from ..core.plan import TTMcPlan, build_plan
 from ..core.s3ttmc import SymmetricInput, _as_ucoo
 from ..formats.partial_sym import PartiallySymmetricTensor
-from ..obs import trace as _trace
+from ..runtime.context import ExecContext, resolve_context
 from ..symmetry.combinatorics import sym_storage_size
 from .partition import balanced_partition, estimate_nonzero_costs
 
@@ -55,12 +58,6 @@ __all__ = [
     "parallel_s3ttmc",
     "measure_chunk_costs",
 ]
-
-#: Attribute under which chunk plans are memoized on the tensor object
-#: (same convention as :data:`repro.core.plan._CACHE_ATTR`).
-_CACHE_ATTR = "_parallel_chunk_plan_cache"
-#: Attribute caching balanced partitions per ``(n_chunks, rank)``.
-_RANGES_ATTR = "_parallel_ranges_cache"
 
 
 @dataclass(frozen=True)
@@ -120,6 +117,9 @@ class ParallelJob:
     cols: int
     reduction: str
     tensor: object  # SparseSymmetricTensor — plan-cache anchor
+    #: The run's (snapshotted) ExecContext: budget/collector travel with
+    #: the job into worker threads and (as a budget spec) processes.
+    ctx: Optional[ExecContext] = None
 
     @property
     def order(self) -> int:
@@ -143,16 +143,13 @@ def chunk_row_block(indices: np.ndarray, dim: int) -> Tuple[np.ndarray, np.ndarr
     return rows, row_map
 
 
-def _plan_cache(tensor) -> dict:
-    cache = getattr(tensor, _CACHE_ATTR, None)
-    if cache is None:
-        cache = {}
-        setattr(tensor, _CACHE_ATTR, cache)
-    return cache
-
-
-def _count_cache(hits: int, misses: int, report: Optional[ParallelRunReport]) -> None:
-    collector = _trace.active_collector()
+def _count_cache(
+    hits: int,
+    misses: int,
+    report: Optional[ParallelRunReport],
+    ctx: ExecContext,
+) -> None:
+    collector = ctx.effective_collector()
     if collector is not None:
         if hits:
             collector.metrics.counter("parallel.plan_cache.hits").inc(hits)
@@ -170,18 +167,24 @@ def get_chunk_plans(
     *,
     with_lattice: bool = True,
     report: Optional[ParallelRunReport] = None,
+    ctx: Optional[ExecContext] = None,
 ) -> List[ChunkPlan]:
-    """Per-chunk plans for ``tensor`` under ``ranges``, cached on the tensor.
+    """Per-chunk plans for ``tensor`` under ``ranges``, cached per context.
 
-    The cache key is ``(partition, memoize)`` — the pattern of a
-    :class:`~repro.formats.ucoo.SparseSymmetricTensor` is immutable by
-    convention, so each chunk's lattice is built exactly once and reused
-    across all kernel calls and decomposition iterations. Pass
-    ``with_lattice=False`` for structure-only entries (row blocks without
-    lattices — the process backend builds lattices worker-side); a later
-    ``with_lattice=True`` call upgrades the cached entry in place.
+    The cache lives on the :class:`~repro.runtime.context.ExecContext`'s
+    :class:`~repro.runtime.context.PlanCache` (weakly keyed by the tensor;
+    the ambient context's cache is process-persistent, so legacy call
+    sites keep their cross-call reuse), keyed by ``(partition, memoize)``
+    — the pattern of a :class:`~repro.formats.ucoo.SparseSymmetricTensor`
+    is immutable by convention, so each chunk's lattice is built exactly
+    once per cache and reused across all kernel calls and decomposition
+    iterations. Pass ``with_lattice=False`` for structure-only entries
+    (row blocks without lattices — the process backend builds lattices
+    worker-side); a later ``with_lattice=True`` call upgrades the cached
+    entry in place.
     """
-    cache = _plan_cache(tensor)
+    ctx = resolve_context(ctx)
+    cache = ctx.plans.chunk_plans(tensor)
     key = (tuple(ranges), memoize)
     plans = cache.get(key)
     if plans is not None and (
@@ -191,7 +194,7 @@ def get_chunk_plans(
         # lattice builds (the process backend reports its worker-side
         # builds separately).
         if with_lattice:
-            _count_cache(len(plans), 0, report)
+            _count_cache(len(plans), 0, report, ctx)
         return plans
 
     indices = tensor.indices
@@ -213,7 +216,7 @@ def get_chunk_plans(
         plan = None
         build_seconds = 0.0
         if with_lattice:
-            with _trace.span(
+            with ctx.span(
                 "parallel.plan_build", chunk=slot, nz_start=start, nz_stop=stop
             ):
                 tick = time.perf_counter()
@@ -231,25 +234,22 @@ def get_chunk_plans(
         )
     cache[key] = out
     if with_lattice:
-        _count_cache(hits, misses, report)
+        _count_cache(hits, misses, report, ctx)
         if report is not None:
             report.plan_build_seconds += sum(cp.build_seconds for cp in out)
     return out
 
 
 def partition_ranges(
-    tensor, rank: int, n_chunks: int
+    tensor, rank: int, n_chunks: int, ctx: Optional[ExecContext] = None
 ) -> Tuple[Tuple[int, int], ...]:
     """Balanced non-zero partition, cached per ``(n_chunks, rank)``.
 
     The cost estimate depends on the rank (row widths scale with it) but
     not on factor values, so the partition — like the plans keyed on it —
-    is stable across iterations.
+    is stable across iterations. Cached on the context's plan cache.
     """
-    cache = getattr(tensor, _RANGES_ATTR, None)
-    if cache is None:
-        cache = {}
-        setattr(tensor, _RANGES_ATTR, cache)
+    cache = resolve_context(ctx).plans.partitions(tensor)
     key = (int(n_chunks), int(rank))
     ranges = cache.get(key)
     if ranges is None:
@@ -266,10 +266,11 @@ def parallel_s3ttmc(
     factor: np.ndarray,
     n_workers: Optional[int] = None,
     *,
-    backend: Union[str, "Backend"] = "thread",
+    backend: Union[str, "Backend", None] = None,
     memoize: str = "global",
-    reduction: str = "blocked",
+    reduction: Optional[str] = None,
     report: Optional[ParallelRunReport] = None,
+    ctx: Optional[ExecContext] = None,
 ) -> PartiallySymmetricTensor:
     """S³TTMc over balanced non-zero chunks on a pluggable backend.
 
@@ -278,37 +279,62 @@ def parallel_s3ttmc(
     tensor, factor:
         As :func:`repro.core.s3ttmc.s3ttmc`.
     n_workers:
-        Worker count (chunk count equals it). Defaults to the backend's
-        worker count when a live backend instance is passed, else to
-        ``os.cpu_count()``.
+        Worker count (chunk count equals it). Defaults to the context's
+        ``n_workers``, then the backend's worker count when a live
+        backend instance is used, else ``os.cpu_count()``.
     backend:
         ``"serial"``, ``"thread"``, ``"process"`` or a live
-        :class:`~repro.parallel.backends.Backend` instance. String
-        backends are created and closed per call; pass an instance (or
-        use ``hooi(..., execution=...)``) to keep process workers — and
-        their worker-side plan caches — alive across iterations.
+        :class:`~repro.parallel.backends.Backend` instance. ``None``
+        (the default) consults the context: its adopted backend is
+        reused; otherwise a backend matching ``ctx.execution`` is created
+        and, for non-ambient contexts, adopted (kept alive until
+        ``ctx.close()``). String backends are created and closed per
+        call.
     memoize:
         Lattice memoization scope, forwarded to the chunk plans.
     reduction:
         ``"blocked"`` (compact row-block partials, ``~I·S`` reduction
-        memory — the default) or ``"tree"`` (full-width private partials
-        reduced pairwise — the legacy layout, kept for comparison).
+        memory) or ``"tree"`` (full-width private partials reduced
+        pairwise — the legacy layout, kept for comparison). ``None``
+        defaults to the context's ``reduction`` (``"blocked"``).
     report:
         Optional :class:`ParallelRunReport` to fill.
+    ctx:
+        Optional :class:`~repro.runtime.context.ExecContext`. Its budget
+        and collector travel with the job to workers (threads enter the
+        context's scope; processes mirror the budget limit), and its plan
+        cache holds the chunk plans. ``None`` resolves to the ambient
+        context — legacy ``with MemoryBudget(...):`` call sites still
+        propagate, via :meth:`~repro.runtime.context.ExecContext.snapshot`.
     """
     from .backends import Backend, make_backend  # local: avoid import cycle
 
+    ctx = resolve_context(ctx)
     ucoo = _as_ucoo(tensor)
     factor = np.asarray(factor, dtype=np.float64)
     if factor.ndim != 2 or factor.shape[0] != ucoo.dim:
         raise ValueError(f"factor must be ({ucoo.dim}, R), got {factor.shape}")
+    if reduction is None:
+        reduction = ctx.reduction
     if reduction not in ("blocked", "tree"):
         raise ValueError(f"unknown reduction {reduction!r}")
     rank = factor.shape[1]
     cols = sym_storage_size(ucoo.order - 1, rank)
+    if n_workers is None:
+        n_workers = ctx.n_workers
 
     owns_backend = False
-    if isinstance(backend, str):
+    if backend is None:
+        if ctx.backend is not None:
+            backend = ctx.backend
+        else:
+            name = ctx.execution if ctx.execution in ("thread", "process") else "thread"
+            backend = make_backend(name, n_workers)
+            if ctx.is_ambient:
+                owns_backend = True  # never pin a pool on the ambient default
+            else:
+                ctx.adopt_backend(backend)
+    elif isinstance(backend, str):
         backend = make_backend(backend, n_workers)
         owns_backend = True
     elif not isinstance(backend, Backend):
@@ -316,7 +342,10 @@ def parallel_s3ttmc(
     if n_workers is None:
         n_workers = backend.n_workers
 
-    ranges = partition_ranges(ucoo, rank, max(1, n_workers))
+    # Materialize ambient budget/collector so they survive the hop onto
+    # worker threads (whose own ambient state is empty).
+    run_ctx = ctx.snapshot()
+    ranges = partition_ranges(ucoo, rank, max(1, n_workers), ctx)
     job = ParallelJob(
         indices=ucoo.indices,
         values=ucoo.values,
@@ -327,6 +356,7 @@ def parallel_s3ttmc(
         cols=cols,
         reduction=reduction,
         tensor=ucoo,
+        ctx=run_ctx,
     )
     if report is not None:
         report.n_workers = n_workers
@@ -336,7 +366,7 @@ def parallel_s3ttmc(
         report.chunk_seconds = [0.0] * len(ranges)
 
     try:
-        with _trace.span(
+        with ctx.span(
             "parallel.s3ttmc",
             backend=backend.name,
             n_workers=n_workers,
@@ -346,7 +376,7 @@ def parallel_s3ttmc(
             tick = time.perf_counter()
             data = backend.execute(job, report)
             elapsed = time.perf_counter() - tick
-        collector = _trace.active_collector()
+        collector = ctx.effective_collector()
         if collector is not None:
             collector.metrics.counter(f"parallel.runs.{backend.name}").inc()
     finally:
@@ -364,6 +394,7 @@ def measure_chunk_costs(
     *,
     memoize: str = "global",
     repeats: int = 1,
+    ctx: Optional[ExecContext] = None,
 ) -> List[float]:
     """Serial per-chunk *numeric* wall times for ``n_chunks`` balanced ranges.
 
@@ -372,10 +403,11 @@ def measure_chunk_costs(
     (and cached) up front, so the measured cost is the per-iteration numeric
     work — matching the paper's amortized-CSS-tree accounting.
     """
+    ctx = resolve_context(ctx)
     ucoo = _as_ucoo(tensor)
     factor = np.asarray(factor, dtype=np.float64)
-    ranges = partition_ranges(ucoo, factor.shape[1], n_chunks)
-    plans = get_chunk_plans(ucoo, ranges, memoize)
+    ranges = partition_ranges(ucoo, factor.shape[1], n_chunks, ctx)
+    plans = get_chunk_plans(ucoo, ranges, memoize, ctx=ctx)
     out = []
     for cp in plans:
         best = np.inf
@@ -389,6 +421,7 @@ def measure_chunk_costs(
                 intermediate="compact",
                 memoize=memoize,
                 plan=cp.plan,
+                ctx=ctx,
             )
             best = min(best, time.perf_counter() - tick)
         out.append(float(best))

@@ -157,16 +157,35 @@ class _WorkerState:
         self.result = None
 
 
-def _run_chunks(state: _WorkerState, chunks, memoize: str, cols: int):
-    """Evaluate assigned chunks into the worker's result buffer."""
+def _run_chunks(
+    state: _WorkerState, chunks, memoize: str, cols: int, budget_spec=None
+):
+    """Evaluate assigned chunks into the worker's result buffer.
+
+    ``budget_spec`` — ``(limit_bytes, parent_in_use)`` — mirrors the
+    parent's :class:`~repro.runtime.budget.MemoryBudget` into this
+    process: a local budget preloaded with the parent's current usage is
+    installed around the kernel calls, so transient allocations here are
+    limit-checked exactly as they would be in-process. The worker's peak
+    is reported back for the parent to fold in.
+    """
     import time
+    from contextlib import nullcontext
 
     from ..core.engine import lattice_ttmc
     from ..core.plan import build_plan
+    from ..runtime.budget import MemoryBudget
+    from ..runtime.context import ExecContext
     from .executor import chunk_row_block
 
     assert state.indices is not None and state.values is not None
     assert state.factor is not None
+    budget = None
+    if budget_spec is not None:
+        limit_bytes, base_in_use = budget_spec
+        budget = MemoryBudget(limit_bytes=limit_bytes)
+        budget.in_use = int(base_in_use)
+        budget.peak = int(base_in_use)
     total_rows = 0
     prepared = []
     for slot, start, stop in chunks:
@@ -188,27 +207,38 @@ def _run_chunks(state: _WorkerState, chunks, memoize: str, cols: int):
     buffer = np.ndarray((total_rows, cols), dtype=np.float64, buffer=shm.buf)
     metas = []
     offset = 0
-    for slot, start, stop, (plan, rows, row_map), build_seconds, hit in prepared:
-        n_rows = rows.shape[0]
-        block = buffer[offset : offset + n_rows]
-        block[...] = 0.0
-        tick = time.perf_counter()
-        lattice_ttmc(
-            state.indices[start:stop],
-            state.values[start:stop],
-            state.dim,
-            state.factor,
-            intermediate="compact",
-            memoize=memoize,
-            out=block,
-            out_row_map=row_map,
-            plan=plan,
-        )
-        numeric_seconds = time.perf_counter() - tick
-        metas.append((slot, offset, n_rows, build_seconds, numeric_seconds, hit))
-        offset += n_rows
+    # The result blocks themselves were already declared by the parent
+    # ("parallel partials (shm)") before the budget snapshot was taken, so
+    # only the kernel's transients account against the mirrored budget.
+    # The kernel is driven under an explicit per-call ExecContext carrying
+    # the mirrored budget; relying on ambient state here would be wrong
+    # twice over — the fork may have inherited the parent's thread-local
+    # context stack, and a bare budget push would not survive it.
+    worker_ctx = ExecContext(budget=budget)
+    with budget if budget is not None else nullcontext():
+        for slot, start, stop, (plan, rows, row_map), build_seconds, hit in prepared:
+            n_rows = rows.shape[0]
+            block = buffer[offset : offset + n_rows]
+            block[...] = 0.0
+            tick = time.perf_counter()
+            lattice_ttmc(
+                state.indices[start:stop],
+                state.values[start:stop],
+                state.dim,
+                state.factor,
+                intermediate="compact",
+                memoize=memoize,
+                out=block,
+                out_row_map=row_map,
+                plan=plan,
+                ctx=worker_ctx,
+            )
+            numeric_seconds = time.perf_counter() - tick
+            metas.append((slot, offset, n_rows, build_seconds, numeric_seconds, hit))
+            offset += n_rows
     spec = ShmArraySpec(shm.name, (total_rows, cols), "float64")
-    return spec, metas
+    peak = budget.peak if budget is not None else 0
+    return spec, metas, peak
 
 
 def worker_main(
@@ -224,13 +254,26 @@ def worker_main(
     ``("factor", spec)``
         (Re-)attach the factor buffer. The parent rewrites the segment in
         place between calls; a new name arrives only when the shape grew.
-    ``("run", chunks, memoize, cols)``
-        Evaluate ``chunks`` (``(slot, start, stop)`` triples); reply
-        ``("done", result_spec, metas)`` with per-chunk
-        ``(slot, row_offset, n_rows, build_s, numeric_s, plan_cache_hit)``.
+    ``("run", chunks, memoize, cols, budget_spec)``
+        Evaluate ``chunks`` (``(slot, start, stop)`` triples) under the
+        mirrored budget (``(limit_bytes, parent_in_use)`` or ``None``);
+        reply ``("done", result_spec, metas, peak_bytes)`` with per-chunk
+        ``(slot, row_offset, n_rows, build_s, numeric_s, plan_cache_hit)``,
+        or ``("oom", label, nbytes, limit, in_use)`` when the mirrored
+        budget refuses an allocation (the parent re-raises it as a
+        :class:`~repro.runtime.budget.MemoryLimitError`).
     ``("close",)``
         Tear down segments and exit.
     """
+    from ..runtime.budget import MemoryLimitError
+    from ..runtime.context import reset_thread_runtime_state
+
+    # A fork start method clones the parent's thread-local runtime state
+    # (active ExecContext / budget / collector stacks) into this process.
+    # None of it belongs to the worker — accounting against a forked copy
+    # of the parent's budget would be silently invisible — so drop it and
+    # run against this process's own ambient state.
+    reset_thread_runtime_state()
     state = _WorkerState(untrack_attach)
     try:
         while True:
@@ -251,9 +294,17 @@ def worker_main(
                     state.factor = state.attach("factor", spec)
                     state.factor_name = spec.name
                 elif op == "run":
-                    _op, chunks, memoize, cols = msg
-                    spec, metas = _run_chunks(state, chunks, memoize, cols)
-                    conn.send(("done", spec, metas))
+                    _op, chunks, memoize, cols, budget_spec = msg
+                    try:
+                        spec, metas, peak = _run_chunks(
+                            state, chunks, memoize, cols, budget_spec
+                        )
+                    except MemoryLimitError as oom:
+                        conn.send(
+                            ("oom", oom.label, oom.nbytes, oom.limit, oom.in_use)
+                        )
+                    else:
+                        conn.send(("done", spec, metas, peak))
                 elif op == "close":
                     conn.send(("closed",))
                     break

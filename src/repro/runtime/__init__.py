@@ -1,4 +1,4 @@
-"""Execution-environment substrate: memory budgets and phase timers."""
+"""Execution-environment substrate: contexts, memory budgets, phase timers."""
 
 from .budget import (
     MemoryBudget,
@@ -8,10 +8,24 @@ from .budget import (
     request_bytes,
     track_array,
 )
+from .context import (
+    EXECUTIONS,
+    ExecContext,
+    PlanCache,
+    current_context,
+    resolve_context,
+    tensor_generation,
+)
 from .profile import HotSpot, ProfileReport, profile_call
 from .timer import PhaseTimer, Stopwatch
 
 __all__ = [
+    "ExecContext",
+    "PlanCache",
+    "EXECUTIONS",
+    "current_context",
+    "resolve_context",
+    "tensor_generation",
     "MemoryBudget",
     "MemoryLimitError",
     "current_budget",

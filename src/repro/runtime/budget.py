@@ -83,16 +83,25 @@ class MemoryBudget:
         self._lock = threading.Lock()
 
     # -- accounting -------------------------------------------------------
-    def request(self, nbytes: int, label: str = "array") -> None:
-        """Declare an allocation of ``nbytes``; raise if over the limit."""
+    def request(self, nbytes: int, label: str = "array", *, collector=None) -> None:
+        """Declare an allocation of ``nbytes``; raise if over the limit.
+
+        ``collector`` routes the budget events/metrics into a specific
+        :class:`~repro.obs.trace.TraceCollector` (the execution-context
+        path) instead of the ambient one.
+        """
         nbytes = int(nbytes)
         if nbytes < 0:
             raise ValueError("nbytes must be >= 0")
         with self._lock:
             if self.limit_bytes is not None and self.in_use + nbytes > self.limit_bytes:
-                if _trace.tracing_enabled():
+                refused_collector = (
+                    collector if collector is not None else _trace.active_collector()
+                )
+                if refused_collector is not None:
                     _trace.event(
                         "budget.refused",
+                        collector=refused_collector,
                         label=label,
                         nbytes=nbytes,
                         in_use=self.in_use,
@@ -103,15 +112,20 @@ class MemoryBudget:
             self.peak = max(self.peak, self.in_use)
             self.allocations[label] = self.allocations.get(label, 0) + nbytes
             in_use, peak = self.in_use, self.peak
-        collector = _trace.active_collector()
+        if collector is None:
+            collector = _trace.active_collector()
         if collector is not None:
             _trace.event(
-                "budget.request", label=label, nbytes=nbytes, in_use=in_use
+                "budget.request",
+                collector=collector,
+                label=label,
+                nbytes=nbytes,
+                in_use=in_use,
             )
             collector.metrics.gauge("budget.peak_bytes").update_max(peak)
             collector.metrics.counter("budget.requests").inc()
 
-    def release(self, nbytes: int, label: str = "array") -> None:
+    def release(self, nbytes: int, label: str = "array", *, collector=None) -> None:
         """Return previously requested bytes to the budget."""
         nbytes = int(nbytes)
         with self._lock:
@@ -123,10 +137,27 @@ class MemoryBudget:
                 else:
                     self.allocations[label] = remaining
             in_use = self.in_use
-        if _trace.tracing_enabled():
+        if collector is None:
+            collector = _trace.active_collector()
+        if collector is not None:
             _trace.event(
-                "budget.release", label=label, nbytes=nbytes, in_use=in_use
+                "budget.release",
+                collector=collector,
+                label=label,
+                nbytes=nbytes,
+                in_use=in_use,
             )
+
+    def observe_peak(self, nbytes: int) -> None:
+        """Fold an externally measured high-water mark into ``peak``.
+
+        Used by the process execution backend: workers account against a
+        mirrored budget in their own process and report their peak back,
+        so the parent's ``peak`` reflects the whole run (see
+        :mod:`repro.parallel.shm`).
+        """
+        with self._lock:
+            self.peak = max(self.peak, int(nbytes))
 
     # -- scope management --------------------------------------------------
     def __enter__(self) -> "MemoryBudget":

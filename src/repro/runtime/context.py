@@ -1,0 +1,572 @@
+"""Per-run execution context: the object every layer threads explicitly.
+
+Before this module existed, every cross-cutting concern was ambient
+process/thread state: the :class:`~repro.runtime.budget.MemoryBudget`
+lived in a ``threading.local`` stack, the trace collector was installed
+process-wide, execution backends were created ad hoc per decomposition
+call, and chunk-plan caches hung off tensor objects. Two decompositions
+running concurrently in one process therefore shared (or silently missed)
+budgets, traces and caches.
+
+:class:`ExecContext` makes the run's environment explicit — one object
+owning
+
+* the **memory budget** (``ctx.budget`` — the paper's OOM-reproduction
+  device; Section VI's 256 GB node as a first-class per-run limit),
+* the **trace collector and metrics registry** (``ctx.collector`` /
+  ``ctx.metrics``),
+* the **execution backend** (``serial`` / ``thread`` / ``process``,
+  created lazily and kept alive until :meth:`ExecContext.close`),
+* the **plan cache** (chunk plans and partitions, weakly keyed by tensor
+  — no longer attributes stapled onto tensor objects), and
+* the **RNG seed** (deterministic replay: seed + budget + backend travel
+  together and serialize via :meth:`ExecContext.to_dict`).
+
+Backward compatibility is preserved through the *ambient default
+context*: :func:`current_context` returns the innermost explicitly
+scoped context on this thread, falling back to a process-wide singleton
+whose budget/collector properties delegate to the pre-existing ambient
+mechanisms. Code that never mentions contexts behaves exactly as before;
+code that passes ``ctx=`` gets isolation.
+
+Usage::
+
+    from repro.runtime import ExecContext, MemoryBudget
+    from repro.obs import TraceCollector
+
+    ctx = ExecContext(
+        budget=MemoryBudget(gigabytes=4),
+        collector=TraceCollector(),
+        execution="thread",
+        n_workers=8,
+        seed=42,
+    )
+    with ctx:                       # activate + close backend on exit
+        result = hooi(x, rank=8, ctx=ctx)
+    ctx.collector.spans             # only this run's spans
+    ctx.budget.peak                 # only this run's peak
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from contextlib import ExitStack, contextmanager
+from typing import Any, Dict, Iterator, List, Optional
+
+import numpy as np
+
+from ..obs import trace as _trace
+from . import budget as _budget
+from .budget import MemoryBudget
+
+__all__ = [
+    "EXECUTIONS",
+    "ExecContext",
+    "PlanCache",
+    "current_context",
+    "reset_thread_runtime_state",
+    "resolve_context",
+    "tensor_generation",
+]
+
+#: Recognized execution strategies (see :mod:`repro.parallel.backends`).
+EXECUTIONS = ("serial", "thread", "process")
+
+
+# ---------------------------------------------------------------------------
+# Tensor generations
+# ---------------------------------------------------------------------------
+
+_GEN_LOCK = threading.Lock()
+_GEN_IDS: "weakref.WeakKeyDictionary[object, int]" = weakref.WeakKeyDictionary()
+_NEXT_GEN = [0]
+
+
+def tensor_generation(tensor: object) -> int:
+    """Process-unique, monotonically assigned generation id for ``tensor``.
+
+    Unlike ``id()``, a generation is never reused after the tensor dies,
+    so it is a safe cache/invalidation key across process boundaries —
+    the process backend keys its worker-side plan caches on it.
+    """
+    with _GEN_LOCK:
+        gen = _GEN_IDS.get(tensor)
+        if gen is None:
+            _NEXT_GEN[0] += 1
+            gen = _NEXT_GEN[0]
+            _GEN_IDS[tensor] = gen
+        return gen
+
+
+# ---------------------------------------------------------------------------
+# Plan cache
+# ---------------------------------------------------------------------------
+
+
+class PlanCache:
+    """Per-context store for chunk plans and non-zero partitions.
+
+    Entries are weakly keyed by the tensor object, so plans die with their
+    tensor instead of leaking; within one tensor the inner dicts are keyed
+    by ``(partition, memoize)`` (chunk plans) and ``(n_chunks, rank)``
+    (partitions) exactly as the old tensor-attribute caches were. Plans
+    are pattern-only (they never depend on factor values), so sharing a
+    cache between contexts is always *correct* — separate caches are
+    about lifecycle isolation, not numerics.
+    """
+
+    def __init__(self) -> None:
+        self._chunk_plans: "weakref.WeakKeyDictionary[object, dict]" = (
+            weakref.WeakKeyDictionary()
+        )
+        self._partitions: "weakref.WeakKeyDictionary[object, dict]" = (
+            weakref.WeakKeyDictionary()
+        )
+
+    def chunk_plans(self, tensor: object) -> dict:
+        """The (mutable) chunk-plan dict for ``tensor``."""
+        return self._per_tensor(self._chunk_plans, tensor)
+
+    def partitions(self, tensor: object) -> dict:
+        """The (mutable) balanced-partition dict for ``tensor``."""
+        return self._per_tensor(self._partitions, tensor)
+
+    @staticmethod
+    def _per_tensor(store: "weakref.WeakKeyDictionary", tensor: object) -> dict:
+        try:
+            cache = store.get(tensor)
+        except TypeError:  # un-weakref-able / unhashable: no caching
+            return {}
+        if cache is None:
+            cache = {}
+            try:
+                store[tensor] = cache
+            except TypeError:
+                return {}
+        return cache
+
+    @property
+    def n_tensors(self) -> int:
+        """Number of tensors with live cached state (either kind)."""
+        return len(set(self._chunk_plans) | set(self._partitions))
+
+    def clear(self) -> None:
+        """Drop all cached plans and partitions."""
+        self._chunk_plans.clear()
+        self._partitions.clear()
+
+
+# ---------------------------------------------------------------------------
+# The context
+# ---------------------------------------------------------------------------
+
+
+class ExecContext:
+    """One run's execution environment, threaded explicitly through layers.
+
+    Parameters
+    ----------
+    budget:
+        The run's :class:`~repro.runtime.budget.MemoryBudget`. ``None``
+        delegates to the ambient (thread-local) budget stack, preserving
+        legacy ``with MemoryBudget(...):`` call sites.
+    collector:
+        The run's :class:`~repro.obs.trace.TraceCollector`. ``None``
+        delegates to the ambient collector.
+    execution:
+        ``"serial"`` (plain kernel), ``"thread"`` or ``"process"``
+        (parallel backend, owned by this context once adopted).
+    n_workers:
+        Worker count for parallel executions (``None`` = core count).
+    reduction:
+        Partial-reduction strategy for parallel runs (``"blocked"`` /
+        ``"tree"``).
+    seed:
+        Default RNG seed for drivers invoked with ``seed=None`` —
+        deterministic replay travels with the context.
+    plans:
+        Plan cache; defaults to a fresh private :class:`PlanCache`.
+        :meth:`derive` shares the parent's.
+
+    The context is a context manager: ``with ctx:`` activates it on the
+    current thread (budget pushed, collector installed thread-locally,
+    :func:`current_context` returns it) and closes the owned backend on
+    exit. For activation without lifecycle teardown use :meth:`scope`.
+    """
+
+    def __init__(
+        self,
+        *,
+        budget: Optional[MemoryBudget] = None,
+        collector: Optional["_trace.TraceCollector"] = None,
+        execution: str = "serial",
+        n_workers: Optional[int] = None,
+        reduction: str = "blocked",
+        seed: Optional[int] = None,
+        plans: Optional[PlanCache] = None,
+    ) -> None:
+        self.budget = budget
+        self.collector = collector
+        self.execution = execution
+        self.n_workers = None if n_workers is None else int(n_workers)
+        self.reduction = reduction
+        self.seed = seed
+        self.plans = plans if plans is not None else PlanCache()
+        self._backend = None
+        self._ambient = False
+        self._entered: List[Any] = []
+
+    # -- identity ----------------------------------------------------------
+
+    @property
+    def is_ambient(self) -> bool:
+        """``True`` only for the process-wide ambient default context."""
+        return self._ambient
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        bits = [f"execution={self.execution!r}"]
+        if self.n_workers is not None:
+            bits.append(f"n_workers={self.n_workers}")
+        if self.budget is not None:
+            bits.append(f"budget={self.budget.limit_bytes}")
+        if self.collector is not None:
+            bits.append("traced")
+        if self.seed is not None:
+            bits.append(f"seed={self.seed}")
+        if self._ambient:
+            bits.append("ambient")
+        return f"ExecContext({', '.join(bits)})"
+
+    # -- budget ------------------------------------------------------------
+
+    def effective_budget(self) -> Optional[MemoryBudget]:
+        """This context's budget, else the ambient one on this thread."""
+        return self.budget if self.budget is not None else _budget.current_budget()
+
+    def request_bytes(self, nbytes: int, label: str = "array") -> None:
+        """Declare ``nbytes`` against this run's budget (see
+        :func:`repro.runtime.budget.request_bytes`)."""
+        budget = self.effective_budget()
+        if budget is not None:
+            budget.request(nbytes, label, collector=self.collector)
+        else:
+            collector = self.effective_collector()
+            if collector is not None:
+                _trace.event(
+                    "budget.request",
+                    collector=collector,
+                    label=label,
+                    nbytes=int(nbytes),
+                )
+
+    def release_bytes(self, nbytes: int, label: str = "array") -> None:
+        """Release ``nbytes`` from this run's budget."""
+        budget = self.effective_budget()
+        if budget is not None:
+            budget.release(nbytes, label, collector=self.collector)
+        else:
+            collector = self.effective_collector()
+            if collector is not None:
+                _trace.event(
+                    "budget.release",
+                    collector=collector,
+                    label=label,
+                    nbytes=int(nbytes),
+                )
+
+    @contextmanager
+    def track_array(self, shape, label: str, itemsize: int = 8) -> Iterator[int]:
+        """Context-scoped transient-array declaration (yields the bytes)."""
+        nbytes = itemsize
+        for extent in shape:
+            nbytes *= int(extent)
+        self.request_bytes(nbytes, label)
+        try:
+            yield nbytes
+        finally:
+            self.release_bytes(nbytes, label)
+
+    # -- tracing -----------------------------------------------------------
+
+    def effective_collector(self) -> Optional["_trace.TraceCollector"]:
+        """This context's collector, else the ambient one on this thread."""
+        return (
+            self.collector
+            if self.collector is not None
+            else _trace.active_collector()
+        )
+
+    @property
+    def metrics(self):
+        """Metrics registry of the effective collector, or ``None``."""
+        collector = self.effective_collector()
+        return collector.metrics if collector is not None else None
+
+    def span(self, name: str, *, parent_id: Optional[int] = None, **attrs: Any):
+        """Open a span routed into this run's collector (no-op if none)."""
+        return _trace.span(
+            name, parent_id=parent_id, collector=self.collector, **attrs
+        )
+
+    def event(self, name: str, *, parent_id: Optional[int] = None, **attrs: Any):
+        """Record a point event routed into this run's collector."""
+        _trace.event(name, parent_id=parent_id, collector=self.collector, **attrs)
+
+    # -- RNG ---------------------------------------------------------------
+
+    def rng(self) -> np.random.Generator:
+        """Fresh generator from this context's seed (entropy if unset)."""
+        return np.random.default_rng(self.seed)
+
+    # -- validation --------------------------------------------------------
+
+    def validate(
+        self, *, kernel: str = "symprop", intermediate: str = "compact"
+    ) -> None:
+        """Check that this context's execution settings suit a run.
+
+        Single home for constraints previously scattered across
+        ``resolve_backend`` and deep engine failures: unknown execution
+        names, ``n_workers`` without a parallel execution, and parallel
+        runs of kernels/layouts that have no chunked form (only the
+        symprop kernel with compact intermediates does).
+        """
+        if self.execution not in EXECUTIONS:
+            raise ValueError(
+                f"unknown execution {self.execution!r}; "
+                f"expected one of {EXECUTIONS}"
+            )
+        if self.execution == "serial":
+            if self.n_workers is not None:
+                raise ValueError("n_workers requires execution='thread'|'process'")
+            return
+        if kernel != "symprop":
+            raise ValueError(
+                f"execution={self.execution!r} requires kernel='symprop', "
+                f"got {kernel!r}"
+            )
+        if intermediate != "compact":
+            raise ValueError(
+                f"execution={self.execution!r} requires intermediate='compact' "
+                f"(the full {intermediate!r} layout has no chunked parallel "
+                f"form), got intermediate={intermediate!r}"
+            )
+
+    # -- backend lifecycle -------------------------------------------------
+
+    @property
+    def backend(self):
+        """The owned :class:`~repro.parallel.backends.Backend`, if any."""
+        return self._backend
+
+    def adopt_backend(self, backend):
+        """Take ownership of ``backend``: reused until :meth:`close`.
+
+        The context deliberately does not *create* backends (that would
+        invert the layering — ``runtime`` sits below ``parallel``);
+        creation lives in :func:`repro.decomp._execution.acquire_backend`
+        and :func:`repro.parallel.executor.parallel_s3ttmc`, which adopt
+        what they make.
+        """
+        if self._backend is not None and self._backend is not backend:
+            raise RuntimeError(
+                "context already owns a backend; close() it before adopting "
+                "another"
+            )
+        self._backend = backend
+        return backend
+
+    def close(self) -> None:
+        """Close the owned backend (idempotent); the context stays usable
+        — the next parallel run lazily recreates a backend."""
+        backend, self._backend = self._backend, None
+        if backend is not None:
+            backend.close()
+
+    # -- derivation / snapshot ---------------------------------------------
+
+    def derive(
+        self,
+        *,
+        execution: Optional[str] = None,
+        n_workers: Optional[int] = None,
+        reduction: Optional[str] = None,
+        seed: Optional[int] = None,
+    ) -> "ExecContext":
+        """Child context sharing budget/collector/plan cache, with its own
+        backend slot and (optionally) overridden execution settings.
+
+        This is how the legacy ``hooi(..., execution="thread")`` call
+        sites keep working: the driver derives an ephemeral child from the
+        ambient context, runs on it, and closes it — while plans persist
+        in the shared cache across calls.
+        """
+        return ExecContext(
+            budget=self.budget,
+            collector=self.collector,
+            execution=execution if execution is not None else self.execution,
+            n_workers=n_workers if n_workers is not None else self.n_workers,
+            reduction=reduction if reduction is not None else self.reduction,
+            seed=seed if seed is not None else self.seed,
+            plans=self.plans,
+        )
+
+    def snapshot(self) -> "ExecContext":
+        """Materialize ambient delegation into explicit fields.
+
+        Resolves the effective budget/collector *on the calling thread* so
+        the result can travel to worker threads (whose own ambient state
+        would differ). Returns ``self`` when nothing is delegated.
+        """
+        budget = self.effective_budget()
+        collector = self.effective_collector()
+        if budget is self.budget and collector is self.collector:
+            return self
+        snap = ExecContext(
+            budget=budget,
+            collector=collector,
+            execution=self.execution,
+            n_workers=self.n_workers,
+            reduction=self.reduction,
+            seed=self.seed,
+            plans=self.plans,
+        )
+        return snap
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable run configuration (deterministic replay)."""
+        return {
+            "execution": self.execution,
+            "n_workers": self.n_workers,
+            "reduction": self.reduction,
+            "seed": self.seed,
+            "budget_limit_bytes": (
+                self.budget.limit_bytes if self.budget is not None else None
+            ),
+            "traced": self.collector is not None,
+        }
+
+    @classmethod
+    def from_dict(cls, spec: Dict[str, Any]) -> "ExecContext":
+        """Rebuild a context from :meth:`to_dict` output.
+
+        The budget is recreated fresh (zero ``in_use``); ``traced`` spawns
+        a new empty collector.
+        """
+        from ..obs.trace import TraceCollector
+
+        limit = spec.get("budget_limit_bytes")
+        return cls(
+            budget=MemoryBudget(limit_bytes=limit) if limit is not None else None,
+            collector=TraceCollector() if spec.get("traced") else None,
+            execution=spec.get("execution", "serial"),
+            n_workers=spec.get("n_workers"),
+            reduction=spec.get("reduction", "blocked"),
+            seed=spec.get("seed"),
+        )
+
+    # -- activation --------------------------------------------------------
+
+    @contextmanager
+    def scope(self) -> Iterator["ExecContext"]:
+        """Activate on the current thread, without lifecycle teardown.
+
+        Installs the budget on the thread-local budget stack, the
+        collector as this thread's trace override, and the context itself
+        as :func:`current_context`'s answer. Reentrant and cheap when
+        already active; the ambient default context installs nothing.
+        """
+        with ExitStack() as stack:
+            if (
+                self.budget is not None
+                and _budget.current_budget() is not self.budget
+            ):
+                stack.enter_context(self.budget)
+            if (
+                self.collector is not None
+                and _trace.active_collector() is not self.collector
+            ):
+                stack.enter_context(_trace.collector_scope(self.collector))
+            ctx_stack = _context_stack()
+            pushed = not (ctx_stack and ctx_stack[-1] is self)
+            if pushed:
+                ctx_stack.append(self)
+            try:
+                yield self
+            finally:
+                if pushed and ctx_stack and ctx_stack[-1] is self:
+                    ctx_stack.pop()
+
+    def __enter__(self) -> "ExecContext":
+        cm = self.scope()
+        cm.__enter__()
+        self._entered.append(cm)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self._entered:
+            cm = self._entered.pop()
+            cm.__exit__(*exc)
+        if not self._entered:
+            self.close()
+
+
+# ---------------------------------------------------------------------------
+# Ambient default
+# ---------------------------------------------------------------------------
+
+_TLS = threading.local()
+
+
+def _context_stack() -> List[ExecContext]:
+    stack = getattr(_TLS, "stack", None)
+    if stack is None:
+        stack = []
+        _TLS.stack = stack
+    return stack
+
+
+#: Process-wide fallback: delegates budget/trace to the ambient
+#: mechanisms; its plan cache is the process-wide one (the successor of
+#: the old tensor-attribute caches).
+_AMBIENT = ExecContext()
+_AMBIENT._ambient = True
+
+
+def current_context() -> ExecContext:
+    """Innermost active context on this thread, else the ambient default.
+
+    Never returns ``None`` — code can always thread the result.
+    """
+    stack = _context_stack()
+    return stack[-1] if stack else _AMBIENT
+
+
+def resolve_context(ctx: Optional[ExecContext]) -> ExecContext:
+    """``ctx`` itself, or :func:`current_context` when ``None``.
+
+    The one-line idiom every ``ctx:``-accepting entry point starts with.
+    """
+    return ctx if ctx is not None else current_context()
+
+
+def reset_thread_runtime_state() -> None:
+    """Forget all inherited ambient runtime state (fork safety).
+
+    A ``fork``-started process clones the parent's thread-local context
+    stack, budget stack, span stack and the process-wide collectors.
+    Accounting or tracing against those clones is silently invisible to
+    the parent — worse, a cloned budget can spuriously refuse worker
+    allocations. Process workers call this once at startup so they run
+    against their own (empty) ambient state; explicit state still arrives
+    via the job's serialized budget/context.
+    """
+    _TLS.__dict__.clear()
+    _budget._LOCAL.__dict__.clear()
+    _trace._STACKS.__dict__.clear()
+    with _trace._INSTALL_LOCK:
+        _trace._COLLECTORS.clear()
+        _trace._ACTIVE = None

@@ -1,0 +1,319 @@
+"""ExecContext tests: validation, ambient fallback, scoping/derivation,
+serialization, budget propagation under every execution, and isolation
+between concurrent runs."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro import ExecContext, current_context
+from repro.core import s3ttmc
+from repro.decomp import hooi
+from repro.obs.trace import TraceCollector
+from repro.parallel import parallel_s3ttmc
+from repro.runtime import MemoryBudget, MemoryLimitError
+from repro.runtime.context import (
+    EXECUTIONS,
+    PlanCache,
+    resolve_context,
+    tensor_generation,
+)
+from tests.conftest import make_random_tensor
+
+
+class _DummyBackend:
+    def __init__(self):
+        self.closed = False
+
+    def close(self):
+        self.closed = True
+
+
+class TestValidation:
+    def test_unknown_execution(self):
+        ctx = ExecContext(execution="gpu")
+        with pytest.raises(ValueError, match="unknown execution"):
+            ctx.validate()
+
+    def test_unknown_execution_lists_choices(self):
+        with pytest.raises(ValueError, match="expected one of"):
+            ExecContext(execution="mpi").validate()
+
+    def test_n_workers_requires_parallel(self):
+        ctx = ExecContext(execution="serial", n_workers=4)
+        with pytest.raises(
+            ValueError, match=r"n_workers requires execution='thread'\|'process'"
+        ):
+            ctx.validate()
+
+    def test_parallel_requires_symprop_kernel(self):
+        ctx = ExecContext(execution="thread")
+        with pytest.raises(ValueError, match="requires kernel='symprop'"):
+            ctx.validate(kernel="css")
+
+    def test_parallel_rejects_full_intermediates(self):
+        ctx = ExecContext(execution="thread")
+        with pytest.raises(ValueError, match="requires intermediate='compact'"):
+            ctx.validate(kernel="symprop", intermediate="full")
+
+    def test_serial_accepts_any_kernel(self):
+        ExecContext().validate(kernel="css", intermediate="full")
+
+    def test_hooi_rejects_parallel_css(self, rng):
+        x = make_random_tensor(3, 8, 30, rng)
+        with pytest.raises(ValueError, match="requires kernel='symprop'"):
+            hooi(x, 2, kernel="css", execution="thread", max_iters=1)
+
+    def test_hooi_rejects_ctx_execution_conflict(self, rng):
+        x = make_random_tensor(3, 8, 30, rng)
+        ctx = ExecContext(execution="serial")
+        with pytest.raises(ValueError, match="conflicts with ctx"):
+            hooi(x, 2, ctx=ctx, execution="thread", max_iters=1)
+
+
+class TestAmbientDefault:
+    def test_current_context_defaults_to_ambient(self):
+        ctx = current_context()
+        assert ctx.is_ambient
+        assert resolve_context(None) is ctx
+
+    def test_explicit_context_wins_inside_scope(self):
+        ctx = ExecContext(seed=7)
+        with ctx:
+            assert current_context() is ctx
+            assert not current_context().is_ambient
+        assert current_context().is_ambient
+
+    def test_resolve_passthrough(self):
+        ctx = ExecContext()
+        assert resolve_context(ctx) is ctx
+
+    def test_legacy_budget_call_site_still_accounts(self, rng):
+        """Pre-existing ``with MemoryBudget(...):`` sites see no change."""
+        x = make_random_tensor(3, 8, 40, rng)
+        u = rng.random((8, 2))
+        with MemoryBudget() as budget:
+            s3ttmc(x, u)
+        assert budget.peak > 0
+
+    def test_legacy_collector_call_site_still_traces(self, rng):
+        x = make_random_tensor(3, 8, 40, rng)
+        with TraceCollector() as col:
+            hooi(x, 2, max_iters=1)
+        assert col.find("hooi.iteration")
+
+
+class TestScopeAndLifecycle:
+    def test_scope_installs_budget_and_collector(self, rng):
+        x = make_random_tensor(3, 8, 40, rng)
+        u = rng.random((8, 2))
+        ctx = ExecContext(budget=MemoryBudget(), collector=TraceCollector())
+        with ctx.scope():
+            s3ttmc(x, u)
+        assert ctx.budget.peak > 0
+        assert ctx.collector.find("s3ttmc")
+
+    def test_enter_exit_closes_owned_backend(self):
+        ctx = ExecContext(execution="thread")
+        backend = _DummyBackend()
+        with ctx:
+            ctx.adopt_backend(backend)
+        assert backend.closed
+        assert ctx.backend is None
+
+    def test_double_adopt_rejected(self):
+        ctx = ExecContext()
+        ctx.adopt_backend(_DummyBackend())
+        with pytest.raises(RuntimeError, match="already owns a backend"):
+            ctx.adopt_backend(_DummyBackend())
+        ctx.close()
+
+    def test_close_is_idempotent(self):
+        ctx = ExecContext()
+        backend = _DummyBackend()
+        ctx.adopt_backend(backend)
+        ctx.close()
+        ctx.close()
+        assert backend.closed
+
+    def test_derive_shares_state_but_not_backend(self):
+        budget = MemoryBudget(gigabytes=1)
+        parent = ExecContext(budget=budget, collector=TraceCollector(), seed=3)
+        parent.adopt_backend(_DummyBackend())
+        child = parent.derive(execution="thread", n_workers=2)
+        assert child.budget is budget
+        assert child.collector is parent.collector
+        assert child.plans is parent.plans
+        assert child.seed == 3
+        assert child.execution == "thread" and child.n_workers == 2
+        assert child.backend is None
+        parent.close()
+
+    def test_snapshot_materializes_ambient(self):
+        with MemoryBudget() as budget, TraceCollector() as col:
+            snap = ExecContext().snapshot()
+        assert snap.budget is budget
+        assert snap.collector is col
+
+    def test_snapshot_is_identity_when_explicit(self):
+        ctx = ExecContext(budget=MemoryBudget(), collector=TraceCollector())
+        assert ctx.snapshot() is ctx
+
+    def test_serialization_round_trip(self):
+        ctx = ExecContext(
+            budget=MemoryBudget(limit_bytes=12345),
+            collector=TraceCollector(),
+            execution="thread",
+            n_workers=3,
+            reduction="tree",
+            seed=11,
+        )
+        spec = ctx.to_dict()
+        clone = ExecContext.from_dict(spec)
+        assert clone.execution == "thread"
+        assert clone.n_workers == 3
+        assert clone.reduction == "tree"
+        assert clone.seed == 11
+        assert clone.budget.limit_bytes == 12345
+        assert clone.collector is not ctx.collector
+
+    def test_seed_flows_to_drivers(self, rng):
+        x = make_random_tensor(3, 8, 40, rng)
+        a = hooi(x, 2, max_iters=1, ctx=ExecContext(seed=5))
+        b = hooi(x, 2, max_iters=1, ctx=ExecContext(seed=5))
+        assert np.allclose(a.factor, b.factor)
+
+
+class TestPlanCache:
+    def test_generation_ids_unique_and_stable(self, rng):
+        x = make_random_tensor(3, 8, 20, rng)
+        y = make_random_tensor(3, 8, 20, rng)
+        assert tensor_generation(x) == tensor_generation(x)
+        assert tensor_generation(x) != tensor_generation(y)
+
+    def test_context_owns_plans(self, rng):
+        x = make_random_tensor(4, 10, 60, rng)
+        u = rng.random((10, 3))
+        ctx = ExecContext()
+        parallel_s3ttmc(x, u, 2, backend="serial", ctx=ctx)
+        assert ctx.plans.n_tensors == 1
+        assert ctx.plans is not current_context().plans
+
+    def test_plan_cache_clear(self, rng):
+        x = make_random_tensor(3, 8, 30, rng)
+        cache = PlanCache()
+        cache.chunk_plans(x)["probe"] = object()
+        assert cache.n_tensors == 1
+        cache.clear()
+        assert cache.n_tensors == 0
+
+
+class TestBudgetPropagation:
+    """Satellite: a tiny budget must OOM under every execution — including
+    inside process-backend workers, which previously ran unbudgeted."""
+
+    @pytest.mark.parametrize("execution", EXECUTIONS)
+    def test_tiny_budget_raises_everywhere(self, execution, rng):
+        x = make_random_tensor(4, 10, 80, rng)
+        workers = None if execution == "serial" else 2
+        ctx = ExecContext(
+            execution=execution,
+            n_workers=workers,
+            budget=MemoryBudget(limit_bytes=512),
+        )
+        try:
+            with pytest.raises(MemoryLimitError):
+                hooi(x, 3, max_iters=2, ctx=ctx)
+        finally:
+            ctx.close()
+
+    def test_process_worker_enforces_budget(self, rng):
+        """The limit ships to workers: a budget that admits the parent's
+        partials/output but nothing more must be tripped *worker-side*."""
+        x = make_random_tensor(4, 10, 80, rng)
+        u = rng.random((10, 3))
+        probe = ExecContext(budget=MemoryBudget(), collector=TraceCollector())
+        with probe:
+            parallel_s3ttmc(x, u, 2, backend="process", ctx=probe)
+        dispatch = [
+            e
+            for e in probe.collector.events
+            if e.name == "budget.request" and e.attrs.get("label") == "Y (parallel)"
+        ]
+        assert dispatch, "parent must account the parallel output"
+        base = dispatch[0].attrs["in_use"]  # partials + output at dispatch
+        assert probe.budget.peak > base, "workers must report their peaks"
+
+        ctx = ExecContext(budget=MemoryBudget(limit_bytes=base + 1))
+        try:
+            with ctx, pytest.raises(MemoryLimitError):
+                parallel_s3ttmc(x, u, 2, backend="process", ctx=ctx)
+        finally:
+            ctx.close()
+
+    def test_worker_peak_folds_into_parent_budget(self, rng):
+        x = make_random_tensor(4, 10, 80, rng)
+        u = rng.random((10, 3))
+        serial_ctx = ExecContext(budget=MemoryBudget())
+        with serial_ctx:
+            s3ttmc(x, u)
+        ctx = ExecContext(budget=MemoryBudget())
+        with ctx:
+            parallel_s3ttmc(x, u, 2, backend="process", ctx=ctx)
+        assert ctx.budget.peak > 0
+        # Worker-side kernel allocations are visible in the parent's peak.
+        assert ctx.budget.peak >= serial_ctx.budget.peak / 4
+
+
+class TestConcurrencyIsolation:
+    """Satellite: concurrent runs under distinct contexts must not
+    cross-contaminate traces or budget accounting."""
+
+    def test_threads_with_separate_contexts(self, rng):
+        x_a = make_random_tensor(4, 10, 60, rng)
+        x_b = make_random_tensor(3, 8, 30, rng)
+        contexts = {}
+        errors = []
+        barrier = threading.Barrier(2)
+
+        def run(name, tensor, iters):
+            ctx = ExecContext(
+                budget=MemoryBudget(), collector=TraceCollector(), seed=0
+            )
+            contexts[name] = ctx
+            try:
+                barrier.wait(timeout=30)
+                with ctx:
+                    # Negative tol: the convergence test can never fire, so
+                    # every run performs exactly `iters` iterations.
+                    hooi(tensor, 2, max_iters=iters, tol=-1.0, ctx=ctx)
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append((name, exc))
+
+        threads = [
+            threading.Thread(target=run, args=("a", x_a, 3)),
+            threading.Thread(target=run, args=("b", x_b, 5)),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        assert not errors, errors
+
+        a, b = contexts["a"], contexts["b"]
+        assert len(a.collector.find("hooi.iteration")) == 3
+        assert len(b.collector.find("hooi.iteration")) == 5
+        shared = {id(s) for s in a.collector.spans} & {
+            id(s) for s in b.collector.spans
+        }
+        assert not shared, "span records leaked across contexts"
+        assert a.budget.peak > 0 and b.budget.peak > 0
+
+    def test_explicit_context_shields_ambient_collector(self, rng):
+        x = make_random_tensor(3, 8, 40, rng)
+        ctx = ExecContext(collector=TraceCollector())
+        with TraceCollector() as ambient:
+            hooi(x, 2, max_iters=1, ctx=ctx)
+        assert ctx.collector.find("hooi.iteration")
+        assert not ambient.spans
