@@ -70,26 +70,30 @@ def nary_ttmc_tc(
 
     a = np.zeros((tensor.dim, rank), dtype=np.float64)
     width = rank ** (order - 1)
-    for start in range(0, nnz, max(1, chunk)):
-        stop = min(start + chunk, nnz)
-        block = exp_idx[start:stop]
-        vals = exp_val[start:stop]
-        n = block.shape[0]
-        # Kronecker chain over modes 2..N (row-major, mode 2 slowest).
-        w = factor[block[:, 1]]
-        ctx.request_bytes(n * width * 8, "n-ary kron chain")
-        for t in range(2, order):
-            w = (w[:, :, None] * factor[block[:, t]][:, None, :]).reshape(n, -1)
-        contrib = (w @ c1.T) * vals[:, None]
-        scatter_add_rows(a, block[:, 0], contrib)
-        ctx.release_bytes(n * width * 8, "n-ary kron chain")
-        if stats is not None:
-            # Kron chain: sum_{t=2..N-1} n * R^t multiplies.
-            for t in range(2, order):
-                stats.level_flops[t] = stats.level_flops.get(t, 0) + n * rank**t
-            stats.add_gemm(n, rank, width)
-            stats.add_scatter(n, rank)
-    ctx.release_bytes(exp_idx.nbytes + exp_val.nbytes, "n-ary expanded nonzeros")
+    try:
+        for start in range(0, nnz, max(1, chunk)):
+            stop = min(start + chunk, nnz)
+            block = exp_idx[start:stop]
+            vals = exp_val[start:stop]
+            n = block.shape[0]
+            # Kronecker chain over modes 2..N (row-major, mode 2 slowest).
+            w = factor[block[:, 1]]
+            ctx.request_bytes(n * width * 8, "n-ary kron chain")
+            try:
+                for t in range(2, order):
+                    w = (w[:, :, None] * factor[block[:, t]][:, None, :]).reshape(n, -1)
+                contrib = (w @ c1.T) * vals[:, None]
+                scatter_add_rows(a, block[:, 0], contrib)
+            finally:
+                ctx.release_bytes(n * width * 8, "n-ary kron chain")
+            if stats is not None:
+                # Kron chain: sum_{t=2..N-1} n * R^t multiplies.
+                for t in range(2, order):
+                    stats.level_flops[t] = stats.level_flops.get(t, 0) + n * rank**t
+                stats.add_gemm(n, rank, width)
+                stats.add_scatter(n, rank)
+    finally:
+        ctx.release_bytes(exp_idx.nbytes + exp_val.nbytes, "n-ary expanded nonzeros")
     if stats is not None:
         stats.output_bytes = a.nbytes
     return a
@@ -122,7 +126,11 @@ def nary_hoqri_step(
     width = rank ** (order - 1)
     exp_idx, exp_val, _ = expand_iou(tensor.indices, tensor.values)
     ctx.request_bytes(exp_idx.nbytes + exp_val.nbytes, "n-ary expanded nonzeros")
-    ctx.request_bytes(rank * width * 8, "n-ary full core")
+    try:
+        ctx.request_bytes(rank * width * 8, "n-ary full core")
+    except BaseException:
+        ctx.release_bytes(exp_idx.nbytes + exp_val.nbytes, "n-ary expanded nonzeros")
+        raise
     nnz = exp_val.shape[0]
 
     def chains(start: int, stop: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -138,24 +146,30 @@ def nary_hoqri_step(
                 stats.level_flops[t] = stats.level_flops.get(t, 0) + block.shape[0] * rank**t
         return block, vals, w
 
-    c1 = np.zeros((rank, width), dtype=np.float64)
-    step = max(1, chunk)
-    for start in range(0, nnz, step):
-        stop = min(start + step, nnz)
-        block, vals, w = chains(start, stop)
-        c1 += factor[block[:, 0]].T @ (w * vals[:, None])
-        if stats is not None:
-            stats.add_gemm(rank, width, stop - start)
+    try:
+        c1 = np.zeros((rank, width), dtype=np.float64)
+        step = max(1, chunk)
+        for start in range(0, nnz, step):
+            stop = min(start + step, nnz)
+            block, vals, w = chains(start, stop)
+            c1 += factor[block[:, 0]].T @ (w * vals[:, None])
+            if stats is not None:
+                stats.add_gemm(rank, width, stop - start)
 
-    a = np.zeros((tensor.dim, rank), dtype=np.float64)
-    for start in range(0, nnz, step):
-        stop = min(start + step, nnz)
-        block, vals, w = chains(start, stop)
-        contrib = (w @ c1.T) * vals[:, None]
-        scatter_add_rows(a, block[:, 0], contrib)
-        if stats is not None:
-            stats.add_gemm(stop - start, rank, width)
-    ctx.release_bytes(exp_idx.nbytes + exp_val.nbytes, "n-ary expanded nonzeros")
+        a = np.zeros((tensor.dim, rank), dtype=np.float64)
+        for start in range(0, nnz, step):
+            stop = min(start + step, nnz)
+            block, vals, w = chains(start, stop)
+            contrib = (w @ c1.T) * vals[:, None]
+            scatter_add_rows(a, block[:, 0], contrib)
+            if stats is not None:
+                stats.add_gemm(stop - start, rank, width)
+    finally:
+        # The full-core bytes are released here too: the returned ``c1`` is
+        # immediately compacted by the HOQRI driver, so keeping the request
+        # open would leak one core's worth of budget per iteration.
+        ctx.release_bytes(rank * width * 8, "n-ary full core")
+        ctx.release_bytes(exp_idx.nbytes + exp_val.nbytes, "n-ary expanded nonzeros")
     if stats is not None:
         stats.output_bytes = a.nbytes
     return a, c1

@@ -49,34 +49,55 @@ def csf_ttmc(
     order = csf.order
     trie = csf.trie
 
-    # Deepest level: one node per expanded non-zero (coords are unique);
-    # payload = scalar value.
-    payload = segment_sum_by_ptr(csf.values[:, None], trie.child_ptr[order - 1])
-    payload_label = f"CSF payload depth {order}"
-    ctx.request_bytes(payload.nbytes, payload_label)
-    for depth in range(order - 1, 0, -1):
-        child_values = trie.values[depth]  # nodes at depth+1 (0-based list)
-        n_children = child_values.shape[0]
-        width = payload.shape[1]
-        contrib_label = f"CSF contrib depth {depth}"
-        ctx.request_bytes(n_children * rank * width * 8, contrib_label)
-        contrib = (factor[child_values][:, :, None] * payload[:, None, :]).reshape(
-            n_children, rank * width
-        )
-        if stats is not None:
-            stats.add_level(order - depth + 1, n_children, n_children, rank * width)
-        ctx.release_bytes(payload.nbytes, payload_label)
-        payload = segment_sum_by_ptr(contrib, trie.child_ptr[depth - 1])
-        payload_label = f"CSF payload depth {depth}"
-        ctx.request_bytes(payload.nbytes, payload_label)
-        ctx.release_bytes(contrib.nbytes, contrib_label)
+    # Budget requests currently held; released wholesale if any later,
+    # larger request trips the limit so callers never see stranded bytes.
+    held: list[tuple[int, str]] = []
 
-    root_values = trie.values[0]
-    out_cols = rank ** (order - 1)
-    ctx.request_bytes(csf.dim * out_cols * 8, "Y (SPLATT full)")
-    out = np.zeros((csf.dim, out_cols), dtype=np.float64)
-    out[root_values] = payload
-    ctx.release_bytes(payload.nbytes, payload_label)
+    def _request(nbytes: int, label: str) -> None:
+        ctx.request_bytes(nbytes, label)
+        held.append((nbytes, label))
+
+    def _release(nbytes: int, label: str) -> None:
+        ctx.release_bytes(nbytes, label)
+        held.remove((nbytes, label))
+
+    try:
+        # Deepest level: one node per expanded non-zero (coords are unique);
+        # payload = scalar value.
+        payload = segment_sum_by_ptr(csf.values[:, None], trie.child_ptr[order - 1])
+        payload_label = f"CSF payload depth {order}"
+        _request(payload.nbytes, payload_label)
+        for depth in range(order - 1, 0, -1):
+            child_values = trie.values[depth]  # nodes at depth+1 (0-based list)
+            n_children = child_values.shape[0]
+            width = payload.shape[1]
+            contrib_label = f"CSF contrib depth {depth}"
+            _request(n_children * rank * width * 8, contrib_label)
+            contrib = (factor[child_values][:, :, None] * payload[:, None, :]).reshape(
+                n_children, rank * width
+            )
+            if stats is not None:
+                stats.add_level(order - depth + 1, n_children, n_children, rank * width)
+            _release(payload.nbytes, payload_label)
+            payload = segment_sum_by_ptr(contrib, trie.child_ptr[depth - 1])
+            payload_label = f"CSF payload depth {depth}"
+            _request(payload.nbytes, payload_label)
+            _release(contrib.nbytes, contrib_label)
+
+        root_values = trie.values[0]
+        out_cols = rank ** (order - 1)
+        _request(csf.dim * out_cols * 8, "Y (SPLATT full)")
+        out = np.zeros((csf.dim, out_cols), dtype=np.float64)
+        out[root_values] = payload
+        _release(payload.nbytes, payload_label)
+        # Release-on-handoff (same convention as lattice_ttmc): ownership
+        # of the returned Y transfers to the caller, so repeated calls
+        # under one budget don't drift the accounting.
+        _release(csf.dim * out_cols * 8, "Y (SPLATT full)")
+    except BaseException:
+        for nbytes, label in held:
+            ctx.release_bytes(nbytes, label)
+        raise
     if stats is not None:
         stats.output_bytes = out.nbytes
     return out
@@ -97,5 +118,18 @@ def splatt_ttmc(
     """
     ctx = resolve_context(ctx)
     with ctx.scope():
-        csf = CSFTensor.from_symmetric(tensor)
-        return csf_ttmc(csf, factor, stats=stats, ctx=ctx)
+        expanded = tensor.expand()
+        exp_bytes = expanded.indices.nbytes + expanded.values.nbytes
+        try:
+            csf = CSFTensor(expanded)
+        except BaseException:
+            ctx.release_bytes(exp_bytes, "expanded COO")
+            raise
+        try:
+            return csf_ttmc(csf, factor, stats=stats, ctx=ctx)
+        finally:
+            # The CSF (and the expansion feeding it) is rebuilt per call;
+            # releasing here keeps repeated calls — and OOM-aborted ones —
+            # from drifting the budget.
+            csf.release_structure()
+            ctx.release_bytes(exp_bytes, "expanded COO")

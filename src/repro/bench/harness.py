@@ -10,6 +10,11 @@ Setting ``REPRO_TRACE=path.jsonl`` makes every measurement run under a
 :class:`repro.obs.TraceCollector` and *append* its spans/events/metrics to
 that file — existing benchmark scripts gain trace output with zero code
 changes (``python -m repro.obs summarize path.jsonl`` to inspect).
+
+Setting ``REPRO_FAULTS`` (e.g. ``"chunk:crash:slot=0"``; see
+:func:`repro.runtime.faults.parse_fault_specs`) arms deterministic fault
+injection on every measurement's context, so recovery overhead can be
+benchmarked with unmodified scripts — see ``docs/robustness.md``.
 """
 
 from __future__ import annotations
@@ -25,6 +30,7 @@ from ..obs.export import write_trace
 from ..perfmodel.memory import kernel_footprint, suggest_nz_batch
 from ..runtime.budget import MemoryBudget, MemoryLimitError
 from ..runtime.context import ExecContext
+from ..runtime.faults import faults_from_env
 from .records import Measurement
 
 __all__ = [
@@ -87,15 +93,18 @@ def timed_measurement(
     times; report the mean.
 
     Every cell gets its own context (fresh budget; the ``REPRO_TRACE``
-    collector when tracing), so concurrent or interleaved cells can never
-    share budget peaks or trace records. A :class:`MemoryLimitError` (at
-    any repeat) renders as ``OOM``.
+    collector when tracing; the ``REPRO_FAULTS`` injector when fault
+    injection is requested), so concurrent or interleaved cells can never
+    share budget peaks, trace records, or fault occurrence counts. A
+    :class:`MemoryLimitError` (at any repeat) renders as ``OOM``.
     """
     n = repeats if repeats is not None else bench_repeats()
     times = []
     with maybe_trace() as collector:
         ctx = ExecContext(
-            budget=MemoryBudget(gigabytes=budget_gb), collector=collector
+            budget=MemoryBudget(gigabytes=budget_gb),
+            collector=collector,
+            faults=faults_from_env(),
         )
         try:
             with ctx:

@@ -206,61 +206,80 @@ def _accumulate_batch(
 ) -> None:
     ctx = resolve_context(ctx)
     order = lattice.order
+    # Budget requests held by this call. Every path out — including a
+    # MemoryLimitError raised by a later, larger level — must give the
+    # bytes back, or retry-after-OOM logic upstream (chunk splitting in
+    # repro.parallel) would see a budget that never drains.
+    held: list[tuple[int, str]] = []
+
+    def _request(nbytes: int, label: str) -> None:
+        ctx.request_bytes(nbytes, label)
+        held.append((nbytes, label))
+
+    def _release(nbytes: int, label: str) -> None:
+        ctx.release_bytes(nbytes, label)
+        held.remove((nbytes, label))
+
     # Level-1 K tensors are rows of U (identical in both layouts).
     k_prev = factor[lattice.leaf_values]
     k_prev_label = "K level 1"
-    ctx.request_bytes(k_prev.nbytes, k_prev_label)
     collector = ctx.effective_collector()
-    for level in range(2, order):
-        layout = layout_for(intermediate, level, rank)
-        edges = lattice.levels[level]
-        label = f"K level {level}"
-        with ctx.span(
-            "lattice.level",
-            level=level,
-            nodes=edges.n_nodes,
-            edges=edges.n_edges,
-            entry_size=layout.size,
-        ):
-            ctx.request_bytes(edges.n_nodes * layout.size * 8, label)
-            k_cur = np.empty((edges.n_nodes, layout.size), dtype=np.float64)
-            _compute_level(k_cur, k_prev, factor, edges, layout, block_bytes, ctx)
-        if stats is not None:
-            stats.add_level(level, edges.n_nodes, edges.n_edges, layout.size)
-        if collector is not None:
-            collector.metrics.counter(f"lattice.flops.level_{level}").inc(
-                (2 * edges.n_edges - edges.n_nodes) * layout.size
-            )
-            collector.metrics.histogram("lattice.level_entries").observe(
-                edges.n_nodes * layout.size
-            )
-        ctx.release_bytes(k_prev.nbytes, k_prev_label)
-        k_prev, k_prev_label = k_cur, label
+    try:
+        _request(k_prev.nbytes, k_prev_label)
+        for level in range(2, order):
+            layout = layout_for(intermediate, level, rank)
+            edges = lattice.levels[level]
+            label = f"K level {level}"
+            with ctx.span(
+                "lattice.level",
+                level=level,
+                nodes=edges.n_nodes,
+                edges=edges.n_edges,
+                entry_size=layout.size,
+            ):
+                _request(edges.n_nodes * layout.size * 8, label)
+                k_cur = np.empty((edges.n_nodes, layout.size), dtype=np.float64)
+                _compute_level(k_cur, k_prev, factor, edges, layout, block_bytes, ctx)
+            if stats is not None:
+                stats.add_level(level, edges.n_nodes, edges.n_edges, layout.size)
+            if collector is not None:
+                collector.metrics.counter(f"lattice.flops.level_{level}").inc(
+                    (2 * edges.n_edges - edges.n_nodes) * layout.size
+                )
+                collector.metrics.histogram("lattice.level_entries").observe(
+                    edges.n_nodes * layout.size
+                )
+            _release(k_prev.nbytes, k_prev_label)
+            k_prev, k_prev_label = k_cur, label
 
-    # Top level: scale by non-zero values, scatter into output rows.
-    top = lattice.levels[order]
-    assert top.node is not None, "top lattice level must retain parent ids"
-    with ctx.span(
-        "lattice.scatter", edges=top.n_edges, entry_size=k_prev.shape[1]
-    ):
-        row_bytes = k_prev.shape[1] * 8
-        edge_block = max(1, block_bytes // max(2 * row_bytes, 1))
-        n_edges = top.n_edges
-        for estart in range(0, n_edges, edge_block):
-            estop = min(estart + edge_block, n_edges)
-            sl = slice(estart, estop)
-            contrib = k_prev[top.child[sl]] * values[top.node[sl], None]
-            rows = top.value[sl]
-            if out_row_map is not None:
-                rows = out_row_map[rows]
-            scatter_add_rows(out, rows, contrib)
-    if stats is not None:
-        stats.add_scatter(n_edges, k_prev.shape[1])
-    if collector is not None:
-        collector.metrics.counter("lattice.scatter_flops").inc(
-            2 * n_edges * k_prev.shape[1]
-        )
-    ctx.release_bytes(k_prev.nbytes, k_prev_label)
+        # Top level: scale by non-zero values, scatter into output rows.
+        top = lattice.levels[order]
+        assert top.node is not None, "top lattice level must retain parent ids"
+        with ctx.span(
+            "lattice.scatter", edges=top.n_edges, entry_size=k_prev.shape[1]
+        ):
+            row_bytes = k_prev.shape[1] * 8
+            edge_block = max(1, block_bytes // max(2 * row_bytes, 1))
+            n_edges = top.n_edges
+            for estart in range(0, n_edges, edge_block):
+                estop = min(estart + edge_block, n_edges)
+                sl = slice(estart, estop)
+                contrib = k_prev[top.child[sl]] * values[top.node[sl], None]
+                rows = top.value[sl]
+                if out_row_map is not None:
+                    rows = out_row_map[rows]
+                scatter_add_rows(out, rows, contrib)
+        if stats is not None:
+            stats.add_scatter(n_edges, k_prev.shape[1])
+        if collector is not None:
+            collector.metrics.counter("lattice.scatter_flops").inc(
+                2 * n_edges * k_prev.shape[1]
+            )
+        _release(k_prev.nbytes, k_prev_label)
+    except BaseException:
+        for nbytes, label in held:
+            ctx.release_bytes(nbytes, label)
+        raise
 
 
 def _compute_level(

@@ -16,6 +16,7 @@ vectors of ``Y_(1)``, then the core and the objective. Two SVD paths:
 
 from __future__ import annotations
 
+from pathlib import Path
 from typing import Optional, Union
 
 import numpy as np
@@ -24,6 +25,12 @@ import scipy.linalg
 from ..core.s3ttmc import SymmetricInput, _as_ucoo, s3ttmc
 from ..core.stats import KernelStats
 from ..formats.partial_sym import PartiallySymmetricTensor
+from ..runtime.checkpoint import (
+    CheckpointState,
+    load_checkpoint,
+    save_checkpoint,
+    tensor_fingerprint,
+)
 from ..runtime.context import ExecContext, resolve_context
 from ..runtime.timer import PhaseTimer
 from ._execution import acquire_backend, resolve_run_context
@@ -76,6 +83,9 @@ def hooi(
     execution: Optional[str] = None,
     n_workers: Optional[int] = None,
     ctx: Optional[ExecContext] = None,
+    checkpoint_dir: Optional[Union[str, Path]] = None,
+    checkpoint_every: int = 1,
+    resume: bool = False,
 ) -> DecompositionResult:
     """Higher-Order Orthogonal Iteration for sparse symmetric tensors.
 
@@ -115,6 +125,17 @@ def hooi(
         cache, and default seed. ``None`` derives an ephemeral context
         from the ambient one (so legacy ``with MemoryBudget(...):`` /
         ``with TraceCollector():`` call sites behave exactly as before).
+    checkpoint_dir, checkpoint_every, resume:
+        Iteration checkpointing (:mod:`repro.runtime.checkpoint`). With
+        ``checkpoint_dir`` set, the full sweep state — factor, core,
+        convergence trace, objective bookkeeping, and a run/tensor
+        fingerprint — is written atomically every ``checkpoint_every``
+        iterations (and always on convergence or the final iteration).
+        ``resume=True`` continues a killed run **bit-for-bit** from the
+        latest checkpoint; a checkpoint from a different run
+        configuration or tensor is rejected with ``ValueError``. Phase
+        timers and kernel statistics restart from zero on resume (they
+        are observability, not algorithm state).
     """
     ucoo = _as_ucoo(tensor)
     if ucoo.order < 2:
@@ -137,13 +158,45 @@ def hooi(
     core: Optional[PartiallySymmetricTensor] = None
     prev_objective = np.inf
     converged = False
+    start_iteration = 0
+    checkpoint_config = {
+        "algorithm": "hooi",
+        "kernel": kernel,
+        "svd_method": svd_method,
+        "rank": int(rank),
+        "tol": float(tol),
+        **tensor_fingerprint(ucoo),
+    }
     try:
         with run_ctx.scope():
-            with timer.phase("init"):
-                factor = initialize(ucoo, rank, init, rng, ctx=run_ctx)
-                norm_x_squared = ucoo.norm_squared()
+            restored: Optional[CheckpointState] = None
+            if checkpoint_dir is not None and resume:
+                restored = load_checkpoint(checkpoint_dir, ctx=run_ctx)
+            if restored is not None:
+                restored.check_config(checkpoint_config)
+                factor = np.array(restored.factor)
+                norm_x_squared = restored.norm_x_squared
+                prev_objective = restored.prev_objective
+                converged = restored.converged
+                start_iteration = restored.iteration + 1
+                for vals in zip(
+                    restored.objective,
+                    restored.relative_error,
+                    restored.core_norm_squared,
+                ):
+                    trace.record(*vals)
+                if restored.core_data is not None:
+                    core = PartiallySymmetricTensor(
+                        rank, ucoo.order - 1, rank, np.array(restored.core_data)
+                    )
+            else:
+                with timer.phase("init"):
+                    factor = initialize(ucoo, rank, init, rng, ctx=run_ctx)
+                    norm_x_squared = ucoo.norm_squared()
 
-            for _iteration in range(max_iters):
+            for _iteration in range(start_iteration, max_iters):
+                if converged:
+                    break  # resumed from an already-converged checkpoint
                 with run_ctx.span(
                     "hooi.iteration",
                     iteration=_iteration,
@@ -159,10 +212,13 @@ def hooi(
                             # chunk-wise.
                             from ..parallel.executor import parallel_s3ttmc
 
+                            # backend= is deliberately not forwarded: the
+                            # executor resolves run_ctx.backend each call,
+                            # so an unhealthy-backend degrade sticks for
+                            # the remaining iterations.
                             y = parallel_s3ttmc(
                                 ucoo,
                                 factor,
-                                backend=backend,
                                 memoize=memoize,
                                 ctx=run_ctx,
                             )
@@ -229,8 +285,35 @@ def hooi(
                         )
                 if prev_objective - objective <= tol * max(norm_x_squared, 1e-300):
                     converged = True
+                else:
+                    prev_objective = objective
+                if checkpoint_dir is not None and (
+                    converged
+                    or _iteration == max_iters - 1
+                    or (_iteration - start_iteration + 1) % max(1, checkpoint_every)
+                    == 0
+                ):
+                    with timer.phase("checkpoint"):
+                        save_checkpoint(
+                            checkpoint_dir,
+                            CheckpointState(
+                                algorithm="hooi",
+                                iteration=_iteration,
+                                factor=factor,
+                                prev_objective=prev_objective,
+                                norm_x_squared=norm_x_squared,
+                                converged=converged,
+                                objective=list(trace.objective),
+                                relative_error=list(trace.relative_error),
+                                core_norm_squared=list(trace.core_norm_squared),
+                                core_data=core.data,
+                                core_nrows=core.nrows,
+                                config=checkpoint_config,
+                            ),
+                            ctx=run_ctx,
+                        )
+                if converged:
                     break
-                prev_objective = objective
     finally:
         if owns_ctx:
             run_ctx.close()

@@ -12,6 +12,7 @@ algorithm that scales to the datasets where HOOI's SVD goes OOM
 
 from __future__ import annotations
 
+from pathlib import Path
 from typing import Optional, Union
 
 import numpy as np
@@ -21,6 +22,12 @@ from ..core.s3ttmc import SymmetricInput, _as_ucoo, s3ttmc
 from ..core.s3ttmc_tc import times_core
 from ..core.stats import KernelStats
 from ..formats.partial_sym import PartiallySymmetricTensor
+from ..runtime.checkpoint import (
+    CheckpointState,
+    load_checkpoint,
+    save_checkpoint,
+    tensor_fingerprint,
+)
 from ..runtime.context import ExecContext
 from ..runtime.timer import PhaseTimer
 from ..symmetry.expansion import compact_from_full
@@ -55,6 +62,9 @@ def hoqri(
     execution: Optional[str] = None,
     n_workers: Optional[int] = None,
     ctx: Optional[ExecContext] = None,
+    checkpoint_dir: Optional[Union[str, Path]] = None,
+    checkpoint_every: int = 1,
+    resume: bool = False,
 ) -> DecompositionResult:
     """Higher-Order QR Iteration for sparse symmetric tensors.
 
@@ -65,6 +75,10 @@ def hoqri(
     ``kernel="symprop"``). ``ctx`` supplies a full
     :class:`~repro.runtime.context.ExecContext` (budget, collector,
     backend, plan cache, default seed) instead of the legacy keywords.
+    ``checkpoint_dir`` / ``checkpoint_every`` / ``resume`` persist and
+    continue runs exactly as in :func:`~repro.decomp.hooi.hooi`; the
+    checkpoint additionally carries HOQRI's pre-QR update matrix ``A``,
+    so a resumed run re-enters the iteration at the QR step bit-for-bit.
     """
     ucoo = _as_ucoo(tensor)
     if ucoo.order < 2:
@@ -86,13 +100,45 @@ def hoqri(
     prev_objective = np.inf
     converged = False
     a: Optional[np.ndarray] = None
+    start_iteration = 0
+    checkpoint_config = {
+        "algorithm": "hoqri",
+        "kernel": kernel,
+        "rank": int(rank),
+        "tol": float(tol),
+        **tensor_fingerprint(ucoo),
+    }
     try:
         with run_ctx.scope():
-            with timer.phase("init"):
-                factor = initialize(ucoo, rank, init, rng, ctx=run_ctx)
-                norm_x_squared = ucoo.norm_squared()
+            restored: Optional[CheckpointState] = None
+            if checkpoint_dir is not None and resume:
+                restored = load_checkpoint(checkpoint_dir, ctx=run_ctx)
+            if restored is not None:
+                restored.check_config(checkpoint_config)
+                factor = np.array(restored.factor)
+                a = None if restored.a is None else np.array(restored.a)
+                norm_x_squared = restored.norm_x_squared
+                prev_objective = restored.prev_objective
+                converged = restored.converged
+                start_iteration = restored.iteration + 1
+                for vals in zip(
+                    restored.objective,
+                    restored.relative_error,
+                    restored.core_norm_squared,
+                ):
+                    trace.record(*vals)
+                if restored.core_data is not None:
+                    core = PartiallySymmetricTensor(
+                        rank, ucoo.order - 1, rank, np.array(restored.core_data)
+                    )
+            else:
+                with timer.phase("init"):
+                    factor = initialize(ucoo, rank, init, rng, ctx=run_ctx)
+                    norm_x_squared = ucoo.norm_squared()
 
-            for _iteration in range(max_iters):
+            for _iteration in range(start_iteration, max_iters):
+                if converged:
+                    break  # resumed from an already-converged checkpoint
                 with run_ctx.span(
                     "hoqri.iteration", iteration=_iteration, kernel=kernel, rank=rank
                 ):
@@ -108,10 +154,12 @@ def hoqri(
                             if backend is not None:
                                 from ..parallel.executor import parallel_s3ttmc
 
+                                # backend= not forwarded: the executor
+                                # resolves run_ctx.backend each call, so a
+                                # degrade sticks for later iterations.
                                 y = parallel_s3ttmc(
                                     ucoo,
                                     factor,
-                                    backend=backend,
                                     memoize=memoize,
                                     ctx=run_ctx,
                                 )
@@ -147,8 +195,36 @@ def hoqri(
                         )
                 if prev_objective - objective <= tol * max(norm_x_squared, 1e-300):
                     converged = True
+                else:
+                    prev_objective = objective
+                if checkpoint_dir is not None and (
+                    converged
+                    or _iteration == max_iters - 1
+                    or (_iteration - start_iteration + 1) % max(1, checkpoint_every)
+                    == 0
+                ):
+                    with timer.phase("checkpoint"):
+                        save_checkpoint(
+                            checkpoint_dir,
+                            CheckpointState(
+                                algorithm="hoqri",
+                                iteration=_iteration,
+                                factor=factor,
+                                prev_objective=prev_objective,
+                                norm_x_squared=norm_x_squared,
+                                converged=converged,
+                                objective=list(trace.objective),
+                                relative_error=list(trace.relative_error),
+                                core_norm_squared=list(trace.core_norm_squared),
+                                a=a,
+                                core_data=core.data,
+                                core_nrows=core.nrows,
+                                config=checkpoint_config,
+                            ),
+                            ctx=run_ctx,
+                        )
+                if converged:
                     break
-                prev_objective = objective
     finally:
         if owns_ctx:
             run_ctx.close()

@@ -45,8 +45,8 @@ def _sparse_unfolding(
     dim = tensor.dim
     nnz = tensor.nnz
     ctx.request_bytes(nnz * tensor.order * 8 + nnz * 8, "HOSVD expansion")
-    exp_idx, exp_val, _ = expand_iou(tensor.indices, tensor.values)
     try:
+        exp_idx, exp_val, _ = expand_iou(tensor.indices, tensor.values)
         if tensor.order == 1:
             cols = np.zeros(exp_idx.shape[0], dtype=np.int64)
             n_cols = 1

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..runtime.budget import request_bytes
+from ..runtime.budget import release_bytes, request_bytes
 from ..symmetry.combinatorics import dense_size, sym_storage_size
 from ..symmetry.expansion import expand_compact
 from ..symmetry.tables import get_tables
@@ -52,7 +52,13 @@ class PartiallySymmetricTensor:
         self.sym_size = sym_storage_size(sym_order, sym_dim)
         if data is None:
             request_bytes(nrows * self.sym_size * 8, "PartiallySymmetricTensor.data")
-            data = np.zeros((nrows, self.sym_size), dtype=np.float64)
+            try:
+                data = np.zeros((nrows, self.sym_size), dtype=np.float64)
+            except BaseException:
+                release_bytes(
+                    nrows * self.sym_size * 8, "PartiallySymmetricTensor.data"
+                )
+                raise
         else:
             data = np.asarray(data, dtype=np.float64)
             if data.shape != (nrows, self.sym_size):
@@ -86,8 +92,18 @@ class PartiallySymmetricTensor:
         that makes HOOI's SVD step blow up; it is budget-accounted.
         """
         full_cols = dense_size(self.sym_order, self.sym_dim)
-        request_bytes(self.nrows * full_cols * 8, "PartiallySymmetricTensor.full_unfolding")
-        return expand_compact(self.data, self.sym_order, self.sym_dim)
+        request_bytes(
+            self.nrows * full_cols * 8, "PartiallySymmetricTensor.full_unfolding"
+        )
+        try:
+            return expand_compact(self.data, self.sym_order, self.sym_dim)
+        except BaseException:
+            # The caller releases on the success path (it owns the returned
+            # array); on failure nothing is returned, so give back here.
+            release_bytes(
+                self.nrows * full_cols * 8, "PartiallySymmetricTensor.full_unfolding"
+            )
+            raise
 
     def to_full_tensor(self) -> np.ndarray:
         """Full order-``N`` ndarray ``(nrows, sym_dim, ..., sym_dim)``."""

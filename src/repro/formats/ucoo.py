@@ -13,7 +13,7 @@ from typing import Sequence
 
 import numpy as np
 
-from ..runtime.budget import request_bytes
+from ..runtime.budget import release_bytes, request_bytes
 from ..symmetry.combinatorics import dense_size, permutation_counts_array
 from ..symmetry.permutations import canonicalize, count_expanded, expand_iou
 
@@ -111,8 +111,14 @@ class SparseSymmetricTensor:
 
         nnz = self.nnz
         request_bytes(nnz * self.order * 8 + nnz * 8, "expanded COO")
-        exp_idx, exp_val, _ = expand_iou(self.indices, self.values)
-        return COOTensor(self.order, self.dim, exp_idx, exp_val, assume_unique=True)
+        try:
+            exp_idx, exp_val, _ = expand_iou(self.indices, self.values)
+            return COOTensor(
+                self.order, self.dim, exp_idx, exp_val, assume_unique=True
+            )
+        except BaseException:
+            release_bytes(nnz * self.order * 8 + nnz * 8, "expanded COO")
+            raise
 
     def to_dense(self) -> np.ndarray:
         """Full dense ndarray (tiny tensors only; budget-accounted)."""

@@ -49,32 +49,52 @@ def csf_ttmc_multi(
         if mat.ndim != 2 or mat.shape[0] != csf.dim:
             raise ValueError(f"factor {mode} must be ({csf.dim}, R_m)")
     trie = csf.trie
-    # CSF level d (0-based) carries original mode csf.mode_order[d].
-    payload = segment_sum_by_ptr(csf.values[:, None], trie.child_ptr[order - 1])
-    label = f"general CSF payload depth {order}"
-    request_bytes(payload.nbytes, label)
-    for depth in range(order - 1, 0, -1):
-        mode = csf.mode_order[depth]
-        factor = mats[mode]
-        rank = factor.shape[1]
-        child_values = trie.values[depth]
-        n_children = child_values.shape[0]
-        width = payload.shape[1]
-        contrib = (factor[child_values][:, :, None] * payload[:, None, :]).reshape(
-            n_children, rank * width
-        )
-        if stats is not None:
-            stats.add_level(order - depth + 1, n_children, n_children, rank * width)
-        release_bytes(payload.nbytes, label)
-        payload = segment_sum_by_ptr(contrib, trie.child_ptr[depth - 1])
-        label = f"general CSF payload depth {depth}"
-        request_bytes(payload.nbytes, label)
+    # Budget requests currently held; all given back if a later request
+    # raises, so an over-limit chain leaves the budget exactly as found.
+    held: list[tuple[int, str]] = []
 
-    out_cols = payload.shape[1]
-    request_bytes(csf.dim * out_cols * 8, "general Y full")
-    out = np.zeros((csf.dim, out_cols), dtype=np.float64)
-    out[trie.values[0]] = payload
-    release_bytes(payload.nbytes, label)
+    def _request(nbytes: int, label: str) -> None:
+        request_bytes(nbytes, label)
+        held.append((nbytes, label))
+
+    def _release(nbytes: int, label: str) -> None:
+        release_bytes(nbytes, label)
+        held.remove((nbytes, label))
+
+    try:
+        # CSF level d (0-based) carries original mode csf.mode_order[d].
+        payload = segment_sum_by_ptr(csf.values[:, None], trie.child_ptr[order - 1])
+        label = f"general CSF payload depth {order}"
+        _request(payload.nbytes, label)
+        for depth in range(order - 1, 0, -1):
+            mode = csf.mode_order[depth]
+            factor = mats[mode]
+            rank = factor.shape[1]
+            child_values = trie.values[depth]
+            n_children = child_values.shape[0]
+            width = payload.shape[1]
+            contrib = (factor[child_values][:, :, None] * payload[:, None, :]).reshape(
+                n_children, rank * width
+            )
+            if stats is not None:
+                stats.add_level(order - depth + 1, n_children, n_children, rank * width)
+            _release(payload.nbytes, label)
+            payload = segment_sum_by_ptr(contrib, trie.child_ptr[depth - 1])
+            label = f"general CSF payload depth {depth}"
+            _request(payload.nbytes, label)
+
+        out_cols = payload.shape[1]
+        _request(csf.dim * out_cols * 8, "general Y full")
+        out = np.zeros((csf.dim, out_cols), dtype=np.float64)
+        out[trie.values[0]] = payload
+        _release(payload.nbytes, label)
+        # Release-on-handoff: ownership of the returned Y transfers to the
+        # caller, so repeated calls under one budget don't drift.
+        _release(csf.dim * out_cols * 8, "general Y full")
+    except BaseException:
+        for nbytes, label in held:
+            release_bytes(nbytes, label)
+        raise
     if stats is not None:
         stats.output_bytes = out.nbytes
     return out

@@ -5,22 +5,59 @@ Three backends share one contract — evaluate a
 compact row-block partials into one ``(I, S_{N-1,R})`` output:
 
 ``serial``
-    In-line loop over chunks, accumulating straight into the shared
-    output through the engine's ``out_row_map``-free path. The reference
-    implementation and the single-core fallback.
+    In-line loop over chunks on the calling thread. The reference
+    implementation and the single-core fallback of last resort.
 ``thread``
     Persistent :class:`~concurrent.futures.ThreadPoolExecutor`. NumPy's
     heavy vector ops release the GIL, so gathers/segment-sums overlap on
     multi-core builds. Reduction is either *blocked* (compact per-chunk
-    row blocks merged under a lock — ``~I·S`` memory) or a pairwise
-    *tree* over full-width private partials (``p·I·S`` memory, kept for
-    comparison).
+    row blocks staged and merged in slot order — ``~I·S`` memory) or a
+    pairwise *tree* over full-width private partials (``p·I·S`` memory,
+    kept for comparison).
 ``process``
     Persistent worker processes fed via ``multiprocessing`` pipes with
     operands in shared memory (:mod:`repro.parallel.shm`): true
     multi-core execution in pure NumPy. Workers cache their chunk plans
     across calls, so only the first kernel call of a decomposition pays
     symbolic (lattice-build) cost.
+
+Fault tolerance
+---------------
+All backends run chunks through the same resilience envelope, governed
+by the context's :class:`~repro.runtime.faults.FallbackPolicy`:
+
+* transient chunk failures (worker crash, corrupt partial, injected
+  error) are retried with exponential backoff up to
+  ``policy.max_retries`` per chunk;
+* a chunk that exceeds the memory budget is **bisected** along the
+  non-zero axis via the balanced partitioner and its halves retried
+  recursively (up to ``policy.max_oom_splits`` deep) — the run degrades
+  to smaller intermediates instead of dying;
+* every partial carries a checksum taken at the producer; a mismatch at
+  the consumer marks the partial corrupt and retries the chunk
+  (``policy.verify_partials``).
+
+The process backend additionally *supervises* its workers: each running
+chunk is covered by a heartbeat (sent by the worker, suppressed only if
+the process is truly wedged), silence longer than
+``policy.chunk_timeout`` gets the worker killed, and dead workers —
+killed, crashed, or OOM-killed by the OS — are detected via pipe EOF,
+respawned (with shared-memory operands re-attached and plan caches
+rewarmed on demand), and their chunk requeued. When a backend exhausts
+its retry/respawn budget it raises
+:class:`~repro.runtime.faults.BackendUnhealthyError`, which the executor
+turns into a degrade (process → thread → serial) per the policy.
+
+Reductions are deterministic: partials are staged per chunk slot and the
+final reduce adds them in slot order, so reruns — including runs where
+chunks were retried or executed by different workers — produce
+bit-identical output. (OOM splits change a chunk's internal summation
+order; results then agree to rounding.)
+
+Everything is observable: ``parallel.retries``, ``parallel.worker_respawns``,
+``parallel.oom_splits``, ``parallel.corrupt_partials`` counters plus
+per-incident trace events, and the matching
+:class:`~repro.parallel.executor.ParallelRunReport` fields.
 
 Backends are context managers; ``close()`` is idempotent. Create them
 directly, via :func:`make_backend`, or implicitly through
@@ -30,13 +67,16 @@ directly, via :func:`make_backend`, or implicitly through
 
 from __future__ import annotations
 
+import math
 import multiprocessing
 import os
 import threading
 import time
 from abc import ABC, abstractmethod
+from collections import deque
 from concurrent.futures import ThreadPoolExecutor
-from typing import Dict, List, Optional
+from multiprocessing.connection import wait as _mp_wait
+from typing import Deque, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -44,9 +84,23 @@ from ..core.engine import lattice_ttmc
 from ..obs import trace as _trace
 from ..runtime.budget import MemoryLimitError
 from ..runtime.context import ExecContext, resolve_context, tensor_generation
+from ..runtime.faults import (
+    BackendUnhealthyError,
+    CorruptPartialError,
+    FallbackPolicy,
+    FaultInjector,
+    InjectedFault,
+    WorkerCrashError,
+)
 from . import shm as _shm
-from .executor import ChunkPlan, ParallelJob, ParallelRunReport, get_chunk_plans
-from .partition import assign_chunks
+from .executor import (
+    ChunkPlan,
+    ParallelJob,
+    ParallelRunReport,
+    chunk_row_block,
+    get_chunk_plans,
+)
+from .partition import balanced_partition, estimate_nonzero_costs
 
 __all__ = [
     "Backend",
@@ -54,14 +108,194 @@ __all__ = [
     "ThreadBackend",
     "ProcessBackend",
     "BACKENDS",
+    "START_METHOD_ENV_VAR",
     "default_workers",
     "make_backend",
 ]
+
+#: Environment override for the process backend's start method
+#: (``fork`` / ``spawn`` / ``forkserver``); CI uses it to exercise the
+#: spawn path on platforms that default to fork.
+START_METHOD_ENV_VAR = "REPRO_START_METHOD"
 
 
 def default_workers() -> int:
     """Default worker count: one per core."""
     return max(1, os.cpu_count() or 1)
+
+
+def _checksums_match(expected: float, actual: float) -> bool:
+    # Bitwise: the consumer re-sums the exact buffer the producer summed,
+    # in the same (C-contiguous pairwise) order.
+    if math.isnan(expected) and math.isnan(actual):
+        return True
+    return expected == actual
+
+
+def _note_incident(
+    ctx: ExecContext,
+    report: Optional[ParallelRunReport],
+    event: str,
+    counter: str,
+    report_field: str,
+    **attrs,
+) -> None:
+    """Record one resilience incident: trace event + counter + report."""
+    collector = ctx.effective_collector()
+    if collector is not None:
+        _trace.event(event, collector=collector, **attrs)
+        collector.metrics.counter(counter).inc()
+    if report is not None:
+        setattr(report, report_field, getattr(report, report_field) + 1)
+
+
+def _bisect_range(
+    indices: np.ndarray, start: int, stop: int, rank: int
+) -> List[Tuple[int, int]]:
+    """Split ``[start, stop)`` into two cost-balanced non-empty halves."""
+    if stop - start <= 1:
+        return [(start, stop)]
+    costs = estimate_nonzero_costs(indices[start:stop], rank)
+    halves = [
+        (start + a, start + b)
+        for a, b in balanced_partition(costs, 2)
+        if a < b
+    ]
+    if len(halves) < 2:  # degenerate cost profile: fall back to midpoint
+        mid = (start + stop) // 2
+        halves = [(start, mid), (mid, stop)]
+    return halves
+
+
+def _resilient_partial(
+    job: ParallelJob,
+    ctx: ExecContext,
+    policy: FallbackPolicy,
+    injector: Optional[FaultInjector],
+    backend_name: str,
+    slot: int,
+    cp: ChunkPlan,
+    report: Optional[ParallelRunReport],
+) -> np.ndarray:
+    """Compact ``(n_rows, cols)`` partial for one chunk, with recovery.
+
+    The in-process resilience envelope shared by the serial and thread
+    backends: retries transient failures (injected crash/error, corrupt
+    partial) with backoff, recursively bisects on
+    :class:`~repro.runtime.budget.MemoryLimitError`, and verifies each
+    partial's checksum. An injected *hang* here is just a delay — there
+    is no process boundary to kill across, so kill-based hang recovery is
+    a process-backend capability. Raises
+    :class:`~repro.runtime.faults.BackendUnhealthyError` once a chunk
+    exhausts its retries.
+    """
+
+    def eval_range(start, stop, rows, row_map, plan, depth) -> np.ndarray:
+        attempt = 0
+        while True:
+            fault = (
+                injector.arm(
+                    "chunk", backend=backend_name, slot=slot, attempt=attempt
+                )
+                if injector is not None
+                else None
+            )
+            try:
+                if fault is not None:
+                    if fault.kind == "crash":
+                        raise WorkerCrashError(
+                            f"injected crash (chunk {slot})"
+                        )
+                    if fault.kind == "error":
+                        raise InjectedFault(f"injected error (chunk {slot})")
+                    if fault.kind == "hang":
+                        time.sleep(fault.seconds)
+                    if fault.kind == "oom":
+                        raise MemoryLimitError("injected chunk oom", 0, 0, 0)
+                partial = np.zeros((rows.shape[0], job.cols), dtype=np.float64)
+                lattice_ttmc(
+                    job.indices[start:stop],
+                    job.values[start:stop],
+                    job.dim,
+                    job.factor,
+                    intermediate="compact",
+                    memoize=job.memoize,
+                    out=partial,
+                    out_row_map=row_map,
+                    plan=plan,
+                    ctx=ctx,
+                )
+                checksum = float(partial.sum())
+                if fault is not None and fault.kind == "corrupt" and partial.size:
+                    partial.flat[0] += fault.scale
+                if policy.verify_partials and not _checksums_match(
+                    checksum, float(partial.sum())
+                ):
+                    raise CorruptPartialError(
+                        f"chunk {slot} partial failed checksum verification"
+                    )
+                return partial
+            except MemoryLimitError as oom:
+                if depth >= policy.max_oom_splits or stop - start <= 1:
+                    raise
+                _note_incident(
+                    ctx,
+                    report,
+                    "parallel.oom_split",
+                    "parallel.oom_splits",
+                    "oom_splits",
+                    backend=backend_name,
+                    chunk=slot,
+                    nz_start=start,
+                    nz_stop=stop,
+                    depth=depth,
+                    label=oom.label,
+                )
+                halves = _bisect_range(job.indices, start, stop, job.rank)
+                sub_plans = get_chunk_plans(
+                    job.tensor, halves, job.memoize, ctx=ctx
+                )
+                partial = np.zeros((rows.shape[0], job.cols), dtype=np.float64)
+                for sp in sub_plans:
+                    sub = eval_range(
+                        sp.start, sp.stop, sp.rows, sp.row_map, sp.plan,
+                        depth + 1,
+                    )
+                    partial[np.searchsorted(rows, sp.rows)] += sub
+                return partial
+            except (WorkerCrashError, CorruptPartialError, InjectedFault) as exc:
+                if isinstance(exc, CorruptPartialError):
+                    _note_incident(
+                        ctx,
+                        report,
+                        "parallel.corrupt_partial",
+                        "parallel.corrupt_partials",
+                        "corrupt_partials",
+                        backend=backend_name,
+                        chunk=slot,
+                    )
+                attempt += 1
+                if attempt > policy.max_retries:
+                    raise BackendUnhealthyError(
+                        backend_name,
+                        f"chunk {slot} failed after {attempt} attempts: {exc}",
+                    ) from exc
+                _note_incident(
+                    ctx,
+                    report,
+                    "parallel.retry",
+                    "parallel.retries",
+                    "retries",
+                    backend=backend_name,
+                    chunk=slot,
+                    attempt=attempt,
+                    reason=str(exc),
+                )
+                backoff = policy.backoff(attempt)
+                if backoff > 0:
+                    time.sleep(backoff)
+
+    return eval_range(cp.start, cp.stop, cp.rows, cp.row_map, cp.plan, 0)
 
 
 class Backend(ABC):
@@ -109,11 +343,11 @@ class Backend(ABC):
         report: Optional[ParallelRunReport], slot: int, seconds: float
     ) -> None:
         if report is not None and slot < len(report.chunk_seconds):
-            report.chunk_seconds[slot] = seconds
+            report.chunk_seconds[slot] += seconds
 
 
 class SerialBackend(Backend):
-    """Loop over chunks on the calling thread (reference/reduction-free)."""
+    """Loop over chunks on the calling thread (reference backend)."""
 
     name = "serial"
 
@@ -124,32 +358,34 @@ class SerialBackend(Backend):
         self, job: ParallelJob, report: Optional[ParallelRunReport] = None
     ) -> np.ndarray:
         ctx = self._job_ctx(job)
+        policy = ctx.effective_fallback()
+        injector = ctx.faults
         plans = get_chunk_plans(
             job.tensor, job.ranges, job.memoize, report=report, ctx=ctx
         )
         out = self._alloc_out(job)
+        # One compact partial lives at a time; account for the largest.
+        partial_bytes = max((cp.n_rows for cp in plans), default=0) * job.cols * 8
+        ctx.request_bytes(partial_bytes, "parallel partials (blocked)")
         try:
             for slot, cp in enumerate(plans):
                 with ctx.span(
                     "parallel.chunk", chunk=slot, nz_start=cp.start, nz_stop=cp.stop
                 ):
                     tick = time.perf_counter()
-                    lattice_ttmc(
-                        job.indices[cp.start : cp.stop],
-                        job.values[cp.start : cp.stop],
-                        job.dim,
-                        job.factor,
-                        intermediate="compact",
-                        memoize=job.memoize,
-                        out=out,
-                        plan=cp.plan,
-                        ctx=ctx,
+                    partial = _resilient_partial(
+                        job, ctx, policy, injector, self.name, slot, cp, report
                     )
                     self._fill_chunk_report(
                         report, slot, time.perf_counter() - tick
                     )
+                tick = time.perf_counter()
+                out[cp.rows] += partial
+                if report is not None:
+                    report.reduce_seconds += time.perf_counter() - tick
             return out
         finally:
+            ctx.release_bytes(partial_bytes, "parallel partials (blocked)")
             self._handoff(job)
 
 
@@ -185,7 +421,7 @@ class ThreadBackend(Backend):
             return self._execute_tree(job, plans, report)
         return self._execute_blocked(job, plans, report)
 
-    # -- blocked: compact row-block partials merged under a lock -----------
+    # -- blocked: compact row-block partials, slot-ordered merge -----------
     def _execute_blocked(
         self,
         job: ParallelJob,
@@ -193,12 +429,13 @@ class ThreadBackend(Backend):
         report: Optional[ParallelRunReport],
     ) -> np.ndarray:
         ctx = self._job_ctx(job)
+        policy = ctx.effective_fallback()
+        injector = ctx.faults
         out = self._alloc_out(job)
         partial_bytes = sum(cp.n_rows for cp in plans) * job.cols * 8
         ctx.request_bytes(partial_bytes, "parallel partials (blocked)")
         parent_span = _trace.current_span_id()
-        merge_lock = threading.Lock()
-        reduce_seconds = [0.0]
+        partials: List[Optional[np.ndarray]] = [None] * len(plans)
 
         def run(slot: int) -> None:
             cp = plans[slot]
@@ -213,24 +450,10 @@ class ThreadBackend(Backend):
             ) as chunk_span:
                 chunk_span.set_attr("worker", threading.current_thread().name)
                 tick = time.perf_counter()
-                partial = np.zeros((cp.n_rows, job.cols), dtype=np.float64)
-                lattice_ttmc(
-                    job.indices[cp.start : cp.stop],
-                    job.values[cp.start : cp.stop],
-                    job.dim,
-                    job.factor,
-                    intermediate="compact",
-                    memoize=job.memoize,
-                    out=partial,
-                    out_row_map=cp.row_map,
-                    plan=cp.plan,
-                    ctx=ctx,
+                partials[slot] = _resilient_partial(
+                    job, ctx, policy, injector, self.name, slot, cp, report
                 )
                 self._fill_chunk_report(report, slot, time.perf_counter() - tick)
-                tick = time.perf_counter()
-                with merge_lock:
-                    out[cp.rows] += partial
-                    reduce_seconds[0] += time.perf_counter() - tick
 
         try:
             if len(plans) <= 1:
@@ -238,8 +461,13 @@ class ThreadBackend(Backend):
                     run(slot)
             else:
                 list(self._ensure_pool().map(run, range(len(plans))))
+            # Merge in slot order on the calling thread: determinism does
+            # not depend on chunk completion order.
+            tick = time.perf_counter()
+            for cp, partial in zip(plans, partials):
+                out[cp.rows] += partial
             if report is not None:
-                report.reduce_seconds = reduce_seconds[0]
+                report.reduce_seconds = time.perf_counter() - tick
             return out
         finally:
             ctx.release_bytes(partial_bytes, "parallel partials (blocked)")
@@ -253,6 +481,8 @@ class ThreadBackend(Backend):
         report: Optional[ParallelRunReport],
     ) -> np.ndarray:
         ctx = self._job_ctx(job)
+        policy = ctx.effective_fallback()
+        injector = ctx.faults
         n = len(plans)
         partial_bytes = n * job.dim * job.cols * 8
         ctx.request_bytes(partial_bytes, "parallel partials (tree)")
@@ -269,16 +499,11 @@ class ThreadBackend(Backend):
             ) as chunk_span:
                 chunk_span.set_attr("worker", threading.current_thread().name)
                 tick = time.perf_counter()
-                partial = lattice_ttmc(
-                    job.indices[cp.start : cp.stop],
-                    job.values[cp.start : cp.stop],
-                    job.dim,
-                    job.factor,
-                    intermediate="compact",
-                    memoize=job.memoize,
-                    plan=cp.plan,
-                    ctx=ctx,
+                compact = _resilient_partial(
+                    job, ctx, policy, injector, self.name, slot, cp, report
                 )
+                partial = np.zeros((job.dim, job.cols), dtype=np.float64)
+                partial[cp.rows] = compact
                 self._fill_chunk_report(report, slot, time.perf_counter() - tick)
             return partial
 
@@ -315,14 +540,60 @@ class ThreadBackend(Backend):
             ctx.release_bytes(partial_bytes, "parallel partials (tree)")
 
 
+class _WorkerHandle:
+    """Parent-side record of one worker process."""
+
+    __slots__ = (
+        "worker_id",
+        "proc",
+        "conn",
+        "task",
+        "task_id",
+        "last_heard",
+        "result_name",
+    )
+
+    def __init__(self, worker_id: int, proc, conn) -> None:
+        self.worker_id = worker_id
+        self.proc = proc
+        self.conn = conn
+        self.task: Optional[_ChunkTask] = None
+        self.task_id = -1
+        self.last_heard = 0.0
+        self.result_name = ""
+
+
+class _ChunkTask:
+    """One schedulable unit: a chunk slot or an OOM-split sub-range."""
+
+    __slots__ = ("slot", "start", "stop", "rows", "attempt", "depth")
+
+    def __init__(self, slot, start, stop, rows, attempt=0, depth=0) -> None:
+        self.slot = slot
+        self.start = start
+        self.stop = stop
+        self.rows = rows
+        self.attempt = attempt
+        self.depth = depth
+
+
 class ProcessBackend(Backend):
-    """Persistent worker processes with shared-memory operands.
+    """Supervised persistent worker processes with shared-memory operands.
 
     Workers are spawned lazily on the first :meth:`execute` and live
     until :meth:`close`; indices/values are written to shared memory once
     per tensor, the factor buffer is rewritten in place per call, and
     each worker caches its chunk plans across calls — iteration 2..n of
     a decomposition pays no symbolic cost on any core.
+
+    Chunks are dispatched **one at a time** and supervised: workers
+    heartbeat while computing, silence past the policy's
+    ``chunk_timeout`` gets the worker killed, and any worker loss (hang,
+    crash, OS kill) triggers a respawn — operands re-broadcast from the
+    parent's segments, plan caches rewarmed on demand — and a bounded
+    requeue of its chunk. Chunk OOM replies split the chunk instead of
+    failing the run. Partials are staged per slot and reduced in slot
+    order, so recovered runs are bit-identical to clean ones.
     """
 
     name = "process"
@@ -332,21 +603,36 @@ class ProcessBackend(Backend):
     ) -> None:
         super().__init__(n_workers)
         if start_method is None:
+            start_method = os.environ.get(START_METHOD_ENV_VAR) or None
+        if start_method is None:
             methods = multiprocessing.get_all_start_methods()
             start_method = "fork" if "fork" in methods else "spawn"
         self._ctx = multiprocessing.get_context(start_method)
         # spawn-started processes have private resource trackers; see
         # repro.parallel.shm.attach_shared_array.
         self._untrack_attach = start_method != "fork"
-        self._workers: List[tuple] = []  # (Process, Connection)
+        self._workers: List[_WorkerHandle] = []
         self._tensor_token: Optional[tuple] = None
         self._tensor_gen = 0
+        self._tensor_msg: Optional[tuple] = None
         self._owned: Dict[str, object] = {}  # label -> SharedMemory
         self._factor_view: Optional[np.ndarray] = None
         self._factor_spec = None
         self._attached_results: Dict[str, object] = {}  # name -> SharedMemory
 
     # -- worker lifecycle --------------------------------------------------
+    def _spawn_one(self, worker_id: int) -> _WorkerHandle:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        proc = self._ctx.Process(
+            target=_shm.worker_main,
+            args=(child_conn, worker_id, self._untrack_attach),
+            name=f"s3ttmc-worker-{worker_id}",
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        return _WorkerHandle(worker_id, proc, parent_conn)
+
     def _ensure_workers(self) -> None:
         if self._workers:
             return
@@ -362,21 +648,66 @@ class ProcessBackend(Backend):
                 resource_tracker.ensure_running()
             except Exception:
                 pass
-        for worker_id in range(self.n_workers):
-            parent_conn, child_conn = self._ctx.Pipe(duplex=True)
-            proc = self._ctx.Process(
-                target=_shm.worker_main,
-                args=(child_conn, worker_id, self._untrack_attach),
-                name=f"s3ttmc-worker-{worker_id}",
-                daemon=True,
-            )
-            proc.start()
-            child_conn.close()
-            self._workers.append((proc, parent_conn))
+        self._workers = [
+            self._spawn_one(worker_id) for worker_id in range(self.n_workers)
+        ]
+
+    def _send_state(self, handle: _WorkerHandle) -> None:
+        """Bring a (re)spawned worker up to the current operand state."""
+        if self._tensor_msg is not None:
+            handle.conn.send(self._tensor_msg)
+        if self._factor_spec is not None:
+            handle.conn.send(("factor", self._factor_spec))
 
     def _broadcast(self, msg: tuple) -> None:
-        for _proc, conn in self._workers:
-            conn.send(msg)
+        for handle in list(self._workers):
+            try:
+                handle.conn.send(msg)
+            except (OSError, BrokenPipeError, ValueError):
+                # A worker died while idle; replace it. _send_state runs
+                # after the caller updated the pending state, so the
+                # replacement receives `msg`'s content too.
+                self._retire_worker(handle, kill=True)
+                fresh = self._spawn_one(handle.worker_id)
+                self._workers.append(fresh)
+                self._send_state(fresh)
+
+    def _retire_worker(self, handle: _WorkerHandle, *, kill: bool) -> None:
+        """Remove a worker from the pool and reclaim everything it held."""
+        if handle in self._workers:
+            self._workers.remove(handle)
+        if kill and handle.proc.is_alive():
+            handle.proc.terminate()
+        handle.proc.join(timeout=5)
+        if handle.proc.is_alive():  # pragma: no cover - stuck worker
+            handle.proc.kill()
+            handle.proc.join(timeout=5)
+        try:
+            handle.conn.close()
+        except Exception:
+            pass
+        if handle.result_name:
+            # The worker owned its result segment; it died without
+            # unlinking, so the parent must — this is the shm-leak fix
+            # for abnormal worker exit.
+            old = self._attached_results.pop(handle.result_name, None)
+            if old is not None:
+                try:
+                    old.close()
+                except Exception:
+                    pass
+            _shm.unlink_segment_by_name(handle.result_name)
+            handle.result_name = ""
+
+    def _reset_workers(self) -> None:
+        """Hard-stop the pool (fatal-error path); next execute rebuilds."""
+        for handle in list(self._workers):
+            self._retire_worker(handle, kill=True)
+        self._workers = []
+        self._tensor_token = None
+        self._tensor_msg = None
+        self._factor_view = None
+        self._factor_spec = None
 
     def _ensure_tensor(self, job: ParallelJob) -> None:
         # tensor_generation (not id()) — generations are never reused, so
@@ -392,7 +723,10 @@ class ProcessBackend(Backend):
         self._owned["values"] = val_shm
         self._tensor_token = token
         self._tensor_gen += 1
-        self._broadcast(("tensor", self._tensor_gen, idx_spec, val_spec, job.dim))
+        self._tensor_msg = (
+            "tensor", self._tensor_gen, idx_spec, val_spec, job.dim
+        )
+        self._broadcast(self._tensor_msg)
 
     def _ensure_factor(self, factor: np.ndarray) -> None:
         if (
@@ -409,20 +743,24 @@ class ProcessBackend(Backend):
         self._broadcast(("factor", spec))
 
     def close(self) -> None:
-        for proc, conn in self._workers:
+        for handle in self._workers:
             try:
-                conn.send(("close",))
-            except (OSError, BrokenPipeError):
+                handle.conn.send(("close",))
+            except (OSError, BrokenPipeError, ValueError):
                 pass
-        for proc, conn in self._workers:
-            proc.join(timeout=5)
-            if proc.is_alive():  # pragma: no cover - stuck worker
-                proc.terminate()
-                proc.join(timeout=5)
+        for handle in self._workers:
+            handle.proc.join(timeout=5)
+            if handle.proc.is_alive():  # pragma: no cover - stuck worker
+                handle.proc.terminate()
+                handle.proc.join(timeout=5)
             try:
-                conn.close()
+                handle.conn.close()
             except Exception:
                 pass
+            if handle.result_name:
+                # Normally the worker unlinks its own buffer on close;
+                # sweep here in case it was terminated.
+                _shm.unlink_segment_by_name(handle.result_name)
         self._workers = []
         for shm in self._attached_results.values():
             try:
@@ -435,6 +773,7 @@ class ProcessBackend(Backend):
         self._factor_view = None
         self._factor_spec = None
         self._tensor_token = None
+        self._tensor_msg = None
 
     def __del__(self) -> None:  # pragma: no cover - interpreter teardown
         try:
@@ -447,6 +786,8 @@ class ProcessBackend(Backend):
         self, job: ParallelJob, report: Optional[ParallelRunReport] = None
     ) -> np.ndarray:
         ctx = self._job_ctx(job)
+        policy = ctx.effective_fallback()
+        injector = ctx.faults
         self._ensure_workers()
         self._ensure_tensor(job)
         self._ensure_factor(job.factor)
@@ -455,17 +796,19 @@ class ProcessBackend(Backend):
         plans = get_chunk_plans(
             job.tensor, job.ranges, job.memoize, with_lattice=False, ctx=ctx
         )
-        slot_lists = assign_chunks(
-            [cp.stop - cp.start for cp in plans], self.n_workers
-        )
-        assignments: List[List[tuple]] = [
-            [(slot, plans[slot].start, plans[slot].stop) for slot in slots]
-            for slots in slot_lists
-        ]
+        offsets: List[int] = []
+        total_rows = 0
+        for cp in plans:
+            offsets.append(total_rows)
+            total_rows += cp.n_rows
 
-        partial_bytes = sum(cp.n_rows for cp in plans) * job.cols * 8
+        # The staging buffer holds every slot's partial until the final
+        # slot-ordered reduce — same footprint the worker result buffers
+        # had collectively under the old batch protocol.
+        partial_bytes = total_rows * job.cols * 8
         ctx.request_bytes(partial_bytes, "parallel partials (shm)")
         out = self._alloc_out(job)
+        stage = np.zeros((total_rows, job.cols), dtype=np.float64)
         collector = ctx.effective_collector()
         # Snapshot the budget *after* the partials/output requests so the
         # workers' mirrored budgets sit on top of everything the parent
@@ -474,78 +817,296 @@ class ProcessBackend(Backend):
         budget_spec = (
             (budget.limit_bytes, budget.in_use) if budget is not None else None
         )
-        try:
-            busy = []
-            for worker_id, chunks in enumerate(assignments):
-                if not chunks:
-                    continue
-                _proc, conn = self._workers[worker_id]
-                conn.send(("run", chunks, job.memoize, job.cols, budget_spec))
-                busy.append((worker_id, conn))
-            reduce_seconds = 0.0
-            hits = misses = 0
-            build_seconds = 0.0
-            # Drain every busy worker before raising: a failure reply must
-            # not leave successful replies in pipes to be misread as the
-            # next call's responses.
-            replies = [(worker_id, conn.recv()) for worker_id, conn in busy]
-            for worker_id, msg in replies:
-                if msg[0] == "oom":
-                    _op, label, nbytes, limit, in_use = msg
-                    raise MemoryLimitError(label, nbytes, limit, in_use)
-                if msg[0] == "error":
-                    raise RuntimeError(
-                        f"s3ttmc worker {worker_id} failed: {msg[1]}"
-                    )
-            for worker_id, msg in replies:
-                _op, spec, metas, worker_peak = msg
-                if budget is not None and worker_peak:
-                    budget.observe_peak(worker_peak)
-                buffer = self._attach_result(spec)
-                for slot, offset, n_rows, build_s, numeric_s, hit in metas:
-                    cp = plans[slot]
-                    tick = time.perf_counter()
-                    out[cp.rows] += buffer[offset : offset + n_rows]
-                    reduce_seconds += time.perf_counter() - tick
-                    self._fill_chunk_report(report, slot, numeric_s)
-                    hits += bool(hit)
-                    misses += not hit
-                    build_seconds += build_s
-                    if collector is not None:
-                        _trace.event(
-                            "parallel.chunk.done",
-                            collector=collector,
-                            chunk=slot,
-                            worker=worker_id,
-                            numeric_seconds=numeric_s,
-                            build_seconds=build_s,
-                            plan_cache_hit=bool(hit),
-                        )
+
+        pending: Deque[_ChunkTask] = deque(
+            _ChunkTask(slot, cp.start, cp.stop, cp.rows)
+            for slot, cp in enumerate(plans)
+        )
+        running: Dict[object, _WorkerHandle] = {}  # conn -> handle
+        idle: Deque[_WorkerHandle] = deque(self._workers)
+        slot_outstanding = [1] * len(plans)
+        split_slots: set = set()
+        sub_partials: Dict[int, List[Tuple[int, np.ndarray, np.ndarray]]] = {}
+        task_seq = 0
+        respawns_used = 0
+        stats = {"hits": 0, "misses": 0, "build": 0.0, "reduce": 0.0}
+
+        def release(handle: _WorkerHandle) -> None:
+            running.pop(handle.conn, None)
+            handle.task = None
+            handle.task_id = -1
+            idle.append(handle)
+
+        def retry_task(task: _ChunkTask, reason: str) -> None:
+            task.attempt += 1
+            if task.attempt > policy.max_retries:
+                raise BackendUnhealthyError(
+                    self.name,
+                    f"chunk [{task.start},{task.stop}) failed after "
+                    f"{task.attempt} attempts: {reason}",
+                )
+            _note_incident(
+                ctx, report, "parallel.retry", "parallel.retries", "retries",
+                backend=self.name, chunk=task.slot, attempt=task.attempt,
+                reason=reason,
+            )
+            backoff = policy.backoff(task.attempt)
+            if backoff > 0:
+                time.sleep(backoff)
+            pending.append(task)
+
+        def lose_worker(handle: _WorkerHandle, reason: str, *, kill: bool) -> None:
+            nonlocal respawns_used
+            running.pop(handle.conn, None)
+            try:
+                idle.remove(handle)
+            except ValueError:
+                pass
+            task = handle.task
+            self._retire_worker(handle, kill=kill)
+            if respawns_used < policy.max_respawns:
+                respawns_used += 1
+                _note_incident(
+                    ctx, report, "parallel.worker_respawn",
+                    "parallel.worker_respawns", "respawns",
+                    worker=handle.worker_id, reason=reason,
+                )
+                fresh = self._spawn_one(handle.worker_id)
+                self._workers.append(fresh)
+                self._send_state(fresh)
+                idle.append(fresh)
+            elif not self._workers:
+                raise BackendUnhealthyError(
+                    self.name, f"all workers lost ({reason})"
+                )
+            if task is not None:
+                retry_task(task, reason)
+
+        def split_task(task: _ChunkTask, oom: MemoryLimitError) -> None:
+            if task.depth >= policy.max_oom_splits or task.stop - task.start <= 1:
+                raise oom
+            _note_incident(
+                ctx, report, "parallel.oom_split", "parallel.oom_splits",
+                "oom_splits", backend=self.name, chunk=task.slot,
+                nz_start=task.start, nz_stop=task.stop, depth=task.depth,
+                label=oom.label,
+            )
+            split_slots.add(task.slot)
+            halves = _bisect_range(job.indices, task.start, task.stop, job.rank)
+            slot_outstanding[task.slot] += len(halves) - 1
+            for s, e in halves:
+                rows_sub, _map = chunk_row_block(job.indices[s:e], job.dim)
+                pending.append(
+                    _ChunkTask(task.slot, s, e, rows_sub, depth=task.depth + 1)
+                )
+
+        def merge_split_slot(slot: int) -> None:
+            cp = plans[slot]
+            block = stage[offsets[slot] : offsets[slot] + cp.n_rows]
+            # Start-ordered merge keeps the summation order a function of
+            # the split tree alone, not of completion order.
+            for _start, rows_sub, part in sorted(
+                sub_partials.pop(slot, []), key=lambda item: item[0]
+            ):
+                block[np.searchsorted(cp.rows, rows_sub)] += part
+
+        def finish(handle: _WorkerHandle, msg: tuple) -> None:
+            (
+                _kind, _task_id, result_name, n_rows, checksum,
+                build_s, numeric_s, hit, peak,
+            ) = msg
+            task = handle.task
+            buffer = self._attach_result(handle, result_name, n_rows, job.cols)
+            if policy.verify_partials and not _checksums_match(
+                checksum, float(buffer.sum())
+            ):
+                _note_incident(
+                    ctx, report, "parallel.corrupt_partial",
+                    "parallel.corrupt_partials", "corrupt_partials",
+                    backend=self.name, chunk=task.slot, worker=handle.worker_id,
+                )
+                release(handle)
+                retry_task(task, "corrupt partial (checksum mismatch)")
+                return
+            if budget is not None and peak:
+                budget.observe_peak(peak)
+            tick = time.perf_counter()
+            if task.slot in split_slots:
+                sub_partials.setdefault(task.slot, []).append(
+                    (task.start, task.rows, np.array(buffer, copy=True))
+                )
+            else:
+                base = offsets[task.slot]
+                stage[base : base + n_rows] = buffer
+            slot_outstanding[task.slot] -= 1
+            if slot_outstanding[task.slot] == 0 and task.slot in split_slots:
+                merge_split_slot(task.slot)
+            stats["reduce"] += time.perf_counter() - tick
+            stats["hits"] += bool(hit)
+            stats["misses"] += not hit
+            stats["build"] += build_s
+            self._fill_chunk_report(report, task.slot, numeric_s)
             if collector is not None:
-                if hits:
-                    collector.metrics.counter("parallel.plan_cache.hits").inc(hits)
-                if misses:
-                    collector.metrics.counter("parallel.plan_cache.misses").inc(
-                        misses
+                _trace.event(
+                    "parallel.chunk.done",
+                    collector=collector,
+                    chunk=task.slot,
+                    worker=handle.worker_id,
+                    attempt=task.attempt,
+                    numeric_seconds=numeric_s,
+                    build_seconds=build_s,
+                    plan_cache_hit=bool(hit),
+                )
+            release(handle)
+
+        def dispatch(task: _ChunkTask) -> None:
+            nonlocal task_seq
+            while True:
+                handle = idle.popleft()
+                fault = (
+                    injector.arm(
+                        "chunk", backend=self.name, slot=task.slot,
+                        attempt=task.attempt, worker=handle.worker_id,
                     )
+                    if injector is not None
+                    else None
+                )
+                task_seq += 1
+                try:
+                    handle.conn.send(
+                        (
+                            "chunk", task_seq, task.start, task.stop,
+                            job.memoize, job.cols, budget_spec,
+                            fault.payload() if fault is not None else None,
+                            policy.heartbeat_interval,
+                        )
+                    )
+                except (OSError, BrokenPipeError, ValueError):
+                    lose_worker(handle, "worker died while idle", kill=True)
+                    if not idle:
+                        pending.appendleft(task)
+                        return
+                    continue
+                handle.task = task
+                handle.task_id = task_seq
+                handle.last_heard = time.monotonic()
+                running[handle.conn] = handle
+                return
+
+        try:
+            while pending or running:
+                while pending and idle:
+                    dispatch(pending.popleft())
+                if not running:
+                    if pending and not self._workers:
+                        raise BackendUnhealthyError(
+                            self.name, "no workers available"
+                        )
+                    continue
+                if policy.chunk_timeout is None:
+                    timeout = None
+                else:
+                    now = time.monotonic()
+                    deadline = min(
+                        h.last_heard + policy.chunk_timeout
+                        for h in running.values()
+                    )
+                    timeout = max(0.005, deadline - now)
+                for conn in _mp_wait(list(running), timeout):
+                    handle = running.get(conn)
+                    if handle is None:
+                        continue  # worker was killed earlier this round
+                    try:
+                        msg = conn.recv()
+                    except (EOFError, OSError):
+                        lose_worker(handle, "worker died (pipe EOF)", kill=True)
+                        continue
+                    kind = msg[0]
+                    if kind == "beat":
+                        if msg[1] == handle.task_id:
+                            handle.last_heard = time.monotonic()
+                    elif msg[1] != handle.task_id:
+                        continue  # reply for a superseded dispatch
+                    elif kind == "chunk_done":
+                        finish(handle, msg)
+                    elif kind == "chunk_oom":
+                        _k, _tid, label, nbytes, limit, in_use = msg
+                        task = handle.task
+                        release(handle)
+                        split_task(
+                            task, MemoryLimitError(label, nbytes, limit, in_use)
+                        )
+                    elif kind == "chunk_error":
+                        task = handle.task
+                        release(handle)
+                        retry_task(
+                            task,
+                            f"worker error: {str(msg[2]).splitlines()[0]}",
+                        )
+                if policy.chunk_timeout is not None:
+                    now = time.monotonic()
+                    for handle in list(running.values()):
+                        if now - handle.last_heard > policy.chunk_timeout:
+                            lose_worker(
+                                handle,
+                                f"worker hung (silent for "
+                                f"{now - handle.last_heard:.2f}s)",
+                                kill=True,
+                            )
+
+            # Final reduce in slot order — deterministic regardless of
+            # which worker computed what, and of any retries above.
+            tick = time.perf_counter()
+            for slot, cp in enumerate(plans):
+                out[cp.rows] += stage[offsets[slot] : offsets[slot] + cp.n_rows]
+            stats["reduce"] += time.perf_counter() - tick
+
+            if collector is not None:
+                if stats["hits"]:
+                    collector.metrics.counter("parallel.plan_cache.hits").inc(
+                        stats["hits"]
+                    )
+                if stats["misses"]:
+                    collector.metrics.counter(
+                        "parallel.plan_cache.misses"
+                    ).inc(stats["misses"])
             if report is not None:
-                report.reduce_seconds = reduce_seconds
-                report.plan_cache_hits += hits
-                report.plan_cache_misses += misses
-                report.plan_build_seconds += build_seconds
+                report.reduce_seconds = stats["reduce"]
+                report.plan_cache_hits += stats["hits"]
+                report.plan_cache_misses += stats["misses"]
+                report.plan_build_seconds += stats["build"]
             return out
+        except BaseException:
+            # Workers may be mid-chunk, wedged, or have unread replies in
+            # their pipes; reset the pool so this backend (or its
+            # successor after a fallback) starts clean.
+            self._reset_workers()
+            raise
         finally:
             ctx.release_bytes(partial_bytes, "parallel partials (shm)")
             self._handoff(job)
 
-    def _attach_result(self, spec) -> np.ndarray:
-        shm = self._attached_results.get(spec.name)
+    def _attach_result(
+        self, handle: _WorkerHandle, name: str, n_rows: int, cols: int
+    ) -> np.ndarray:
+        shm = self._attached_results.get(name)
         if shm is None:
+            spec = _shm.ShmArraySpec(name, (1,), "float64")
             shm, _view = _shm.attach_shared_array(
                 spec, untrack=self._untrack_attach
             )
-            self._attached_results[spec.name] = shm
-        return np.ndarray(spec.shape, dtype=np.dtype(spec.dtype), buffer=shm.buf)
+            if handle.result_name and handle.result_name != name:
+                # The worker grew (and unlinked) its old buffer; drop our
+                # stale attachment.
+                old = self._attached_results.pop(handle.result_name, None)
+                if old is not None:
+                    try:
+                        old.close()
+                    except Exception:
+                        pass
+            self._attached_results[name] = shm
+        handle.result_name = name
+        return np.ndarray((n_rows, cols), dtype=np.float64, buffer=shm.buf)
 
 
 BACKENDS = {

@@ -45,7 +45,9 @@ from ..core.engine import lattice_ttmc
 from ..core.plan import TTMcPlan, build_plan
 from ..core.s3ttmc import SymmetricInput, _as_ucoo
 from ..formats.partial_sym import PartiallySymmetricTensor
+from ..obs import trace as _trace
 from ..runtime.context import ExecContext, resolve_context
+from ..runtime.faults import BackendUnhealthyError
 from ..symmetry.combinatorics import sym_storage_size
 from .partition import balanced_partition, estimate_nonzero_costs
 
@@ -90,6 +92,15 @@ class ParallelRunReport:
 
     All fields default so callers can construct an empty report without
     dummy values (``ParallelRunReport()``); the executor fills it in.
+
+    The resilience fields count recovery actions taken during the run:
+    ``retries`` (chunk re-executions after a crash / corrupt partial /
+    worker error), ``respawns`` (process-backend workers replaced after a
+    death or hang), ``oom_splits`` (chunk bisections after a memory-limit
+    refusal), ``corrupt_partials`` (checksum mismatches detected), and
+    ``fallbacks`` / ``fallback_chain`` (backend degradations, e.g.
+    ``["thread"]`` when a process run fell back to threads). ``backend``
+    reports the backend that produced the returned result.
     """
 
     n_workers: int = 0
@@ -102,6 +113,12 @@ class ParallelRunReport:
     plan_cache_misses: int = 0
     plan_build_seconds: float = 0.0
     reduce_seconds: float = 0.0
+    retries: int = 0
+    respawns: int = 0
+    oom_splits: int = 0
+    corrupt_partials: int = 0
+    fallbacks: int = 0
+    fallback_chain: List[str] = field(default_factory=list)
 
 
 @dataclass(frozen=True)
@@ -365,17 +382,52 @@ def parallel_s3ttmc(
         report.reduction = reduction
         report.chunk_seconds = [0.0] * len(ranges)
 
+    policy = ctx.effective_fallback()
+    tick = time.perf_counter()
     try:
-        with ctx.span(
-            "parallel.s3ttmc",
-            backend=backend.name,
-            n_workers=n_workers,
-            n_chunks=len(ranges),
-            reduction=reduction,
-        ):
-            tick = time.perf_counter()
-            data = backend.execute(job, report)
-            elapsed = time.perf_counter() - tick
+        while True:
+            try:
+                with ctx.span(
+                    "parallel.s3ttmc",
+                    backend=backend.name,
+                    n_workers=n_workers,
+                    n_chunks=len(ranges),
+                    reduction=reduction,
+                ):
+                    data = backend.execute(job, report)
+                break
+            except BackendUnhealthyError as exc:
+                # Degrade to the next-weaker backend in the policy chain
+                # (process → thread → serial by default). The replacement
+                # is adopted onto the context, so subsequent calls — e.g.
+                # the remaining iterations of a decomposition — keep
+                # using it instead of re-hitting the unhealthy backend.
+                weaker = policy.degrade_to(backend.name)
+                if weaker is None:
+                    raise
+                collector = ctx.effective_collector()
+                if collector is not None:
+                    _trace.event(
+                        "parallel.fallback",
+                        collector=collector,
+                        from_backend=backend.name,
+                        to_backend=weaker,
+                        reason=exc.reason,
+                    )
+                    collector.metrics.counter("parallel.fallbacks").inc()
+                if report is not None:
+                    report.fallbacks += 1
+                    report.fallback_chain.append(weaker)
+                if ctx.backend is backend:
+                    ctx.close()
+                else:
+                    backend.close()
+                backend = make_backend(weaker, n_workers)
+                if not owns_backend and not ctx.is_ambient:
+                    ctx.adopt_backend(backend)
+                else:
+                    owns_backend = True
+        elapsed = time.perf_counter() - tick
         collector = ctx.effective_collector()
         if collector is not None:
             collector.metrics.counter(f"parallel.runs.{backend.name}").inc()
@@ -384,6 +436,7 @@ def parallel_s3ttmc(
             backend.close()
     if report is not None:
         report.elapsed = elapsed
+        report.backend = backend.name
     return PartiallySymmetricTensor(ucoo.dim, ucoo.order - 1, rank, data)
 
 

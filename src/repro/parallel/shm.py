@@ -1,4 +1,4 @@
-"""Shared-memory plumbing for the process execution backend.
+"""Shared-memory plumbing and worker loop for the process backend.
 
 The process backend ships operands to persistent worker processes via
 ``multiprocessing.shared_memory`` instead of pickling them per call:
@@ -9,17 +9,41 @@ The process backend ships operands to persistent worker processes via
   only operand that changes across HOOI/HOQRI iterations; same name ⇒
   workers keep their mapping);
 * **results** — each worker owns one growable output buffer into which
-  it writes its chunks' compact row-block partials back-to-back; only
-  the (name, shape) spec crosses the pipe.
+  it writes the compact row-block partial of its *current* chunk; only
+  the segment name and row count cross the pipe.
+
+Work arrives **one chunk at a time** (the supervision unit in
+:class:`~repro.parallel.backends.ProcessBackend`): the parent dispatches
+a chunk, the worker evaluates it into its result buffer, replies, and
+receives the next chunk. While a chunk is running a daemon heartbeat
+thread sends periodic ``("beat", task_id)`` messages over the same pipe
+so the parent can tell a long chunk from a hung worker. Each chunk
+message may carry an injected fault (crash / hang / oom / corrupt — see
+:mod:`repro.runtime.faults`) which the worker *executes* but never
+decides: arming lives parent-side so fault plans replay
+deterministically.
 
 Workers cache their chunk plans across calls keyed on
 ``(tensor generation, chunk range, memoize)`` — the process-side half of
 the executor's plan cache, which is what makes iteration 2..n of a
-decomposition pay zero symbolic cost on every core.
+decomposition pay zero symbolic cost on every core. A respawned worker
+starts with an empty cache and rewarms it on demand (visible as plan
+cache misses).
+
+Segment hygiene: every segment created in a process is recorded in a
+module registry and swept at interpreter exit, so even abnormal
+teardown paths (a worker dying mid-job, a backend never closed) cannot
+leak ``/dev/shm`` segments from the parent; segments owned by a
+*crashed* worker are unlinked by the parent supervisor via
+:func:`unlink_segment_by_name`.
 """
 
 from __future__ import annotations
 
+import atexit
+import os
+import threading
+import time
 from dataclasses import dataclass
 from multiprocessing import resource_tracker
 from multiprocessing.connection import Connection
@@ -33,8 +57,72 @@ __all__ = [
     "create_shared_array",
     "attach_shared_array",
     "close_and_unlink",
+    "unlink_segment_by_name",
     "worker_main",
 ]
+
+
+# ---------------------------------------------------------------------------
+# Live-segment registry (leak protection)
+# ---------------------------------------------------------------------------
+
+_REGISTRY_LOCK = threading.Lock()
+_LIVE_SEGMENTS: set = set()  # names created (and not yet unlinked) here
+
+
+def _register_segment(name: str) -> None:
+    with _REGISTRY_LOCK:
+        _LIVE_SEGMENTS.add(name)
+
+
+def _unregister_segment(name: str) -> None:
+    with _REGISTRY_LOCK:
+        _LIVE_SEGMENTS.discard(name)
+
+
+def _sweep_segments() -> None:
+    """Unlink every segment this process created but never released.
+
+    Registered via :func:`atexit` — the last line of defence when a
+    backend is abandoned without ``close()`` (or an exception skipped
+    teardown). Normal paths unlink eagerly; this sweep then finds an
+    empty registry and does nothing.
+    """
+    with _REGISTRY_LOCK:
+        leaked = list(_LIVE_SEGMENTS)
+        _LIVE_SEGMENTS.clear()
+    for name in leaked:
+        unlink_segment_by_name(name)
+
+
+atexit.register(_sweep_segments)
+
+
+def unlink_segment_by_name(name: str) -> None:
+    """Best-effort unlink of a segment known only by name.
+
+    Used by the parent to reclaim the result buffer of a worker that
+    died without running its own teardown, and by the atexit sweep.
+    Missing segments are fine (someone else already cleaned up).
+    """
+    try:
+        shm = SharedMemory(name=name)
+    except FileNotFoundError:
+        _unregister_segment(name)
+        return
+    except Exception:
+        return
+    try:
+        shm.close()
+    except Exception:
+        pass
+    try:
+        # unlink() also unregisters with this process's resource tracker,
+        # balancing the registration the attach above just made.
+        shm.unlink()
+    except Exception:
+        pass
+    _unregister_segment(name)
 
 
 @dataclass(frozen=True)
@@ -59,13 +147,19 @@ def create_shared_array(
     """Copy ``array`` into a fresh shared segment.
 
     Returns ``(shm, view, spec)``; the creator owns the segment and must
-    :func:`close_and_unlink` it when done. ``name_hint`` is only a debug
-    aid — the kernel assigns the actual unique name.
+    :func:`close_and_unlink` it when done (the atexit sweep covers
+    abnormal exits). ``name_hint`` is only a debug aid — the kernel
+    assigns the actual unique name.
     """
     array = np.ascontiguousarray(array)
     shm = SharedMemory(create=True, size=max(1, array.nbytes))
-    view = np.ndarray(array.shape, dtype=array.dtype, buffer=shm.buf)
-    view[...] = array
+    _register_segment(shm.name)
+    try:
+        view = np.ndarray(array.shape, dtype=array.dtype, buffer=shm.buf)
+        view[...] = array
+    except BaseException:
+        close_and_unlink(shm)
+        raise
     return shm, view, ShmArraySpec(shm.name, tuple(array.shape), str(array.dtype))
 
 
@@ -105,11 +199,69 @@ def close_and_unlink(shm: Optional[SharedMemory]) -> None:
         shm.unlink()
     except Exception:
         pass
+    _unregister_segment(shm.name)
 
 
 # ---------------------------------------------------------------------------
 # Worker process
 # ---------------------------------------------------------------------------
+
+
+class _Heartbeat:
+    """Daemon thread beating over the worker's pipe while a chunk runs.
+
+    The parent's hang detector measures *silence*; beats keep a
+    long-but-healthy chunk alive past any deadline. An injected hang
+    suppresses beats (a wedged process doesn't announce itself).
+    """
+
+    def __init__(self, conn: Connection, send_lock: threading.Lock) -> None:
+        self._conn = conn
+        self._send_lock = send_lock
+        self._state = threading.Lock()
+        self._stop = threading.Event()
+        self._task_id: Optional[int] = None
+        self._interval = 0.5
+        self._suppressed = False
+        self._thread: Optional[threading.Thread] = None
+
+    def start_task(self, task_id: int, interval: float) -> None:
+        with self._state:
+            self._task_id = task_id
+            self._interval = max(0.01, float(interval))
+            self._suppressed = False
+        if self._thread is None and interval > 0:
+            self._thread = threading.Thread(
+                target=self._loop, name="s3ttmc-heartbeat", daemon=True
+            )
+            self._thread.start()
+
+    def end_task(self) -> None:
+        with self._state:
+            self._task_id = None
+
+    def suppress(self, flag: bool) -> None:
+        with self._state:
+            self._suppressed = flag
+
+    def close(self) -> None:
+        self._stop.set()
+
+    def _loop(self) -> None:
+        while True:
+            with self._state:
+                interval = self._interval
+            if self._stop.wait(interval):
+                return
+            with self._state:
+                task_id = None if self._suppressed else self._task_id
+            if task_id is None:
+                continue
+            try:
+                with self._send_lock:
+                    self._conn.send(("beat", task_id))
+            except Exception:
+                return  # pipe gone: parent died or is closing us
 
 
 class _WorkerState:
@@ -144,6 +296,7 @@ class _WorkerState:
             return self.result
         close_and_unlink(self.result)
         self.result = SharedMemory(create=True, size=max(1, nbytes))
+        _register_segment(self.result.name)
         return self.result
 
     def teardown(self) -> None:
@@ -157,88 +310,110 @@ class _WorkerState:
         self.result = None
 
 
-def _run_chunks(
-    state: _WorkerState, chunks, memoize: str, cols: int, budget_spec=None
+def _run_chunk(
+    state: _WorkerState,
+    start: int,
+    stop: int,
+    memoize: str,
+    cols: int,
+    budget_spec,
+    fault,
+    heartbeat: _Heartbeat,
 ):
-    """Evaluate assigned chunks into the worker's result buffer.
+    """Evaluate one chunk into the worker's result buffer.
 
     ``budget_spec`` — ``(limit_bytes, parent_in_use)`` — mirrors the
     parent's :class:`~repro.runtime.budget.MemoryBudget` into this
     process: a local budget preloaded with the parent's current usage is
-    installed around the kernel calls, so transient allocations here are
+    installed around the kernel call, so transient allocations here are
     limit-checked exactly as they would be in-process. The worker's peak
     is reported back for the parent to fold in.
-    """
-    import time
-    from contextlib import nullcontext
 
+    ``fault`` is ``None`` or ``(kind, param)`` shipped by the parent's
+    armed :class:`~repro.runtime.faults.FaultInjector`:
+
+    * ``crash`` — ``os._exit(3)`` (pipe EOF at the parent);
+    * ``hang`` — sleep ``param`` seconds with heartbeats suppressed;
+    * ``oom`` — raise a :class:`~repro.runtime.budget.MemoryLimitError`
+      as a too-large chunk would;
+    * ``corrupt`` — perturb the result *after* its checksum was taken
+      (caught by the parent's partial verification);
+    * ``error`` — raise a generic injected exception.
+
+    Returns ``(result_name, n_rows, checksum, build_s, numeric_s,
+    plan_cache_hit, peak_bytes)``.
+    """
     from ..core.engine import lattice_ttmc
     from ..core.plan import build_plan
-    from ..runtime.budget import MemoryBudget
+    from ..runtime.budget import MemoryBudget, MemoryLimitError
     from ..runtime.context import ExecContext
+    from ..runtime.faults import InjectedFault
     from .executor import chunk_row_block
 
     assert state.indices is not None and state.values is not None
     assert state.factor is not None
+
+    if fault is not None:
+        kind, param = fault
+        if kind == "crash":
+            os._exit(3)
+        elif kind == "hang":
+            heartbeat.suppress(True)
+            time.sleep(float(param))
+            heartbeat.suppress(False)
+        elif kind == "oom":
+            raise MemoryLimitError("injected chunk oom", 0, 0, 0)
+        elif kind == "error":
+            raise InjectedFault("injected worker error")
+
     budget = None
     if budget_spec is not None:
         limit_bytes, base_in_use = budget_spec
         budget = MemoryBudget(limit_bytes=limit_bytes)
         budget.in_use = int(base_in_use)
         budget.peak = int(base_in_use)
-    total_rows = 0
-    prepared = []
-    for slot, start, stop in chunks:
-        key = (state.tensor_gen, start, stop, memoize)
-        cached = state.plan_cache.get(key)
-        build_seconds = 0.0
-        hit = cached is not None
-        if cached is None:
-            tick = time.perf_counter()
-            rows, row_map = chunk_row_block(state.indices[start:stop], state.dim)
-            plan = build_plan(state.indices[start:stop], memoize)
-            build_seconds = time.perf_counter() - tick
-            cached = (plan, rows, row_map)
-            state.plan_cache[key] = cached
-        prepared.append((slot, start, stop, cached, build_seconds, hit))
-        total_rows += cached[1].shape[0]
 
-    shm = state.ensure_result(total_rows * cols * 8)
-    buffer = np.ndarray((total_rows, cols), dtype=np.float64, buffer=shm.buf)
-    metas = []
-    offset = 0
-    # The result blocks themselves were already declared by the parent
-    # ("parallel partials (shm)") before the budget snapshot was taken, so
-    # only the kernel's transients account against the mirrored budget.
+    key = (state.tensor_gen, start, stop, memoize)
+    cached = state.plan_cache.get(key)
+    hit = cached is not None
+    build_seconds = 0.0
+    if cached is None:
+        tick = time.perf_counter()
+        rows, row_map = chunk_row_block(state.indices[start:stop], state.dim)
+        plan = build_plan(state.indices[start:stop], memoize)
+        build_seconds = time.perf_counter() - tick
+        cached = (plan, rows, row_map)
+        state.plan_cache[key] = cached
+    plan, rows, row_map = cached
+    n_rows = rows.shape[0]
+
+    shm = state.ensure_result(n_rows * cols * 8)
+    block = np.ndarray((n_rows, cols), dtype=np.float64, buffer=shm.buf)
+    block[...] = 0.0
     # The kernel is driven under an explicit per-call ExecContext carrying
     # the mirrored budget; relying on ambient state here would be wrong
     # twice over — the fork may have inherited the parent's thread-local
     # context stack, and a bare budget push would not survive it.
     worker_ctx = ExecContext(budget=budget)
-    with budget if budget is not None else nullcontext():
-        for slot, start, stop, (plan, rows, row_map), build_seconds, hit in prepared:
-            n_rows = rows.shape[0]
-            block = buffer[offset : offset + n_rows]
-            block[...] = 0.0
-            tick = time.perf_counter()
-            lattice_ttmc(
-                state.indices[start:stop],
-                state.values[start:stop],
-                state.dim,
-                state.factor,
-                intermediate="compact",
-                memoize=memoize,
-                out=block,
-                out_row_map=row_map,
-                plan=plan,
-                ctx=worker_ctx,
-            )
-            numeric_seconds = time.perf_counter() - tick
-            metas.append((slot, offset, n_rows, build_seconds, numeric_seconds, hit))
-            offset += n_rows
-    spec = ShmArraySpec(shm.name, (total_rows, cols), "float64")
+    tick = time.perf_counter()
+    lattice_ttmc(
+        state.indices[start:stop],
+        state.values[start:stop],
+        state.dim,
+        state.factor,
+        intermediate="compact",
+        memoize=memoize,
+        out=block,
+        out_row_map=row_map,
+        plan=plan,
+        ctx=worker_ctx,
+    )
+    numeric_seconds = time.perf_counter() - tick
+    checksum = float(block.sum())
+    if fault is not None and fault[0] == "corrupt" and block.size:
+        block.flat[0] += float(fault[1])
     peak = budget.peak if budget is not None else 0
-    return spec, metas, peak
+    return shm.name, n_rows, checksum, build_seconds, numeric_seconds, hit, peak
 
 
 def worker_main(
@@ -254,16 +429,19 @@ def worker_main(
     ``("factor", spec)``
         (Re-)attach the factor buffer. The parent rewrites the segment in
         place between calls; a new name arrives only when the shape grew.
-    ``("run", chunks, memoize, cols, budget_spec)``
-        Evaluate ``chunks`` (``(slot, start, stop)`` triples) under the
-        mirrored budget (``(limit_bytes, parent_in_use)`` or ``None``);
-        reply ``("done", result_spec, metas, peak_bytes)`` with per-chunk
-        ``(slot, row_offset, n_rows, build_s, numeric_s, plan_cache_hit)``,
-        or ``("oom", label, nbytes, limit, in_use)`` when the mirrored
-        budget refuses an allocation (the parent re-raises it as a
-        :class:`~repro.runtime.budget.MemoryLimitError`).
+    ``("chunk", task_id, start, stop, memoize, cols, budget_spec, fault,
+    heartbeat_interval)``
+        Evaluate one chunk under the mirrored budget, heartbeating every
+        ``heartbeat_interval`` seconds; reply ``("chunk_done", task_id,
+        result_name, n_rows, checksum, build_s, numeric_s, hit, peak)``,
+        ``("chunk_oom", task_id, label, nbytes, limit, in_use)`` when the
+        mirrored budget refuses an allocation, or ``("chunk_error",
+        task_id, text)`` on any other failure.
     ``("close",)``
         Tear down segments and exit.
+
+    Replies are serialized through one lock shared with the heartbeat
+    thread, so beats never interleave mid-message.
     """
     from ..runtime.budget import MemoryLimitError
     from ..runtime.context import reset_thread_runtime_state
@@ -275,6 +453,13 @@ def worker_main(
     # run against this process's own ambient state.
     reset_thread_runtime_state()
     state = _WorkerState(untrack_attach)
+    send_lock = threading.Lock()
+    heartbeat = _Heartbeat(conn, send_lock)
+
+    def reply(msg: tuple) -> None:
+        with send_lock:
+            conn.send(msg)
+
     try:
         while True:
             try:
@@ -293,28 +478,61 @@ def worker_main(
                     spec = msg[1]
                     state.factor = state.attach("factor", spec)
                     state.factor_name = spec.name
-                elif op == "run":
-                    _op, chunks, memoize, cols, budget_spec = msg
+                elif op == "chunk":
+                    (
+                        _op,
+                        task_id,
+                        start,
+                        stop,
+                        memoize,
+                        cols,
+                        budget_spec,
+                        fault,
+                        hb_interval,
+                    ) = msg
+                    heartbeat.start_task(task_id, hb_interval)
                     try:
-                        spec, metas, peak = _run_chunks(
-                            state, chunks, memoize, cols, budget_spec
+                        result = _run_chunk(
+                            state,
+                            start,
+                            stop,
+                            memoize,
+                            cols,
+                            budget_spec,
+                            fault,
+                            heartbeat,
                         )
                     except MemoryLimitError as oom:
-                        conn.send(
-                            ("oom", oom.label, oom.nbytes, oom.limit, oom.in_use)
+                        reply(
+                            (
+                                "chunk_oom",
+                                task_id,
+                                oom.label,
+                                oom.nbytes,
+                                oom.limit,
+                                oom.in_use,
+                            )
                         )
                     else:
-                        conn.send(("done", spec, metas, peak))
+                        reply(("chunk_done", task_id, *result))
+                    finally:
+                        heartbeat.end_task()
                 elif op == "close":
-                    conn.send(("closed",))
+                    reply(("closed",))
                     break
                 else:  # pragma: no cover - protocol misuse
-                    conn.send(("error", f"unknown op {op!r}"))
+                    reply(("error", f"unknown op {op!r}"))
             except Exception as exc:  # surface worker failures to the parent
                 import traceback
 
-                conn.send(("error", f"{exc!r}\n{traceback.format_exc()}"))
+                task_id = msg[1] if op == "chunk" and len(msg) > 1 else None
+                text = f"{exc!r}\n{traceback.format_exc()}"
+                if task_id is not None:
+                    reply(("chunk_error", task_id, text))
+                else:
+                    reply(("error", text))
     finally:
+        heartbeat.close()
         state.teardown()
         try:
             conn.close()

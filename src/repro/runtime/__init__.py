@@ -1,4 +1,4 @@
-"""Execution-environment substrate: contexts, memory budgets, phase timers."""
+"""Execution-environment substrate: contexts, budgets, faults, checkpoints."""
 
 from .budget import (
     MemoryBudget,
@@ -8,6 +8,12 @@ from .budget import (
     request_bytes,
     track_array,
 )
+from .checkpoint import (
+    CheckpointState,
+    checkpoint_path,
+    load_checkpoint,
+    save_checkpoint,
+)
 from .context import (
     EXECUTIONS,
     ExecContext,
@@ -15,6 +21,18 @@ from .context import (
     current_context,
     resolve_context,
     tensor_generation,
+)
+from .faults import (
+    DEFAULT_FALLBACK,
+    BackendUnhealthyError,
+    CorruptPartialError,
+    FallbackPolicy,
+    FaultInjector,
+    FaultSpec,
+    InjectedFault,
+    WorkerCrashError,
+    faults_from_env,
+    parse_fault_specs,
 )
 from .profile import HotSpot, ProfileReport, profile_call
 from .timer import PhaseTimer, Stopwatch
@@ -32,6 +50,20 @@ __all__ = [
     "request_bytes",
     "release_bytes",
     "track_array",
+    "FaultSpec",
+    "FaultInjector",
+    "FallbackPolicy",
+    "DEFAULT_FALLBACK",
+    "InjectedFault",
+    "WorkerCrashError",
+    "CorruptPartialError",
+    "BackendUnhealthyError",
+    "faults_from_env",
+    "parse_fault_specs",
+    "CheckpointState",
+    "checkpoint_path",
+    "save_checkpoint",
+    "load_checkpoint",
     "PhaseTimer",
     "profile_call",
     "ProfileReport",

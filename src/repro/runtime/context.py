@@ -59,6 +59,7 @@ import numpy as np
 from ..obs import trace as _trace
 from . import budget as _budget
 from .budget import MemoryBudget
+from .faults import DEFAULT_FALLBACK, FallbackPolicy, FaultInjector
 
 __all__ = [
     "EXECUTIONS",
@@ -188,6 +189,15 @@ class ExecContext:
     plans:
         Plan cache; defaults to a fresh private :class:`PlanCache`.
         :meth:`derive` shares the parent's.
+    faults:
+        Optional :class:`~repro.runtime.faults.FaultInjector` — the
+        run's deterministic fault plan; backends arm it at named sites.
+        ``None`` (the default) injects nothing.
+    fallback:
+        Optional :class:`~repro.runtime.faults.FallbackPolicy` governing
+        retries, respawns, deadlines, OOM bisection and backend
+        degradation. ``None`` uses the shared
+        :data:`~repro.runtime.faults.DEFAULT_FALLBACK`.
 
     The context is a context manager: ``with ctx:`` activates it on the
     current thread (budget pushed, collector installed thread-locally,
@@ -205,6 +215,8 @@ class ExecContext:
         reduction: str = "blocked",
         seed: Optional[int] = None,
         plans: Optional[PlanCache] = None,
+        faults: Optional[FaultInjector] = None,
+        fallback: Optional[FallbackPolicy] = None,
     ) -> None:
         self.budget = budget
         self.collector = collector
@@ -213,6 +225,8 @@ class ExecContext:
         self.reduction = reduction
         self.seed = seed
         self.plans = plans if plans is not None else PlanCache()
+        self.faults = faults
+        self.fallback = fallback
         self._backend = None
         self._ambient = False
         self._entered: List[Any] = []
@@ -319,6 +333,12 @@ class ExecContext:
         """Fresh generator from this context's seed (entropy if unset)."""
         return np.random.default_rng(self.seed)
 
+    # -- resilience --------------------------------------------------------
+
+    def effective_fallback(self) -> FallbackPolicy:
+        """This context's fallback policy, else the shared default."""
+        return self.fallback if self.fallback is not None else DEFAULT_FALLBACK
+
     # -- validation --------------------------------------------------------
 
     def validate(
@@ -410,6 +430,8 @@ class ExecContext:
             reduction=reduction if reduction is not None else self.reduction,
             seed=seed if seed is not None else self.seed,
             plans=self.plans,
+            faults=self.faults,
+            fallback=self.fallback,
         )
 
     def snapshot(self) -> "ExecContext":
@@ -431,6 +453,8 @@ class ExecContext:
             reduction=self.reduction,
             seed=self.seed,
             plans=self.plans,
+            faults=self.faults,
+            fallback=self.fallback,
         )
         return snap
 
@@ -438,6 +462,12 @@ class ExecContext:
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-serializable run configuration (deterministic replay)."""
+        from dataclasses import asdict
+
+        fallback = None
+        if self.fallback is not None:
+            fallback = asdict(self.fallback)
+            fallback["degrade"] = list(fallback["degrade"])
         return {
             "execution": self.execution,
             "n_workers": self.n_workers,
@@ -447,6 +477,7 @@ class ExecContext:
                 self.budget.limit_bytes if self.budget is not None else None
             ),
             "traced": self.collector is not None,
+            "fallback": fallback,
         }
 
     @classmethod
@@ -459,6 +490,12 @@ class ExecContext:
         from ..obs.trace import TraceCollector
 
         limit = spec.get("budget_limit_bytes")
+        fallback_spec = spec.get("fallback")
+        fallback = None
+        if fallback_spec is not None:
+            fallback_spec = dict(fallback_spec)
+            fallback_spec["degrade"] = tuple(fallback_spec.get("degrade", ()))
+            fallback = FallbackPolicy(**fallback_spec)
         return cls(
             budget=MemoryBudget(limit_bytes=limit) if limit is not None else None,
             collector=TraceCollector() if spec.get("traced") else None,
@@ -466,6 +503,7 @@ class ExecContext:
             n_workers=spec.get("n_workers"),
             reduction=spec.get("reduction", "blocked"),
             seed=spec.get("seed"),
+            fallback=fallback,
         )
 
     # -- activation --------------------------------------------------------

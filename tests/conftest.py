@@ -8,6 +8,24 @@ import pytest
 from repro.formats import SparseSymmetricTensor
 
 
+#: Per-test deadline for the supervision/recovery suites. A regression in
+#: hang detection or worker respawn would otherwise wedge the whole run —
+#: precisely the suites where a deadlock is a plausible failure mode.
+_TIMEOUT_FILES = {"test_faults.py", "test_checkpoint.py", "test_parallel_backends.py"}
+_TIMEOUT_SECONDS = 120
+
+
+def pytest_collection_modifyitems(config, items):
+    # pytest-timeout is an optional extra (not in every environment);
+    # only attach markers when the plugin is present, so the suite runs
+    # unchanged — just without deadlines — where it isn't installed.
+    if not config.pluginmanager.hasplugin("timeout"):
+        return
+    for item in items:
+        if item.path.name in _TIMEOUT_FILES and item.get_closest_marker("timeout") is None:
+            item.add_marker(pytest.mark.timeout(_TIMEOUT_SECONDS, method="thread"))
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     return np.random.default_rng(20250704)

@@ -1,0 +1,125 @@
+"""Budget exception-path audit: a ``MemoryLimitError`` (or any failure)
+mid-kernel must release every byte the call had requested, so retry and
+OOM-splitting logic upstream sees the budget exactly as it found it."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.hoqri_nary import nary_hoqri_step
+from repro.baselines.splatt import splatt_ttmc
+from repro.core import s3ttmc
+from repro.decomp.hosvd import hosvd_init
+from repro.formats.csf import CSFTensor
+from repro.formats.partial_sym import PartiallySymmetricTensor
+from repro.general.ttmc import csf_ttmc_multi
+from repro.runtime.budget import MemoryBudget, MemoryLimitError
+from repro.symmetry.combinatorics import sym_storage_size
+from tests.conftest import make_random_tensor
+
+
+@pytest.fixture
+def tensor(rng):
+    return make_random_tensor(4, 12, 120, rng)
+
+
+def _peak(fn):
+    with MemoryBudget() as probe:
+        fn()
+        return probe.peak
+
+
+def _assert_restored_under_pressure(fn, peak, fractions):
+    """Run ``fn`` under tightening limits; every OOM must leave in_use
+    exactly where it was before the call."""
+    ooms = 0
+    for frac in fractions:
+        with MemoryBudget(limit_bytes=int(peak * frac)) as budget:
+            before = budget.in_use
+            try:
+                fn()
+            except MemoryLimitError:
+                ooms += 1
+                assert budget.in_use == before, (frac, budget.allocations)
+    assert ooms > 0, "no limit tripped; fractions too generous"
+
+
+class TestEngineRelease:
+    def test_lattice_oom_releases_k_levels(self, tensor, rng):
+        u = rng.random((12, 4))
+        peak = _peak(lambda: s3ttmc(tensor, u))
+        _assert_restored_under_pressure(
+            lambda: s3ttmc(tensor, u), peak, (0.6, 0.4, 0.25, 0.12)
+        )
+
+
+class TestBaselineRelease:
+    def test_splatt_no_per_call_drift(self, tensor, rng):
+        u = rng.random((12, 4))
+        with MemoryBudget() as budget:
+            splatt_ttmc(tensor, u)
+            base = budget.in_use
+            splatt_ttmc(tensor, u)
+            assert budget.in_use == base, budget.allocations
+
+    def test_splatt_oom_releases_everything(self, tensor, rng):
+        u = rng.random((12, 4))
+        peak = _peak(lambda: splatt_ttmc(tensor, u))
+        _assert_restored_under_pressure(
+            lambda: splatt_ttmc(tensor, u), peak, (0.6, 0.3, 0.1, 0.02)
+        )
+
+    def test_nary_step_no_core_leak(self, tensor, rng):
+        u = rng.random((12, 4))
+        with MemoryBudget() as budget:
+            nary_hoqri_step(tensor, u, chunk=16)
+            base = budget.in_use
+            nary_hoqri_step(tensor, u, chunk=16)
+            assert budget.in_use == base, budget.allocations
+
+    def test_nary_step_oom_releases(self, tensor, rng):
+        u = rng.random((12, 4))
+        peak = _peak(lambda: nary_hoqri_step(tensor, u, chunk=16))
+        _assert_restored_under_pressure(
+            lambda: nary_hoqri_step(tensor, u, chunk=16), peak, (0.5, 0.1)
+        )
+
+    def test_general_csf_oom_releases(self, tensor, rng):
+        csf = CSFTensor.from_symmetric(tensor)
+        factors = [rng.random((12, 3)) for _ in range(4)]
+        peak = _peak(lambda: csf_ttmc_multi(csf, factors))
+        _assert_restored_under_pressure(
+            lambda: csf_ttmc_multi(csf, factors), peak, (0.5, 0.2, 0.05)
+        )
+
+
+class TestFormatRelease:
+    def test_full_unfolding_released_on_expand_failure(self, rng, monkeypatch):
+        import repro.formats.partial_sym as ps
+
+        cols = sym_storage_size(3, 4)
+        y = PartiallySymmetricTensor(6, 3, 4, rng.random((6, cols)))
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("synthetic expand failure")
+
+        monkeypatch.setattr(ps, "expand_compact", boom)
+        with MemoryBudget() as budget:
+            before = budget.in_use
+            with pytest.raises(RuntimeError):
+                y.to_full_unfolding()
+            assert budget.in_use == before, budget.allocations
+
+    def test_csf_construction_oom_releases_indices(self, tensor):
+        with MemoryBudget(limit_bytes=1024) as budget:
+            before = budget.in_use
+            with pytest.raises(MemoryLimitError):
+                CSFTensor.from_symmetric(tensor)
+            assert budget.in_use == before, budget.allocations
+
+
+class TestDecompRelease:
+    def test_hosvd_oom_releases(self, tensor):
+        peak = _peak(lambda: hosvd_init(tensor, 3))
+        _assert_restored_under_pressure(
+            lambda: hosvd_init(tensor, 3), peak, (0.5, 0.1)
+        )
