@@ -127,6 +127,14 @@ def lattice_ttmc(
     else:
         raise ValueError(f"unknown intermediate layout {intermediate!r}")
 
+    if out is not None and out.dtype != np.float64:
+        # scatter_add_rows accumulates with `out[rows] += float64`: a
+        # float32 buffer silently truncates every contribution and an
+        # integer one fails deep in the scatter — reject up front.
+        raise ValueError(
+            f"out must be float64, got {out.dtype}; accumulating into a "
+            f"narrower dtype would silently lose precision"
+        )
     if out_row_map is not None:
         out_row_map = np.asarray(out_row_map, dtype=np.int64)
         if out is None:
@@ -138,8 +146,15 @@ def lattice_ttmc(
     elif out is not None and out.shape != (dim, cols):
         raise ValueError(f"out must be ({dim}, {cols})")
 
-    if plan is not None and plan.order != order:
-        raise ValueError("plan order does not match indices")
+    if plan is not None:
+        if plan.order != order:
+            raise ValueError("plan order does not match indices")
+        if not plan.matches(indices):
+            raise ValueError(
+                f"plan does not match indices: built for unnz={plan.unnz}, "
+                f"fingerprint={plan.fingerprint:#x}, called with "
+                f"unnz={unnz} — stale plan reuse would produce garbage"
+            )
 
     # When the engine allocates Y itself it only *pre-flights* the bytes
     # against the budget (OOM check + peak); ownership transfers to the
@@ -268,6 +283,16 @@ def _accumulate_batch(
                 rows = top.value[sl]
                 if out_row_map is not None:
                     rows = out_row_map[rows]
+                    if rows.size and rows.min() < 0:
+                        # A -1 (unmapped) entry would wrap via Python
+                        # negative indexing and corrupt a valid local row.
+                        bad = np.unique(top.value[sl][rows < 0])
+                        raise ValueError(
+                            f"out_row_map has no local row for scatter "
+                            f"target rows {bad[:8].tolist()}"
+                            f"{'...' if bad.size > 8 else ''} — the row "
+                            f"block does not cover this chunk's non-zeros"
+                        )
                 scatter_add_rows(out, rows, contrib)
         if stats is not None:
             stats.add_scatter(n_edges, k_prev.shape[1])
@@ -313,10 +338,13 @@ def _compute_level(
     hoist_bytes = (factor.shape[0] + k_prev.shape[0]) * row_bytes
     hoist = hoist_bytes <= 2 * block_bytes
     if hoist:
-        gathered_factor = np.ascontiguousarray(factor[:, layout.last_index])
-        expanded_prev = np.ascontiguousarray(k_prev[:, layout.parent_loc])
+        # Pre-flight *before* allocating: the whole point of the budget is
+        # the OOM check, which must fire while the bytes are uncommitted.
         ctx.request_bytes(hoist_bytes, "level gather tables")
     try:
+        if hoist:
+            gathered_factor = np.ascontiguousarray(factor[:, layout.last_index])
+            expanded_prev = np.ascontiguousarray(k_prev[:, layout.parent_loc])
         for group in edges.groups:
             degree = group.degree
             nodes_per_chunk = max(1, edges_per_chunk // degree)

@@ -10,6 +10,7 @@ non-zero batch) so repeated kernel invocations pay only the numeric work;
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
@@ -18,23 +19,53 @@ import numpy as np
 from ..formats.ucoo import SparseSymmetricTensor
 from .lattice import Lattice, build_lattice
 
-__all__ = ["TTMcPlan", "build_plan", "get_plan"]
+__all__ = ["TTMcPlan", "build_plan", "get_plan", "pattern_fingerprint"]
 
 _CACHE_ATTR = "_s3ttmc_plan_cache"
 
 
+def pattern_fingerprint(indices: np.ndarray) -> int:
+    """Stable fingerprint of an IOU index pattern (CRC-32 of the raw bytes).
+
+    Plans are pattern-only, so ``(unnz, order, fingerprint)`` identifies
+    the pattern a plan was built for; :func:`repro.core.engine.lattice_ttmc`
+    re-derives the fingerprint on use to reject stale plans. CRC-32 runs at
+    multiple GB/s, far below the kernel's per-non-zero cost.
+    """
+    indices = np.ascontiguousarray(indices, dtype=np.int64)
+    return zlib.crc32(indices)
+
+
 @dataclass(frozen=True)
 class TTMcPlan:
-    """Lattices for each non-zero batch of one tensor pattern."""
+    """Lattices for each non-zero batch of one tensor pattern.
+
+    ``unnz`` and ``fingerprint`` stamp the pattern the plan was built for
+    (``-1`` on legacy instances built before stamping existed) so reuse
+    against different indices fails loudly instead of producing garbage.
+    """
 
     order: int
     memoize: str
     nz_batch_size: Optional[int]
     batches: Tuple[Tuple[int, int, Lattice], ...]  # (start, stop, lattice)
+    unnz: int = -1
+    fingerprint: int = -1
 
     @property
     def total_edges(self) -> int:
         return sum(lat.total_edges for _s, _e, lat in self.batches)
+
+    def matches(self, indices: np.ndarray) -> bool:
+        """Whether this plan was built for exactly this index pattern."""
+        if indices.ndim != 2 or indices.shape[1] != self.order:
+            return False
+        if self.unnz < 0:  # legacy unstamped plan: order check only
+            return True
+        return (
+            indices.shape[0] == self.unnz
+            and pattern_fingerprint(indices) == self.fingerprint
+        )
 
 
 def build_plan(
@@ -57,6 +88,8 @@ def build_plan(
         memoize=memoize,
         nz_batch_size=nz_batch_size,
         batches=tuple(batches),
+        unnz=unnz,
+        fingerprint=pattern_fingerprint(indices),
     )
 
 

@@ -32,6 +32,7 @@ from .trace import (
     active_collector,
     current_span_id,
     event,
+    open_span_depth,
     span,
     tracing_enabled,
 )
@@ -42,6 +43,7 @@ __all__ = [
     "TraceCollector",
     "active_collector",
     "current_span_id",
+    "open_span_depth",
     "event",
     "span",
     "tracing_enabled",

@@ -60,6 +60,7 @@ __all__ = [
     "finish_span",
     "event",
     "current_span_id",
+    "open_span_depth",
 ]
 
 
@@ -131,6 +132,38 @@ class TraceCollector:
             self.events.append(evt)
 
     # -- queries ----------------------------------------------------------
+    def check_consistency(self) -> List[str]:
+        """Structural invariants of the recorded trace; returns problems.
+
+        Checks that span ids are unique, every span finished after it
+        started, and every span/event parent id refers to a recorded span.
+        An empty list means the trace is structurally sound. Intended for
+        *post-run* validation (``repro.verify`` runs it after every case);
+        mid-run, parents may still be open and legitimately unrecorded.
+        """
+        with self._lock:
+            spans = list(self.spans)
+            events = list(self.events)
+        problems: List[str] = []
+        ids = [s.span_id for s in spans]
+        id_set = set(ids)
+        if len(id_set) != len(ids):
+            problems.append("duplicate span ids recorded")
+        for s in spans:
+            if s.end < s.start:
+                problems.append(f"span {s.name!r} (id {s.span_id}) ends before it starts")
+            if s.parent_id is not None and s.parent_id not in id_set:
+                problems.append(
+                    f"span {s.name!r} (id {s.span_id}) has unrecorded "
+                    f"parent {s.parent_id}"
+                )
+        for e in events:
+            if e.parent_id is not None and e.parent_id not in id_set:
+                problems.append(
+                    f"event {e.name!r} has unrecorded parent {e.parent_id}"
+                )
+        return problems
+
     def roots(self) -> List[Span]:
         return [s for s in self.spans if s.parent_id is None]
 
@@ -212,6 +245,17 @@ def current_span_id() -> Optional[int]:
     cross-thread parenting), or ``None``."""
     stack = _stack()
     return stack[-1].span_id if stack else None
+
+
+def open_span_depth() -> int:
+    """Number of spans still open on *this* thread's stack.
+
+    Zero after any balanced run — a non-zero value after a kernel call
+    returned (or raised) means a span was opened without being finished,
+    which corrupts the parentage of everything recorded afterwards. Used
+    by the ``repro.verify`` span-balance invariant.
+    """
+    return len(_stack())
 
 
 class _NullSpan:

@@ -18,6 +18,8 @@ __all__ = [
     "c_sp",
     "total_css",
     "total_sp",
+    "total_cp",
+    "kernel_flops_for_layout",
     "level_reduction_ratio",
     "svd_cost",
     "qr_cost",
@@ -54,6 +56,35 @@ def total_sp(order: int, rank: int, unnz: int) -> int:
     """``C^SP = Σ_{l=2}^{N-1} c_sp + 2N·S_{N-1,R}·unnz``."""
     levels = sum(c_sp(l, order, rank, unnz) for l in range(2, order))
     return levels + 2 * order * sym_storage_size(order - 1, rank) * unnz
+
+
+def total_cp(order: int, rank: int, unnz: int) -> int:
+    """MTTKRP via the elementwise (``cp``) intermediate layout:
+    ``Σ_{l=2}^{N-1} (2l−1)·C(N,l)·R·unnz + 2N·R·unnz``."""
+    levels = sum(
+        (2 * l - 1) * binomial(order, l) * rank for l in range(2, order)
+    )
+    return (levels + 2 * order * rank) * unnz
+
+
+def kernel_flops_for_layout(
+    intermediate: str, order: int, rank: int, unnz: int
+) -> int:
+    """Exact kernel flops of one :func:`repro.core.engine.lattice_ttmc`
+    call in the closed-form regime.
+
+    Valid when every index tuple has ``order`` distinct values and
+    memoization is per-non-zero (``memoize="nonzero"``) — exactly the
+    regime Eq. 9 describes. :class:`repro.core.stats.KernelStats`
+    equals these numbers there (the ``repro.verify`` flop invariant).
+    """
+    if intermediate == "compact":
+        return total_sp(order, rank, unnz)
+    if intermediate == "full":
+        return total_css(order, rank, unnz)
+    if intermediate == "cp":
+        return total_cp(order, rank, unnz)
+    raise ValueError(f"unknown intermediate layout {intermediate!r}")
 
 
 def level_reduction_ratio(level: int, rank: int) -> float:

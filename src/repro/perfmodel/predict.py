@@ -13,7 +13,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from .complexity import total_css, total_sp
+from .complexity import total_cp, total_css, total_sp
 
 __all__ = ["kernel_flops_model", "RateCalibration", "predict_seconds"]
 
@@ -31,12 +31,7 @@ def kernel_flops_model(
     if family == "css":
         return float(total_css(order, rank, unnz))
     if family == "cp":
-        from ..symmetry.combinatorics import binomial
-
-        levels = sum(
-            (2 * l - 1) * binomial(order, l) * rank for l in range(2, order)
-        )
-        return float((levels + 2 * order * rank) * unnz)
+        return float(total_cp(order, rank, unnz))
     if family == "splatt":
         # CSF TTMc over the expanded tensor: depth-d combine costs
         # 2·n_{d+1}·R^{N-d} with n_{d+1} ≤ min(nnz, dim^{d+1}) fiber-tree

@@ -148,6 +148,22 @@ class MemoryBudget:
                 in_use=in_use,
             )
 
+    def assert_drained(self) -> None:
+        """Raise if accounted bytes remain in use (kernel leak check).
+
+        Every kernel pairs its requests with releases on all exit paths,
+        so after any completed (or cleanly failed) run ``in_use`` must be
+        back to zero. The verification suite calls this after every case;
+        the error lists the labels still held, which names the leak.
+        """
+        with self._lock:
+            if self.in_use:
+                held = dict(self.allocations)
+                raise RuntimeError(
+                    f"memory budget not drained: {self.in_use} bytes still "
+                    f"accounted after the run; held allocations: {held}"
+                )
+
     def observe_peak(self, nbytes: int) -> None:
         """Fold an externally measured high-water mark into ``peak``.
 

@@ -1,0 +1,109 @@
+"""CLI for the differential oracle: ``python -m repro.verify``.
+
+Examples::
+
+    python -m repro.verify --config smoke          # CI gate (<2 min)
+    python -m repro.verify --config full --seeds 4
+    python -m repro.verify --case "order=3,dim=7,rank=4,unnz=25,dist=uniform,seed=0" \
+        --check plan-reuse
+
+Exit status 0 when every check passes, 1 otherwise; each failure prints
+the exact ``--case``/``--check`` line that reruns it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from .generators import Workload
+from .runner import VerifyReport, run_case, run_suite
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.verify",
+        description="Differential correctness oracle for the S³TTMc kernel family.",
+    )
+    parser.add_argument(
+        "--config",
+        choices=("smoke", "full"),
+        default="smoke",
+        help="workload matrix size (default: smoke)",
+    )
+    parser.add_argument(
+        "--seeds",
+        type=int,
+        default=2,
+        help="seed replicas of the randomized matrix (default: 2)",
+    )
+    parser.add_argument(
+        "--base-seed", type=int, default=0, help="first RNG seed (default: 0)"
+    )
+    parser.add_argument(
+        "--case",
+        metavar="SPEC",
+        help='run one workload, e.g. "order=3,dim=7,rank=4,unnz=25,dist=uniform,seed=0"',
+    )
+    parser.add_argument(
+        "--check",
+        metavar="NAME",
+        help="restrict to one named check (e.g. plan-reuse, budget-preflight)",
+    )
+    parser.add_argument(
+        "--include-process",
+        action="store_true",
+        help="also cross-check the process backend (slower: worker spawn cost)",
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="store_true", help="suppress per-case progress lines"
+    )
+    args = parser.parse_args(argv)
+
+    start = time.perf_counter()
+    if args.case is not None:
+        try:
+            spec = Workload.from_spec(args.case)
+        except ValueError as e:
+            parser.error(str(e))
+        report = VerifyReport()
+        report.results.extend(
+            run_case(spec, include_process=args.include_process, check=args.check)
+        )
+        if not report.results:
+            print(f"no check named {args.check!r} ran for this case", file=sys.stderr)
+            return 2
+    else:
+
+        def on_case(spec: Workload, results) -> None:
+            if args.quiet:
+                return
+            bad = sum(1 for r in results if not r.ok)
+            status = "ok" if not bad else f"{bad} FAILED"
+            print(f"  {spec.spec}: {len(results)} checks, {status}")
+
+        report = run_suite(
+            args.config,
+            seeds=args.seeds,
+            base_seed=args.base_seed,
+            include_process=args.include_process,
+            check=args.check,
+            on_case=on_case,
+        )
+        if not report.results:
+            print(f"no check named {args.check!r} ran", file=sys.stderr)
+            return 2
+
+    elapsed = time.perf_counter() - start
+    print(f"{report.summary()} in {elapsed:.1f}s")
+    if not report.ok:
+        print()
+        print(report.format_failures())
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

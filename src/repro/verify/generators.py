@@ -1,0 +1,241 @@
+"""Seeded random workload generation for the differential oracle.
+
+A :class:`Workload` is a fully seed-determined spec — ``(order, dim,
+rank, unnz, dist, seed)`` — that round-trips through a one-line string,
+so any failing check can be reproduced from its printed repro line alone.
+:func:`generate` materializes the spec into a tensor/factor pair.
+
+Index distributions (``dist``):
+
+``uniform``
+    Uniform random IOU patterns — the analogue of the paper's synthetic
+    operation benchmarks.
+``skewed``
+    Power-law index draws (mass concentrated on low indices) with
+    colliding rows combined by summation — exercises duplicate-heavy
+    scatter targets and ``canonicalize(combine="sum")``.
+``dupes``
+    Indices drawn from a tiny alphabet so rows repeat values heavily
+    (``(0,0,1,1)``-style tuples) — small multiplicities, deep lattice
+    sharing.
+``allequal``
+    Every row is ``(i, i, …, i)`` — multiplicity-1 non-zeros, the
+    opposite extreme.
+``distinct``
+    Every row has ``order`` pairwise-distinct values (requires
+    ``dim >= order``) — the all-distinct regime where the closed-form
+    flop model (Eq. 9) holds exactly, so the flop-model invariant runs.
+``single``
+    Exactly one non-zero (``unnz`` is forced to 1).
+``empty``
+    No non-zeros at all (``unnz`` is forced to 0).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List
+
+import numpy as np
+
+from ..data.synthetic import random_iou_pattern
+from ..formats.ucoo import SparseSymmetricTensor
+
+__all__ = ["Workload", "GeneratedWorkload", "generate", "workloads_for", "DISTS"]
+
+DISTS = ("uniform", "skewed", "dupes", "allequal", "distinct", "single", "empty")
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One seed-determined workload spec (round-trips via :meth:`spec`)."""
+
+    order: int
+    dim: int
+    rank: int
+    unnz: int
+    dist: str = "uniform"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.dist not in DISTS:
+            raise ValueError(f"unknown dist {self.dist!r}; expected one of {DISTS}")
+
+    @property
+    def spec(self) -> str:
+        """The canonical one-line form, accepted by ``--case``."""
+        return (
+            f"order={self.order},dim={self.dim},rank={self.rank},"
+            f"unnz={self.unnz},dist={self.dist},seed={self.seed}"
+        )
+
+    @classmethod
+    def from_spec(cls, spec: str) -> "Workload":
+        """Parse ``"order=3,dim=6,rank=4,unnz=20,dist=uniform,seed=7"``."""
+        fields = {}
+        for part in spec.replace(" ", ",").split(","):
+            if not part:
+                continue
+            if "=" not in part:
+                raise ValueError(f"bad workload spec fragment {part!r}")
+            key, _, value = part.partition("=")
+            fields[key.strip()] = value.strip()
+        try:
+            return cls(
+                order=int(fields["order"]),
+                dim=int(fields["dim"]),
+                rank=int(fields["rank"]),
+                unnz=int(fields["unnz"]),
+                dist=fields.get("dist", "uniform"),
+                seed=int(fields.get("seed", 0)),
+            )
+        except KeyError as exc:
+            raise ValueError(f"workload spec missing field {exc}") from None
+
+
+@dataclass(frozen=True)
+class GeneratedWorkload:
+    """A materialized workload: the spec plus tensor and factor."""
+
+    spec: Workload
+    tensor: SparseSymmetricTensor
+    factor: np.ndarray
+
+    @property
+    def all_distinct(self) -> bool:
+        """Every row has ``order`` distinct values — the regime where the
+        closed-form flop model holds exactly (Eq. 9)."""
+        idx = self.tensor.indices
+        if idx.shape[0] == 0 or idx.shape[1] < 2:
+            return False
+        return bool((np.diff(idx, axis=1) != 0).all())
+
+
+def _skewed_indices(
+    order: int, dim: int, unnz: int, rng: np.random.Generator
+) -> np.ndarray:
+    draw = np.floor(dim * rng.random((unnz, order)) ** 3).astype(np.int64)
+    draw.sort(axis=1)
+    return draw
+
+
+def _dupes_indices(
+    order: int, dim: int, unnz: int, rng: np.random.Generator
+) -> np.ndarray:
+    alphabet = max(1, min(dim, 3))
+    draw = rng.integers(0, alphabet, size=(unnz, order)).astype(np.int64)
+    draw.sort(axis=1)
+    return draw
+
+
+def generate(spec: Workload) -> GeneratedWorkload:
+    """Materialize a workload spec (deterministic in the spec alone).
+
+    Values are standard normal (signed, so cancellation-masking bugs
+    can't hide behind all-positive data); the factor is a dense standard
+    normal ``(dim, rank)`` matrix. For ``skewed``/``dupes`` draws the
+    requested ``unnz`` counts *raw draws*; colliding rows are combined by
+    summation, so the realized ``tensor.unnz`` may be smaller.
+    """
+    spec_unnz = spec.unnz
+    if spec.dist == "empty":
+        spec_unnz = 0
+    elif spec.dist == "single":
+        spec_unnz = 1
+    rng = np.random.default_rng(spec.seed)
+    if spec.dist in ("uniform", "single", "empty"):
+        indices = random_iou_pattern(spec.order, spec.dim, spec_unnz, rng)
+        values = rng.standard_normal(indices.shape[0])
+        tensor = SparseSymmetricTensor(
+            spec.order, spec.dim, indices, values, assume_canonical=True
+        )
+    elif spec.dist == "distinct":
+        if spec.dim < spec.order:
+            raise ValueError("dist='distinct' needs dim >= order")
+        indices = np.stack(
+            [
+                np.sort(rng.choice(spec.dim, size=spec.order, replace=False))
+                for _ in range(spec_unnz)
+            ]
+        ).astype(np.int64) if spec_unnz else np.zeros((0, spec.order), dtype=np.int64)
+        values = rng.standard_normal(indices.shape[0])
+        tensor = SparseSymmetricTensor(
+            spec.order, spec.dim, indices, values, combine="sum"
+        )
+    elif spec.dist == "allequal":
+        n = min(spec_unnz, spec.dim)
+        picks = rng.choice(spec.dim, size=n, replace=False)
+        picks.sort()
+        indices = np.repeat(picks[:, None], spec.order, axis=1)
+        values = rng.standard_normal(n)
+        tensor = SparseSymmetricTensor(
+            spec.order, spec.dim, indices, values, assume_canonical=True
+        )
+    else:
+        if spec.dist == "skewed":
+            indices = _skewed_indices(spec.order, spec.dim, spec_unnz, rng)
+        else:
+            indices = _dupes_indices(spec.order, spec.dim, spec_unnz, rng)
+        values = rng.standard_normal(indices.shape[0])
+        tensor = SparseSymmetricTensor(
+            spec.order, spec.dim, indices, values, combine="sum"
+        )
+    factor = rng.standard_normal((spec.dim, spec.rank))
+    return GeneratedWorkload(spec=spec, tensor=tensor, factor=factor)
+
+
+def workloads_for(
+    config: str, seeds: int = 2, base_seed: int = 0
+) -> List[Workload]:
+    """The workload matrix for a suite config (``smoke`` or ``full``).
+
+    Each seed replicates the randomized rows with a distinct RNG seed;
+    the degenerate cases (empty, rank 1, dim 1, single non-zero,
+    all-equal indices) are always present once per suite. The ``smoke``
+    matrix is sized to keep ``python -m repro.verify --config smoke``
+    under two minutes in CI.
+    """
+    if config not in ("smoke", "full"):
+        raise ValueError(f"unknown config {config!r}; expected 'smoke' or 'full'")
+    randomized: List[Workload]
+    if config == "smoke":
+        randomized = [
+            Workload(order=3, dim=7, rank=4, unnz=25, dist="uniform"),
+            Workload(order=3, dim=8, rank=3, unnz=30, dist="skewed"),
+            Workload(order=4, dim=6, rank=3, unnz=20, dist="skewed"),
+            Workload(order=5, dim=5, rank=3, unnz=12, dist="dupes"),
+            Workload(order=6, dim=4, rank=2, unnz=8, dist="uniform"),
+            Workload(order=4, dim=8, rank=3, unnz=15, dist="distinct"),
+        ]
+    else:
+        randomized = [
+            Workload(order=3, dim=12, rank=5, unnz=60, dist=dist)
+            for dist in ("uniform", "skewed", "dupes")
+        ] + [
+            Workload(order=4, dim=8, rank=4, unnz=40, dist=dist)
+            for dist in ("uniform", "skewed", "dupes")
+        ] + [
+            Workload(order=5, dim=6, rank=3, unnz=24, dist=dist)
+            for dist in ("uniform", "skewed", "dupes")
+        ] + [
+            Workload(order=6, dim=5, rank=2, unnz=12, dist=dist)
+            for dist in ("uniform", "skewed")
+        ] + [
+            Workload(order=3, dim=10, rank=4, unnz=40, dist="distinct"),
+            Workload(order=5, dim=8, rank=2, unnz=15, dist="distinct"),
+        ]
+    out: List[Workload] = []
+    for s in range(max(1, seeds)):
+        for w in randomized:
+            out.append(replace(w, seed=base_seed + s))
+    out.extend(
+        [
+            Workload(order=3, dim=6, rank=3, unnz=0, dist="empty", seed=base_seed),
+            Workload(order=4, dim=5, rank=1, unnz=10, dist="uniform", seed=base_seed),
+            Workload(order=3, dim=1, rank=2, unnz=1, dist="uniform", seed=base_seed),
+            Workload(order=4, dim=6, rank=3, unnz=1, dist="single", seed=base_seed),
+            Workload(order=3, dim=5, rank=2, unnz=5, dist="allequal", seed=base_seed),
+            Workload(order=5, dim=4, rank=2, unnz=3, dist="allequal", seed=base_seed),
+        ]
+    )
+    return out

@@ -1,0 +1,501 @@
+"""The differential check matrix: every kernel path against every other.
+
+Each check compares one kernel configuration against the dense einsum
+reference or against the canonical compact serial evaluation, under one
+of three modes:
+
+``bitwise``
+    The two paths perform the *same* floating-point operations in the
+    same order (plan reuse, ``out=`` accumulation from zeros, identity
+    ``out_row_map``, slot-ordered blocked reduction across backends) —
+    results must be identical to the last bit.
+``allclose``
+    The paths reorder summation (different layouts, batching, block
+    sizes, partitions, tree reduction) — results must agree to a
+    scale-aware tolerance, with the maximum ULP distance reported.
+``raises``
+    Error contracts: misuse (narrow ``out`` dtypes, unmapped row-map
+    entries, stale plans) must fail loudly instead of corrupting output.
+
+Every result carries the workload spec string, so a failure prints as a
+single rerunnable ``python -m repro.verify --case … --check …`` line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List
+
+import numpy as np
+
+from ..baselines.css_ttmc import css_s3ttmc, css_s3ttmc_tc
+from ..baselines.dense_ref import dense_s3ttmc_matrix, dense_s3ttmc_tc
+from ..core.engine import lattice_ttmc
+from ..core.plan import build_plan
+from ..core.s3ttmc import s3ttmc
+from ..core.s3ttmc_tc import s3ttmc_tc
+from ..cp.mttkrp import symmetric_mttkrp
+from ..parallel.executor import ParallelRunReport, parallel_s3ttmc
+from ..runtime.context import ExecContext
+from ..symmetry.combinatorics import dense_size, sym_storage_size
+from .generators import GeneratedWorkload
+
+__all__ = [
+    "CheckResult",
+    "run_workload_checks",
+    "max_ulp_diff",
+    "DENSE_LIMIT",
+]
+
+#: Skip dense-reference checks when the full tensor would exceed this
+#: many entries (the reference materializes ``dim**order`` doubles).
+DENSE_LIMIT = 500_000
+
+#: Scale-relative tolerance for reordered-summation (allclose) checks.
+ALLCLOSE_RTOL = 1e-9
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """Outcome of one differential or contract check."""
+
+    spec: str  # workload spec string (seed + config)
+    check: str  # e.g. "full-vs-compact", "parallel:thread:blocked"
+    mode: str  # "bitwise" | "allclose" | "raises" | "invariant"
+    ok: bool
+    detail: str = ""
+
+    @property
+    def repro(self) -> str:
+        """A shell line that reruns exactly this case and check."""
+        return (
+            f'python -m repro.verify --case "{self.spec}" --check {self.check}'
+        )
+
+
+def max_ulp_diff(a: np.ndarray, b: np.ndarray) -> float:
+    """Largest elementwise distance in units of last place.
+
+    ``|a - b| / spacing(max(|a|, |b|))`` — 0.0 means bitwise identical,
+    a few ULP means same-operation different-rounding, large values mean
+    genuinely different sums.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.size == 0:
+        return 0.0
+    with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+        spacing = np.spacing(np.maximum(np.abs(a), np.abs(b)))
+        ulp = np.abs(a - b) / spacing
+    ulp = np.where(np.isnan(ulp), 0.0, ulp)
+    return float(np.max(ulp))
+
+
+def _compare(
+    spec: str, check: str, mode: str, got: np.ndarray, ref: np.ndarray
+) -> CheckResult:
+    got = np.asarray(got, dtype=np.float64)
+    ref = np.asarray(ref, dtype=np.float64)
+    if got.shape != ref.shape:
+        return CheckResult(
+            spec, check, mode, False, f"shape {got.shape} != {ref.shape}"
+        )
+    if mode == "bitwise":
+        if np.array_equal(got, ref):
+            return CheckResult(spec, check, mode, True)
+        return CheckResult(
+            spec,
+            check,
+            mode,
+            False,
+            f"not bitwise: max|Δ|={float(np.max(np.abs(got - ref))):.3e}, "
+            f"max ulp={max_ulp_diff(got, ref):.1f}",
+        )
+    scale = float(np.max(np.abs(ref))) if ref.size else 0.0
+    tol = ALLCLOSE_RTOL * max(1.0, scale)
+    dev = float(np.max(np.abs(got - ref))) if ref.size else 0.0
+    ok = dev <= tol
+    detail = "" if ok else (
+        f"max|Δ|={dev:.3e} > tol={tol:.3e} "
+        f"(scale={scale:.3e}, max ulp={max_ulp_diff(got, ref):.1f})"
+    )
+    return CheckResult(spec, check, "allclose", ok, detail)
+
+
+def _expect_raises(
+    spec: str, check: str, fn: Callable[[], object], exc: type
+) -> CheckResult:
+    try:
+        fn()
+    except exc as e:
+        return CheckResult(spec, check, "raises", True, type(e).__name__)
+    except Exception as e:  # pragma: no cover - unexpected error class
+        return CheckResult(
+            spec,
+            check,
+            "raises",
+            False,
+            f"raised {type(e).__name__} instead of {exc.__name__}: {e}",
+        )
+    return CheckResult(
+        spec,
+        check,
+        "raises",
+        False,
+        f"no {exc.__name__} raised — the misuse was silently accepted",
+    )
+
+
+def _guarded(
+    spec: str, check: str, mode: str, fn: Callable[[], CheckResult]
+) -> CheckResult:
+    """Run a check body, converting unexpected exceptions into failures."""
+    try:
+        return fn()
+    except Exception as e:
+        return CheckResult(
+            spec, check, mode, False, f"raised {type(e).__name__}: {e}"
+        )
+
+
+def _dense_mttkrp(tensor, factor: np.ndarray) -> np.ndarray:
+    dense = tensor.to_dense()
+    subs = "abcdefgh"[: tensor.order]
+    spec = subs + "," + ",".join(f"{s}r" for s in subs[1:])
+    return np.einsum(spec + "->" + subs[0] + "r", dense, *([factor] * (tensor.order - 1)))
+
+
+def run_workload_checks(
+    gen: GeneratedWorkload,
+    ctx: ExecContext,
+    *,
+    include_process: bool = False,
+    dense_limit: int = DENSE_LIMIT,
+) -> List[CheckResult]:
+    """Run the full differential matrix for one workload.
+
+    ``ctx`` carries the case's budget/collector/plan cache; kernels are
+    invoked with it explicitly (it is never installed ambiently, so the
+    dense reference materializations stay outside the budget). The
+    returned list contains one :class:`CheckResult` per executed check;
+    infeasible checks (dense reference too large, parallel on an empty
+    tensor) are skipped, not failed.
+    """
+    x, u, spec = gen.tensor, gen.factor, gen.spec.spec
+    order, dim, rank = gen.spec.order, gen.spec.dim, gen.spec.rank
+    unnz = x.unnz
+    cols = sym_storage_size(order - 1, rank)
+    dense_ok = dense_size(order, dim) <= dense_limit
+    results: List[CheckResult] = []
+
+    # Canonical path: serial compact kernel, plan memoized on the tensor.
+    y_p = s3ttmc(x, u, ctx=ctx)
+    canonical = y_p.data
+    y_full = y_p.to_full_unfolding()
+
+    if dense_ok:
+        dense_y = dense_s3ttmc_matrix(x, u)
+        results.append(
+            _compare(spec, "compact-vs-dense", "allclose", y_full, dense_y)
+        )
+        results.append(
+            _guarded(
+                spec,
+                "cp-vs-dense",
+                "allclose",
+                lambda: _compare(
+                    spec,
+                    "cp-vs-dense",
+                    "allclose",
+                    symmetric_mttkrp(x, u),
+                    _dense_mttkrp(x, u),
+                ),
+            )
+        )
+        results.append(
+            _guarded(
+                spec,
+                "tc-vs-dense",
+                "allclose",
+                lambda: _compare(
+                    spec,
+                    "tc-vs-dense",
+                    "allclose",
+                    s3ttmc_tc(x, u, ctx=ctx).a,
+                    dense_s3ttmc_tc(x, u),
+                ),
+            )
+        )
+
+    # Property 1: full (CSS) layout equals the expanded compact result.
+    results.append(
+        _guarded(
+            spec,
+            "full-vs-compact",
+            "allclose",
+            lambda: _compare(
+                spec,
+                "full-vs-compact",
+                "allclose",
+                css_s3ttmc(x, u, ctx=ctx),
+                y_full,
+            ),
+        )
+    )
+    # TC on the full layout equals TC on the compact layout.
+    results.append(
+        _guarded(
+            spec,
+            "tc-full-vs-compact",
+            "allclose",
+            lambda: _compare(
+                spec,
+                "tc-full-vs-compact",
+                "allclose",
+                css_s3ttmc_tc(x, u, ctx=ctx),
+                s3ttmc_tc(x, u, ctx=ctx).a,
+            ),
+        )
+    )
+
+    def kernel(**kwargs) -> np.ndarray:
+        return lattice_ttmc(
+            x.indices, x.values, dim, u, intermediate="compact", ctx=ctx, **kwargs
+        )
+
+    # Plan reuse: same plan object across calls, and an independently
+    # rebuilt plan, both bitwise against the canonical run.
+    plan = build_plan(x.indices, "global", None)
+    results.append(
+        _guarded(
+            spec,
+            "plan-reuse",
+            "bitwise",
+            lambda: _compare(
+                spec, "plan-reuse", "bitwise", kernel(plan=plan), canonical
+            ),
+        )
+    )
+    results.append(
+        _guarded(
+            spec,
+            "plan-rebuild",
+            "bitwise",
+            lambda: _compare(
+                spec,
+                "plan-rebuild",
+                "bitwise",
+                kernel(plan=build_plan(x.indices, "global", None)),
+                canonical,
+            ),
+        )
+    )
+
+    # Reordered-summation paths: batching, memoization scope, forced
+    # non-hoisted gathers (tiny block_bytes also splits the scatter).
+    if unnz > 0:
+        batch = max(1, unnz // 3)
+        results.append(
+            _guarded(
+                spec,
+                "nz-batch",
+                "allclose",
+                lambda: _compare(
+                    spec,
+                    "nz-batch",
+                    "allclose",
+                    kernel(nz_batch_size=batch),
+                    canonical,
+                ),
+            )
+        )
+    results.append(
+        _guarded(
+            spec,
+            "memoize-nonzero",
+            "allclose",
+            lambda: _compare(
+                spec,
+                "memoize-nonzero",
+                "allclose",
+                kernel(memoize="nonzero"),
+                canonical,
+            ),
+        )
+    )
+    results.append(
+        _guarded(
+            spec,
+            "nohoist-tiny-blocks",
+            "allclose",
+            lambda: _compare(
+                spec,
+                "nohoist-tiny-blocks",
+                "allclose",
+                kernel(block_bytes=2048),
+                canonical,
+            ),
+        )
+    )
+
+    # out= / out_row_map= accumulation: same operations, same order.
+    def _out_case() -> CheckResult:
+        out = np.zeros((dim, cols), dtype=np.float64)
+        kernel(out=out)
+        return _compare(spec, "out-accumulate", "bitwise", out, canonical)
+
+    results.append(_guarded(spec, "out-accumulate", "bitwise", _out_case))
+
+    def _row_map_identity() -> CheckResult:
+        out = np.zeros((dim, cols), dtype=np.float64)
+        kernel(out=out, out_row_map=np.arange(dim, dtype=np.int64))
+        return _compare(spec, "out-row-map-identity", "bitwise", out, canonical)
+
+    results.append(
+        _guarded(spec, "out-row-map-identity", "bitwise", _row_map_identity)
+    )
+
+    if unnz >= 2:
+
+        def _row_map_blocks() -> CheckResult:
+            from ..parallel.executor import chunk_row_block
+
+            acc = np.zeros((dim, cols), dtype=np.float64)
+            mid = unnz // 2
+            for start, stop in ((0, mid), (mid, unnz)):
+                rows, row_map = chunk_row_block(x.indices[start:stop], dim)
+                block = np.zeros((rows.shape[0], cols), dtype=np.float64)
+                lattice_ttmc(
+                    x.indices[start:stop],
+                    x.values[start:stop],
+                    dim,
+                    u,
+                    intermediate="compact",
+                    out=block,
+                    out_row_map=row_map,
+                    ctx=ctx,
+                )
+                acc[rows] += block
+            return _compare(spec, "out-row-map-blocks", "allclose", acc, canonical)
+
+        results.append(
+            _guarded(spec, "out-row-map-blocks", "allclose", _row_map_blocks)
+        )
+
+    # Error contracts — misuse must raise, never corrupt.
+    results.append(
+        _expect_raises(
+            spec,
+            "rejects-float32-out",
+            lambda: kernel(out=np.zeros((dim, cols), dtype=np.float32)),
+            ValueError,
+        )
+    )
+    results.append(
+        _expect_raises(
+            spec,
+            "rejects-int-out",
+            lambda: kernel(out=np.zeros((dim, cols), dtype=np.int64)),
+            ValueError,
+        )
+    )
+    touched = np.unique(x.indices) if unnz else np.zeros(0, dtype=np.int64)
+    if touched.size >= 1:
+
+        def _unmapped() -> object:
+            # Map every touched row except the last; the engine must
+            # refuse the -1 instead of wrapping to local row -1.
+            row_map = np.full(dim, -1, dtype=np.int64)
+            kept = touched[:-1]
+            row_map[kept] = np.arange(kept.shape[0], dtype=np.int64)
+            out = np.zeros((max(kept.shape[0], 1), cols), dtype=np.float64)
+            return kernel(out=out, out_row_map=row_map)
+
+        results.append(
+            _expect_raises(spec, "rejects-unmapped-rows", _unmapped, ValueError)
+        )
+    if unnz >= 1 and dim >= 2:
+        alt = np.sort((x.indices + 1) % dim, axis=1)
+        perm = np.lexsort(alt.T[::-1])
+        alt = alt[perm]
+        if alt.tobytes() != x.indices.tobytes():
+            stale = build_plan(alt, "global", None)
+            results.append(
+                _expect_raises(
+                    spec,
+                    "rejects-stale-plan",
+                    lambda: kernel(plan=stale),
+                    ValueError,
+                )
+            )
+
+    # Parallel backends: blocked reduction is slot-ordered, so all
+    # backends must agree bitwise with each other; against the unchunked
+    # kernel the partition reorders summation (allclose). Tree reduction
+    # reorders too.
+    if unnz > 0:
+        n_workers = 3
+
+        def _parallel(backend: str, reduction: str) -> np.ndarray:
+            report = ParallelRunReport()
+            return parallel_s3ttmc(
+                x,
+                u,
+                n_workers,
+                backend=backend,
+                reduction=reduction,
+                report=report,
+                ctx=ctx,
+            ).data
+
+        def _blocked_matrix() -> List[CheckResult]:
+            out: List[CheckResult] = []
+            base = _parallel("serial", "blocked")
+            out.append(
+                _compare(
+                    spec, "parallel:serial:blocked", "allclose", base, canonical
+                )
+            )
+            out.append(
+                _compare(
+                    spec,
+                    "parallel:thread:blocked",
+                    "bitwise",
+                    _parallel("thread", "blocked"),
+                    base,
+                )
+            )
+            if include_process:
+                out.append(
+                    _compare(
+                        spec,
+                        "parallel:process:blocked",
+                        "bitwise",
+                        _parallel("process", "blocked"),
+                        base,
+                    )
+                )
+            out.append(
+                _compare(
+                    spec,
+                    "parallel:thread:tree",
+                    "allclose",
+                    _parallel("thread", "tree"),
+                    canonical,
+                )
+            )
+            return out
+
+        try:
+            results.extend(_blocked_matrix())
+        except Exception as e:
+            results.append(
+                CheckResult(
+                    spec,
+                    "parallel:matrix",
+                    "allclose",
+                    False,
+                    f"raised {type(e).__name__}: {e}",
+                )
+            )
+    return results

@@ -1,0 +1,108 @@
+"""Suite driver for the differential oracle.
+
+:func:`run_case` gives one workload a private execution context (its own
+accounting-only budget, trace collector and plan cache), runs the full
+differential matrix plus the post-case invariants, and returns the
+results. :func:`run_suite` maps that over the seeded workload matrix for
+a config (``smoke`` / ``full``), prepends the budget-preflight canary,
+and folds everything into a :class:`VerifyReport` whose failure section
+is a list of copy-pasteable repro lines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from ..obs.trace import TraceCollector
+from ..runtime.budget import MemoryBudget
+from ..runtime.context import ExecContext
+from .generators import Workload, generate, workloads_for
+from .invariants import check_budget_preflight, run_case_invariants
+from .oracles import CheckResult, run_workload_checks
+
+__all__ = ["VerifyReport", "run_case", "run_suite"]
+
+
+@dataclass
+class VerifyReport:
+    """Aggregated outcome of a verification run."""
+
+    results: List[CheckResult] = field(default_factory=list)
+
+    @property
+    def failures(self) -> List[CheckResult]:
+        return [r for r in self.results if not r.ok]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    @property
+    def n_cases(self) -> int:
+        return len({r.spec for r in self.results})
+
+    def summary(self) -> str:
+        return (
+            f"{len(self.results)} checks over {self.n_cases} cases: "
+            f"{len(self.results) - len(self.failures)} passed, "
+            f"{len(self.failures)} failed"
+        )
+
+    def format_failures(self) -> str:
+        """One block per failure: what diverged, and the line to rerun it."""
+        blocks = []
+        for r in self.failures:
+            detail = f"\n    {r.detail}" if r.detail else ""
+            blocks.append(
+                f"FAIL [{r.mode}] {r.check} on {r.spec}{detail}\n    repro: {r.repro}"
+            )
+        return "\n".join(blocks)
+
+
+def run_case(
+    spec: Workload,
+    *,
+    include_process: bool = False,
+    check: Optional[str] = None,
+) -> List[CheckResult]:
+    """Run one workload's full check matrix in a private context.
+
+    The budget is accounting-only (no limit) so the drain invariant sees
+    every request/release pair without refusing any; the collector and
+    plan cache are fresh, so invariants observe only this case. ``check``
+    filters the returned results to one named check (substring-exact on
+    the check name).
+    """
+    gen = generate(spec)
+    ctx = ExecContext(budget=MemoryBudget(), collector=TraceCollector())
+    results = run_workload_checks(gen, ctx, include_process=include_process)
+    results.extend(run_case_invariants(gen, ctx))
+    if check is not None:
+        results = [r for r in results if r.check == check]
+    return results
+
+
+def run_suite(
+    config: str = "smoke",
+    *,
+    seeds: int = 2,
+    base_seed: int = 0,
+    include_process: bool = False,
+    check: Optional[str] = None,
+    on_case: Optional[Callable[[Workload, List[CheckResult]], None]] = None,
+) -> VerifyReport:
+    """Run the whole seeded matrix for a config.
+
+    ``on_case`` is a progress hook called after each case with its spec
+    and results (the CLI uses it for live per-case lines).
+    """
+    report = VerifyReport()
+    if check is None or check == "budget-preflight":
+        report.results.append(check_budget_preflight())
+    for spec in workloads_for(config, seeds=seeds, base_seed=base_seed):
+        results = run_case(spec, include_process=include_process, check=check)
+        report.results.extend(results)
+        if on_case is not None:
+            on_case(spec, results)
+    return report

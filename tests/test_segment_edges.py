@@ -1,0 +1,117 @@
+"""Edge cases for the vectorized segment reductions (repro.core._segment).
+
+``segment_sum_by_ptr`` papers over ``np.add.reduceat``'s empty-segment
+misbehaviour; ``scatter_add_rows`` reimplements ``np.add.at`` via
+sort-and-reduce. Both are cross-checked against loop/``np.add.at``
+references on the degenerate shapes the kernels can produce.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core._segment import scatter_add_rows, segment_sum_by_ptr
+
+
+def _segment_ref(contrib, node_ptr):
+    n = node_ptr.shape[0] - 1
+    out = np.zeros((n,) + contrib.shape[1:], dtype=contrib.dtype)
+    for i in range(n):
+        out[i] = contrib[node_ptr[i] : node_ptr[i + 1]].sum(axis=0)
+    return out
+
+
+def _check_segment(contrib, node_ptr):
+    node_ptr = np.asarray(node_ptr, dtype=np.int64)
+    got = segment_sum_by_ptr(contrib, node_ptr)
+    ref = _segment_ref(contrib, node_ptr)
+    assert got.shape == ref.shape
+    np.testing.assert_array_equal(got, ref)
+
+
+def _rows(n, width=3, seed=0):
+    rng = np.random.default_rng(seed)
+    # Integer-valued doubles: every summation order is exact, so the
+    # references compare bitwise.
+    return rng.integers(-50, 50, size=(n, width)).astype(np.float64)
+
+
+class TestSegmentSumByPtr:
+    def test_zero_nodes(self):
+        out = segment_sum_by_ptr(_rows(0), np.array([0]))
+        assert out.shape == (0, 3)
+
+    def test_single_node(self):
+        _check_segment(_rows(5), [0, 5])
+
+    def test_leading_empty_segment(self):
+        _check_segment(_rows(5), [0, 0, 2, 5])
+
+    def test_trailing_empty_segment(self):
+        _check_segment(_rows(4), [0, 2, 4, 4])
+
+    def test_interior_empty_runs(self):
+        _check_segment(_rows(6), [0, 1, 1, 1, 4, 4, 6])
+
+    def test_all_segments_empty(self):
+        _check_segment(_rows(0), [0, 0, 0, 0])
+
+    def test_zero_edges_nonzero_nodes(self):
+        out = segment_sum_by_ptr(_rows(0), np.array([0, 0, 0]))
+        np.testing.assert_array_equal(out, np.zeros((2, 3)))
+
+    def test_singleton_segments(self):
+        _check_segment(_rows(4), [0, 1, 2, 3, 4])
+
+    def test_random_against_reference(self):
+        rng = np.random.default_rng(7)
+        for _ in range(20):
+            n_nodes = int(rng.integers(1, 8))
+            lens = rng.integers(0, 4, size=n_nodes)
+            node_ptr = np.concatenate([[0], np.cumsum(lens)])
+            _check_segment(_rows(int(node_ptr[-1]), seed=int(rng.integers(1e6))), node_ptr)
+
+
+class TestScatterAddRows:
+    def _check(self, rows, contrib, n_out=None):
+        rows = np.asarray(rows, dtype=np.int64)
+        n_out = int(rows.max()) + 1 if n_out is None else n_out
+        got = np.zeros((n_out,) + contrib.shape[1:])
+        ref = got.copy()
+        scatter_add_rows(got, rows, contrib)
+        np.add.at(ref, rows, contrib)
+        np.testing.assert_array_equal(got, ref)
+
+    def test_empty_rows_is_noop(self):
+        out = np.ones((3, 2))
+        scatter_add_rows(out, np.zeros(0, dtype=np.int64), np.zeros((0, 2)))
+        np.testing.assert_array_equal(out, np.ones((3, 2)))
+
+    def test_single_row(self):
+        self._check([2], _rows(1))
+
+    def test_all_rows_identical(self):
+        self._check([1, 1, 1, 1], _rows(4))
+
+    def test_duplicate_heavy(self):
+        rng = np.random.default_rng(3)
+        rows = rng.integers(0, 3, size=64)
+        self._check(rows, _rows(64, seed=4))
+
+    def test_unsorted_rows(self):
+        self._check([5, 0, 5, 2, 0, 5], _rows(6))
+
+    def test_accumulates_into_existing(self):
+        out = np.full((4, 2), 10.0)
+        contrib = _rows(3, width=2)
+        rows = np.array([0, 3, 0], dtype=np.int64)
+        scatter_add_rows(out, rows, contrib)
+        ref = np.full((4, 2), 10.0)
+        np.add.at(ref, rows, contrib)
+        np.testing.assert_array_equal(out, ref)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_against_add_at(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 100))
+        rows = rng.integers(0, 10, size=n)
+        self._check(rows, _rows(n, width=5, seed=seed + 100), n_out=10)

@@ -1,0 +1,172 @@
+"""Tests for the repro.verify differential oracle itself."""
+
+import numpy as np
+import pytest
+
+from repro.verify import Workload, generate, run_case, workloads_for
+from repro.verify.__main__ import main as verify_main
+from repro.verify.oracles import CheckResult, _compare, max_ulp_diff
+from repro.verify.runner import VerifyReport
+
+
+class TestWorkloadSpecs:
+    def test_spec_round_trip(self):
+        w = Workload(order=4, dim=9, rank=3, unnz=17, dist="skewed", seed=5)
+        assert Workload.from_spec(w.spec) == w
+
+    def test_spec_parsing_accepts_spaces(self):
+        w = Workload.from_spec("order=3 dim=6 rank=2 unnz=4 dist=uniform seed=1")
+        assert (w.order, w.dim, w.seed) == (3, 6, 1)
+
+    def test_spec_missing_field_raises(self):
+        with pytest.raises(ValueError, match="missing"):
+            Workload.from_spec("order=3,dim=6")
+
+    def test_unknown_dist_raises(self):
+        with pytest.raises(ValueError, match="dist"):
+            Workload(order=3, dim=6, rank=2, unnz=4, dist="weird")
+
+    def test_generation_is_seed_deterministic(self):
+        w = Workload(order=3, dim=8, rank=3, unnz=15, dist="skewed", seed=9)
+        a, b = generate(w), generate(w)
+        np.testing.assert_array_equal(a.tensor.indices, b.tensor.indices)
+        np.testing.assert_array_equal(a.tensor.values, b.tensor.values)
+        np.testing.assert_array_equal(a.factor, b.factor)
+
+    def test_distinct_dist_is_all_distinct(self):
+        g = generate(Workload(order=4, dim=8, rank=2, unnz=12, dist="distinct"))
+        assert g.all_distinct
+        assert (np.diff(g.tensor.indices, axis=1) > 0).all()
+
+    def test_degenerate_dists(self):
+        assert generate(Workload(3, 6, 2, 99, dist="empty")).tensor.unnz == 0
+        assert generate(Workload(3, 6, 2, 99, dist="single")).tensor.unnz == 1
+        eq = generate(Workload(3, 5, 2, 4, dist="allequal")).tensor.indices
+        assert (eq == eq[:, :1]).all()
+
+    def test_matrix_contains_degenerates(self):
+        specs = workloads_for("smoke", seeds=1)
+        dists = {w.dist for w in specs}
+        assert {"empty", "single", "allequal", "distinct"} <= dists
+        assert {w.order for w in specs} == {3, 4, 5, 6}
+        assert any(w.rank == 1 for w in specs)
+        assert any(w.dim == 1 for w in specs)
+
+    def test_unknown_config_raises(self):
+        with pytest.raises(ValueError, match="config"):
+            workloads_for("nightly")
+
+
+class TestComparisons:
+    def test_max_ulp_identical_is_zero(self):
+        a = np.array([1.0, -2.5, 0.0])
+        assert max_ulp_diff(a, a.copy()) == 0.0
+
+    def test_max_ulp_one_step(self):
+        a = np.array([1.0])
+        b = np.nextafter(a, 2.0)
+        assert max_ulp_diff(a, b) == pytest.approx(1.0)
+
+    def test_bitwise_detects_single_ulp(self):
+        a = np.array([1.0, 2.0])
+        b = np.array([1.0, np.nextafter(2.0, 3.0)])
+        assert _compare("s", "c", "bitwise", a, a.copy()).ok
+        r = _compare("s", "c", "bitwise", b, a)
+        assert not r.ok and "ulp" in r.detail
+
+    def test_allclose_tolerates_reordering_noise(self):
+        a = np.array([1e3, -2e3])
+        b = a + 1e-10
+        assert _compare("s", "c", "allclose", b, a).ok
+
+    def test_allclose_rejects_real_divergence(self):
+        a = np.array([1.0, 2.0])
+        r = _compare("s", "c", "allclose", a + 1e-3, a)
+        assert not r.ok and "tol" in r.detail
+
+    def test_shape_mismatch_fails(self):
+        assert not _compare("s", "c", "allclose", np.ones(2), np.ones(3)).ok
+
+    def test_repro_line_format(self):
+        r = CheckResult("order=3,dim=6,rank=2,unnz=4,dist=uniform,seed=1",
+                        "plan-reuse", "bitwise", False)
+        assert r.repro == (
+            'python -m repro.verify --case '
+            '"order=3,dim=6,rank=2,unnz=4,dist=uniform,seed=1" '
+            '--check plan-reuse'
+        )
+
+
+class TestRunner:
+    def test_run_case_all_pass(self):
+        results = run_case(Workload(order=3, dim=6, rank=3, unnz=12, seed=2))
+        assert results
+        bad = [r for r in results if not r.ok]
+        assert not bad, "\n".join(r.repro + " " + r.detail for r in bad)
+        checks = {r.check for r in results}
+        assert "plan-reuse" in checks
+        assert "rejects-stale-plan" in checks
+        assert "budget-drained" in checks
+
+    def test_run_case_check_filter(self):
+        results = run_case(
+            Workload(order=3, dim=6, rank=3, unnz=12, seed=2), check="plan-reuse"
+        )
+        assert [r.check for r in results] == ["plan-reuse"]
+
+    def test_empty_tensor_case(self):
+        results = run_case(Workload(order=3, dim=6, rank=3, unnz=0, dist="empty"))
+        assert results and all(r.ok for r in results)
+
+    def test_report_failure_formatting(self):
+        report = VerifyReport(
+            results=[
+                CheckResult("spec=x", "good", "bitwise", True),
+                CheckResult("spec=x", "bad", "allclose", False, "off by 1"),
+            ]
+        )
+        assert not report.ok
+        text = report.format_failures()
+        assert "bad" in text and "repro:" in text and "off by 1" in text
+        assert "good" not in text
+        assert "1 failed" in report.summary()
+
+
+class TestCli:
+    def test_cli_single_case_passes(self, capsys):
+        rc = verify_main(
+            ["--case", "order=3,dim=6,rank=3,unnz=10,dist=uniform,seed=0"]
+        )
+        assert rc == 0
+        assert "0 failed" in capsys.readouterr().out
+
+    def test_cli_check_filter(self, capsys):
+        rc = verify_main(
+            [
+                "--case",
+                "order=3,dim=6,rank=3,unnz=10,dist=uniform,seed=0",
+                "--check",
+                "plan-reuse",
+            ]
+        )
+        assert rc == 0
+        assert "1 checks" in capsys.readouterr().out
+
+    def test_cli_unknown_check_is_distinct_exit_code(self, capsys):
+        rc = verify_main(
+            [
+                "--case",
+                "order=3,dim=6,rank=3,unnz=10,dist=uniform,seed=0",
+                "--check",
+                "no-such-check",
+            ]
+        )
+        assert rc == 2
+
+    def test_cli_bad_spec_errors(self):
+        with pytest.raises(SystemExit):
+            verify_main(["--case", "order=3"])
+
+    def test_cli_budget_preflight_only(self, capsys):
+        rc = verify_main(["--config", "smoke", "--check", "budget-preflight", "-q"])
+        assert rc == 0

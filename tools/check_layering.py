@@ -44,6 +44,7 @@ LAYERS = {
     "data": 8,
     "apps": 8,
     "validation": 8,
+    "verify": 8,
     "bench": 9,
 }
 
