@@ -23,7 +23,7 @@ from typing import Callable, Dict, Optional
 
 import numpy as np
 
-from repro.bench.harness import maybe_trace
+from repro.bench.harness import maybe_profile, maybe_trace
 from repro.bench.records import Measurement, SeriesTable
 from repro.decomp.hosvd import random_init
 from repro.perfmodel.memory import kernel_footprint, suggest_nz_batch
@@ -94,13 +94,14 @@ def measure_cell(
         return EstimatedMeasurement(seconds=flops / rate, note="estimated")
 
     try:
-        # maybe_trace honours REPRO_TRACE=path.jsonl: every cell of every
-        # benchmark appends its span/metric records with zero script changes.
-        # Each cell runs under its own ExecContext (fresh budget, the trace
-        # collector when tracing) so cells never share peaks or records;
-        # format/plan construction in build() shares the budget with the
-        # timed repeats, as the paper's pre-built formats do.
-        with maybe_trace() as collector:
+        # maybe_trace honours REPRO_TRACE=path.jsonl and maybe_profile
+        # REPRO_PROFILE=path: every cell of every benchmark appends its
+        # span/metric records and folded stack samples with zero script
+        # changes. Each cell runs under its own ExecContext (fresh budget,
+        # the trace collector when tracing) so cells never share peaks or
+        # records; format/plan construction in build() shares the budget
+        # with the timed repeats, as the paper's pre-built formats do.
+        with maybe_trace() as collector, maybe_profile():
             with ExecContext(
                 budget=MemoryBudget(gigabytes=budget_gb), collector=collector
             ):

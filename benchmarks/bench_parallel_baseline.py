@@ -8,8 +8,21 @@ regenerate on a multi-core runner to see real process-backend speedup:
 
     PYTHONPATH=src python benchmarks/bench_parallel_baseline.py
 
-Environment knobs: ``REPRO_BENCH_TINY=1`` shrinks the workload to CI-smoke
-size; ``REPRO_BASELINE_WORKERS`` overrides the worker count.
+Schema v2: every timing is a *phase* — a named list of samples with
+median and MAD (median absolute deviation) — so the regression gate
+(``tools/bench_regress.py``) can scale its allowed delta by observed
+noise instead of tripping on timer jitter. Phases: ``plain_kernel``
+plus ``{backend}.cold`` / ``{backend}.warm`` / ``{backend}.plan_build``.
+
+Environment knobs: ``REPRO_BENCH_TINY=1`` shrinks the workload to
+CI-smoke size; ``REPRO_BASELINE_WORKERS`` overrides the worker count;
+``REPRO_BASELINE_REPEATS`` the warm-sample count (default 3);
+``REPRO_BASELINE_OUT`` redirects the output file (so regression runs
+can compare a fresh snapshot against the committed one);
+``REPRO_PROFILE=path`` samples the whole run — running the baseline
+once with and once without it is the profiler-overhead demonstration in
+CI; and ``REPRO_TRACE=path.jsonl`` opens spans (and writes the trace),
+which also gives the profiler attributed stacks to fold.
 """
 
 from __future__ import annotations
@@ -29,6 +42,9 @@ import numpy as np  # noqa: E402
 from repro.core.s3ttmc import s3ttmc  # noqa: E402
 from repro.data.synthetic import random_sparse_symmetric  # noqa: E402
 from repro.decomp.hosvd import random_init  # noqa: E402
+from repro.bench.harness import maybe_trace  # noqa: E402
+from repro.obs.profile import profiler_from_env  # noqa: E402
+from repro.obs.regress import phase_stats  # noqa: E402
 from repro.parallel import (  # noqa: E402
     ParallelRunReport,
     make_backend,
@@ -37,7 +53,7 @@ from repro.parallel import (  # noqa: E402
 
 TINY = os.environ.get("REPRO_BENCH_TINY", "") not in ("", "0")
 BACKENDS = ("serial", "thread", "process")
-WARM_REPEATS = 3
+WARM_REPEATS = int(os.environ.get("REPRO_BASELINE_REPEATS", "3"))
 
 
 def _workload():
@@ -46,7 +62,16 @@ def _workload():
     return dict(order=4, dim=300, unnz=5_000, rank=8)
 
 
-def _bench_backend(name, tensor, factor, n_workers):
+def _phase(samples) -> dict:
+    """One schema-v2 phase entry: raw samples plus their median/MAD."""
+    samples = [round(float(s), 6) for s in samples]
+    stats = phase_stats(samples)
+    entry = stats.to_dict()
+    entry["samples"] = samples
+    return entry
+
+
+def _bench_backend(name, tensor, factor, n_workers, phases):
     # Fresh tensor copy per backend so each pays its own plan build (the
     # chunk-plan cache lives on the tensor object). The backend instance is
     # kept alive across calls — the decomposition-loop usage pattern, and
@@ -61,24 +86,24 @@ def _bench_backend(name, tensor, factor, n_workers):
         parallel_s3ttmc(local, factor, backend=backend, report=cold)
         cold_seconds = time.perf_counter() - tick
 
-        warm_seconds = np.inf
+        warm_samples = []
         warm = ParallelRunReport()
-        for _ in range(WARM_REPEATS):
-            report = ParallelRunReport()
+        for _ in range(max(1, WARM_REPEATS)):
+            warm = ParallelRunReport()
             tick = time.perf_counter()
-            parallel_s3ttmc(local, factor, backend=backend, report=report)
-            elapsed = time.perf_counter() - tick
-            if elapsed < warm_seconds:
-                warm_seconds, warm = elapsed, report
+            parallel_s3ttmc(local, factor, backend=backend, report=warm)
+            warm_samples.append(time.perf_counter() - tick)
+    phases[f"{name}.cold"] = _phase([cold_seconds])
+    phases[f"{name}.warm"] = _phase(warm_samples)
+    phases[f"{name}.plan_build"] = _phase([cold.plan_build_seconds])
     return {
-        "cold_seconds": round(cold_seconds, 6),
-        "warm_seconds": round(warm_seconds, 6),
-        "plan_build_seconds": round(cold.plan_build_seconds, 6),
         "plan_cache_misses_cold": cold.plan_cache_misses,
         "plan_cache_hits_warm": warm.plan_cache_hits,
         "plan_cache_misses_warm": warm.plan_cache_misses,
         "n_chunks": len(cold.ranges),
         "reduction": cold.reduction,
+        "worker_utilization": round(warm.utilization(), 4),
+        "critical_path_seconds": round(warm.critical_path_seconds(), 6),
     }
 
 
@@ -94,20 +119,36 @@ def main() -> None:
     )
     factor = random_init(spec["dim"], spec["rank"], np.random.default_rng(0))
 
-    # Reference: the plain serial kernel (no chunking at all).
-    s3ttmc(tensor, factor)  # warm the whole-tensor plan
-    kernel_seconds = np.inf
-    for _ in range(WARM_REPEATS):
-        tick = time.perf_counter()
-        s3ttmc(tensor, factor)
-        kernel_seconds = min(kernel_seconds, time.perf_counter() - tick)
+    # REPRO_PROFILE alone measures the sampler thread's own cost (spans
+    # only open under a collector, so the samples are unattributed/idle
+    # — exactly what the CI overhead demonstration compares). Add
+    # REPRO_TRACE to open spans and get attributed folded stacks; that
+    # measures tracing's span-bookkeeping cost too, which on the tiny
+    # workload's sub-millisecond phases is *not* below the noise floor.
+    profiler = profiler_from_env()
+    if profiler is not None:
+        profiler.start()
+    try:
+        with maybe_trace():
+            # Reference: the plain serial kernel (no chunking at all).
+            s3ttmc(tensor, factor)  # warm the whole-tensor plan
+            kernel_samples = []
+            for _ in range(max(1, WARM_REPEATS)):
+                tick = time.perf_counter()
+                s3ttmc(tensor, factor)
+                kernel_samples.append(time.perf_counter() - tick)
 
-    backends = {
-        name: _bench_backend(name, tensor, factor, n_workers)
-        for name in BACKENDS
-    }
+            phases = {"plain_kernel": _phase(kernel_samples)}
+            backends = {
+                name: _bench_backend(name, tensor, factor, n_workers, phases)
+                for name in BACKENDS
+            }
+    finally:
+        if profiler is not None:
+            profiler.stop()
 
     payload = {
+        "schema": 2,
         "generated_by": "benchmarks/bench_parallel_baseline.py",
         "host": {
             "cpu_count": os.cpu_count(),
@@ -116,18 +157,21 @@ def main() -> None:
             "numpy": np.__version__,
         },
         "workload": {**spec, "n_workers": n_workers, "tiny": TINY},
-        "plain_kernel_seconds": round(float(kernel_seconds), 6),
+        "phases": phases,
         "backends": backends,
         "notes": (
-            "warm_seconds is best-of-3 with chunk plans cached (the "
-            "per-iteration steady state); cold_seconds includes plan "
-            "builds and, for the process backend, worker startup and "
-            "shared-memory shipping. On a single-core host the process "
-            "backend cannot beat serial; the file records overheads, "
-            "not speedup."
+            "Each phase is median/MAD over its samples; warm phases use "
+            f"{max(1, WARM_REPEATS)} repeats with chunk plans cached (the "
+            "per-iteration steady state), cold phases are single-sample "
+            "and include plan builds and, for the process backend, worker "
+            "startup and shared-memory shipping. On a single-core host "
+            "the process backend cannot beat serial; the file records "
+            "overheads, not speedup."
         ),
     }
-    out = REPO_ROOT / "BENCH_parallel.json"
+    out = Path(
+        os.environ.get("REPRO_BASELINE_OUT", "") or REPO_ROOT / "BENCH_parallel.json"
+    )
     out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
     print(json.dumps(payload, indent=2))
     print(f"\nwrote {out}")

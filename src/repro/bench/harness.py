@@ -11,6 +11,10 @@ Setting ``REPRO_TRACE=path.jsonl`` makes every measurement run under a
 that file — existing benchmark scripts gain trace output with zero code
 changes (``python -m repro.obs summarize path.jsonl`` to inspect).
 
+Setting ``REPRO_PROFILE=path[:interval_ms]`` additionally runs every
+measurement under the :class:`repro.obs.SamplingProfiler`, appending
+folded span-stack samples (flamegraph input) to ``path``.
+
 Setting ``REPRO_FAULTS`` (e.g. ``"chunk:crash:slot=0"``; see
 :func:`repro.runtime.faults.parse_fault_specs`) arms deterministic fault
 injection on every measurement's context, so recovery overhead can be
@@ -25,7 +29,7 @@ import warnings
 from contextlib import contextmanager
 from typing import Callable, Iterator, Optional
 
-from ..obs import TraceCollector
+from ..obs import SamplingProfiler, TraceCollector, profiler_from_env
 from ..obs.export import write_trace
 from ..perfmodel.memory import kernel_footprint, suggest_nz_batch
 from ..runtime.budget import MemoryBudget, MemoryLimitError
@@ -38,6 +42,7 @@ __all__ = [
     "TRACE_ENV_VAR",
     "bench_repeats",
     "maybe_trace",
+    "maybe_profile",
     "timed_measurement",
     "guarded_kernel_measurement",
 ]
@@ -83,6 +88,23 @@ def maybe_trace() -> Iterator[Optional[TraceCollector]]:
             )
 
 
+@contextmanager
+def maybe_profile() -> Iterator[Optional[SamplingProfiler]]:
+    """Opt-in sampling-profiler scope: active when ``REPRO_PROFILE`` is set.
+
+    Mirrors :func:`maybe_trace`: folded samples are *appended* to the
+    configured path on exit (the profiler's own ``stop()`` flushes and
+    already downgrades write failures to warnings), so each measurement
+    adds its stacks to one growing flamegraph input.
+    """
+    profiler = profiler_from_env()
+    if profiler is None:
+        yield None
+        return
+    with profiler:
+        yield profiler
+
+
 def timed_measurement(
     fn: Callable[[], object],
     *,
@@ -100,7 +122,7 @@ def timed_measurement(
     """
     n = repeats if repeats is not None else bench_repeats()
     times = []
-    with maybe_trace() as collector:
+    with maybe_trace() as collector, maybe_profile():
         ctx = ExecContext(
             budget=MemoryBudget(gigabytes=budget_gb),
             collector=collector,

@@ -6,25 +6,38 @@ question in this reproduction. Three pieces:
 * :mod:`repro.obs.trace` — hierarchical spans with an ambient collector
   (near-zero overhead when disabled; thread-local span stacks).
 * :mod:`repro.obs.metrics` — counters, gauges, fixed-bucket histograms.
-* :mod:`repro.obs.export` — JSONL writer/reader and the per-phase /
-  per-lattice-level rollup (``python -m repro.obs summarize``).
+* :mod:`repro.obs.export` — JSONL writer/reader, the per-phase /
+  per-lattice-level rollup (``python -m repro.obs summarize``) and the
+  Chrome Trace Event exporter (``python -m repro.obs export-chrome``).
+* :mod:`repro.obs.profile` — background sampling profiler attributing
+  wall time to open span stacks; folded-stack output
+  (``REPRO_PROFILE=path``).
+* :mod:`repro.obs.attrib` — predicted-vs-measured attribution joining
+  spans against the perfmodel (``python -m repro.obs report``).
+* :mod:`repro.obs.regress` — noise-aware benchmark comparison behind
+  ``tools/bench_regress.py``.
 
 Wired in end-to-end: the lattice engine emits per-level spans, the
 decomposition loops emit per-iteration spans, ``PhaseTimer`` phases are
 spans, the memory budget emits request/release events, the parallel
 executor tags spans with worker/chunk ids, and the bench harness honours
-``REPRO_TRACE=path.jsonl``. See ``docs/observability.md``.
+``REPRO_TRACE=path.jsonl`` / ``REPRO_PROFILE=path``. See
+``docs/observability.md``.
 """
 
+from .attrib import AttributionReport, attribute, render_attribution
 from .export import (
     TraceRecords,
     TraceSummary,
+    chrome_trace,
     read_trace,
     render_summary,
     summarize,
+    write_chrome_trace,
     write_trace,
 )
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .profile import SamplingProfiler, profiler_from_env
 from .trace import (
     Span,
     TraceCollector,
@@ -33,6 +46,7 @@ from .trace import (
     current_span_id,
     event,
     open_span_depth,
+    snapshot_open_stacks,
     span,
     tracing_enabled,
 )
@@ -44,6 +58,7 @@ __all__ = [
     "active_collector",
     "current_span_id",
     "open_span_depth",
+    "snapshot_open_stacks",
     "event",
     "span",
     "tracing_enabled",
@@ -51,10 +66,17 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "SamplingProfiler",
+    "profiler_from_env",
+    "AttributionReport",
+    "attribute",
+    "render_attribution",
     "TraceRecords",
     "TraceSummary",
+    "chrome_trace",
     "read_trace",
     "render_summary",
     "summarize",
+    "write_chrome_trace",
     "write_trace",
 ]

@@ -4,6 +4,8 @@ Usage::
 
     python -m repro.obs summarize trace.jsonl
     python -m repro.obs summarize trace.jsonl --title "hooi run"
+    python -m repro.obs report trace.jsonl
+    python -m repro.obs export-chrome trace.jsonl [--out trace.chrome.json]
 """
 
 from __future__ import annotations
@@ -12,7 +14,33 @@ import argparse
 import sys
 from pathlib import Path
 
-from .export import read_trace, render_summary, summarize
+from .attrib import attribute, render_attribution
+from .export import (
+    read_trace,
+    render_summary,
+    summarize,
+    write_chrome_trace,
+)
+
+
+class _LoadError(Exception):
+    """Carries the exit code for an unreadable/empty trace file."""
+
+    def __init__(self, code: int) -> None:
+        super().__init__(code)
+        self.code = code
+
+
+def _load(path_str: str):
+    path = Path(path_str)
+    if not path.is_file():
+        print(f"trace file not found: {path}", file=sys.stderr)
+        raise _LoadError(2)
+    records = read_trace(path)
+    if not records.spans and not records.events:
+        print(f"no trace records in {path}", file=sys.stderr)
+        raise _LoadError(1)
+    return path, records
 
 
 def main(argv: list | None = None) -> int:
@@ -26,19 +54,48 @@ def main(argv: list | None = None) -> int:
     )
     p_sum.add_argument("trace", help="path to a JSONL trace file")
     p_sum.add_argument("--title", default=None, help="table title override")
+
+    p_rep = sub.add_parser(
+        "report",
+        help="performance attribution: per-level predicted-vs-measured "
+        "efficiency, critical path and worker utilization",
+    )
+    p_rep.add_argument("trace", help="path to a JSONL trace file")
+    p_rep.add_argument("--title", default=None, help="table title override")
+
+    p_chrome = sub.add_parser(
+        "export-chrome",
+        help="convert a trace to Chrome Trace Event JSON "
+        "(open in Perfetto / chrome://tracing / speedscope)",
+    )
+    p_chrome.add_argument("trace", help="path to a JSONL trace file")
+    p_chrome.add_argument(
+        "--out",
+        default=None,
+        help="output path (default: <trace>.chrome.json)",
+    )
     args = parser.parse_args(argv)
 
+    try:
+        path, records = _load(args.trace)
+    except _LoadError as exc:
+        return exc.code
     if args.command == "summarize":
-        path = Path(args.trace)
-        if not path.is_file():
-            print(f"trace file not found: {path}", file=sys.stderr)
-            return 2
-        records = read_trace(path)
-        if not records.spans and not records.events:
-            print(f"no trace records in {path}", file=sys.stderr)
-            return 1
         title = args.title if args.title is not None else path.name
         print(render_summary(summarize(records), title=title))
+        return 0
+    if args.command == "report":
+        title = args.title if args.title is not None else path.name
+        print(render_attribution(attribute(records), title=title))
+        return 0
+    if args.command == "export-chrome":
+        out = (
+            Path(args.out)
+            if args.out is not None
+            else path.with_suffix(path.suffix + ".chrome.json")
+        )
+        write_chrome_trace(records, out)
+        print(f"wrote {out}")
         return 0
     return 2  # pragma: no cover - argparse enforces the subcommand
 

@@ -33,6 +33,8 @@ __all__ = [
     "TraceSummary",
     "summarize",
     "render_summary",
+    "chrome_trace",
+    "write_chrome_trace",
 ]
 
 #: Span-name prefix the :class:`repro.runtime.timer.PhaseTimer` consumer
@@ -254,3 +256,142 @@ def render_summary(summary: TraceSummary, title: str = "trace summary") -> str:
         footer.append(f"phase total: {format_seconds(total)}")
     blocks.append("  ".join(footer))
     return "\n\n".join(blocks)
+
+
+# ---------------------------------------------------------------------------
+# Chrome Trace Event export
+# ---------------------------------------------------------------------------
+
+#: Event name the process backend emits when a worker's chunk lands; its
+#: attrs carry the worker id and the worker-side numeric seconds, which
+#: is all the parent process ever sees of the worker's timeline.
+CHUNK_DONE_EVENT = "parallel.chunk.done"
+
+
+def chrome_trace(records: Union[TraceRecords, TraceCollector]) -> dict:
+    """Convert a trace to Chrome Trace Event JSON (Perfetto/speedscope).
+
+    Spans become complete (``"ph": "X"``) events on one track per thread;
+    point events become instants. Process-backend workers never ship
+    their spans across the process boundary, but every finished chunk
+    reports a slot-tagged ``parallel.chunk.done`` event with its
+    worker-side numeric seconds — those are synthesized into ``X`` events
+    on per-worker tracks (``worker <id> (proc)``), so multi-process runs
+    still render a per-worker timeline. Timestamps are rebased to the
+    earliest record (``perf_counter`` origins are arbitrary) and
+    expressed in microseconds, as the format requires.
+    """
+    if isinstance(records, TraceCollector):
+        spans = [
+            {
+                "name": s.name,
+                "id": s.span_id,
+                "parent": s.parent_id,
+                "start": s.start,
+                "end": s.end,
+                "seconds": s.seconds,
+                "thread": s.thread,
+                "attrs": s.attrs,
+            }
+            for s in records.spans
+        ]
+        events = [
+            {
+                "name": e.name,
+                "ts": e.timestamp,
+                "parent": e.parent_id,
+                "thread": e.thread,
+                "attrs": e.attrs,
+            }
+            for e in records.events
+        ]
+    else:
+        spans = records.spans
+        events = records.events
+
+    stamps = [float(s.get("start") or 0.0) for s in spans]
+    stamps += [float(e.get("ts") or 0.0) for e in events]
+    base = min(stamps) if stamps else 0.0
+
+    def us(ts: float) -> float:
+        return round((ts - base) * 1e6, 3)
+
+    tids: Dict[str, int] = {}
+
+    def tid(track: str) -> int:
+        if track not in tids:
+            tids[track] = len(tids) + 1
+        return tids[track]
+
+    out: List[dict] = []
+    for s in spans:
+        attrs = dict(s.get("attrs") or {})
+        attrs["span_id"] = s.get("id")
+        if s.get("parent") is not None:
+            attrs["parent_id"] = s.get("parent")
+        out.append(
+            {
+                "name": s.get("name", ""),
+                "ph": "X",
+                "cat": "span",
+                "ts": us(float(s.get("start") or 0.0)),
+                "dur": round(float(s.get("seconds") or 0.0) * 1e6, 3),
+                "pid": 1,
+                "tid": tid(s.get("thread") or "main"),
+                "args": attrs,
+            }
+        )
+    for e in events:
+        attrs = dict(e.get("attrs") or {})
+        ts = float(e.get("ts") or 0.0)
+        out.append(
+            {
+                "name": e.get("name", ""),
+                "ph": "i",
+                "cat": "event",
+                "s": "t",
+                "ts": us(ts),
+                "pid": 1,
+                "tid": tid(e.get("thread") or "main"),
+                "args": attrs,
+            }
+        )
+        if e.get("name") == CHUNK_DONE_EVENT and "numeric_seconds" in attrs:
+            seconds = float(attrs.get("numeric_seconds") or 0.0)
+            track = f"worker {attrs.get('worker', '?')} (proc)"
+            out.append(
+                {
+                    "name": f"parallel.chunk[{attrs.get('chunk', '?')}]",
+                    "ph": "X",
+                    "cat": "span",
+                    # The done event fires when the parent receives the
+                    # result, so the chunk's execution window *ends* here.
+                    "ts": us(ts - seconds),
+                    "dur": round(seconds * 1e6, 3),
+                    "pid": 1,
+                    "tid": tid(track),
+                    "args": attrs,
+                }
+            )
+    meta = [
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": n,
+            "args": {"name": track},
+        }
+        for track, n in sorted(tids.items(), key=lambda kv: kv[1])
+    ]
+    return {"traceEvents": meta + out, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    records: Union[TraceRecords, TraceCollector], path: Union[str, Path]
+) -> Path:
+    """Serialize :func:`chrome_trace` output to ``path`` (JSON)."""
+    path = Path(path)
+    path.write_text(
+        json.dumps(chrome_trace(records), default=str) + "\n", encoding="utf-8"
+    )
+    return path

@@ -52,6 +52,19 @@ class Gauge:
             if value > self.max:
                 self.max = value
 
+    def add(self, delta: Number) -> None:
+        """Apply a delta under the gauge's own lock.
+
+        The safe form of ``g.set(g.value + delta)``: that read-modify-write
+        races when several threads track a shared quantity (e.g. budget
+        bytes in use across worker threads) — two concurrent adds would
+        both read the same old value and one delta would vanish.
+        """
+        with self._lock:
+            self.value += delta
+            if self.value > self.max:
+                self.max = self.value
+
     def update_max(self, value: Number) -> None:
         """Raise the high-water mark without moving the current value."""
         with self._lock:

@@ -1,0 +1,268 @@
+"""Noise-aware performance-regression comparison.
+
+A perf gate that fails on every wobble gets disabled within a week; one
+that averages away real 2× regressions is worse. The middle ground this
+module implements: benchmark phases are summarized as **median +
+dispersion** (median absolute deviation) over N repeats, and a phase
+only counts as regressed when its median moved by more than
+``max(threshold, noise_mult × relative dispersion)`` — i.e. the allowed
+delta *scales with the observed noise* of that phase on that host, with
+a hard floor so a dead-quiet phase still gets some slack.
+
+Two baseline schemas are readable:
+
+* **v2** (current): ``{"schema": 2, "phases": {name: {"median", "mad",
+  "repeats", "samples"?}}, ...}`` — written by
+  ``benchmarks/bench_parallel_baseline.py``.
+* **v1** (legacy): the original ``BENCH_parallel.json`` layout
+  (``plain_kernel_seconds`` + per-backend ``cold/warm/plan_build``
+  scalars). Mapped onto phases with zero dispersion, so old baselines
+  keep gating (with only the threshold floor).
+
+Driven by ``tools/bench_regress.py`` (CI runs it in ``--report-only``
+mode; ``--fail`` makes it a hard local gate).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+__all__ = [
+    "PhaseStats",
+    "BaselineRun",
+    "RegressionFinding",
+    "phase_stats",
+    "load_baseline",
+    "compare_runs",
+    "render_findings",
+    "has_regressions",
+]
+
+#: Phases whose medians sit below this are pure timer noise; they are
+#: reported but never flagged.
+NOISE_FLOOR_SECONDS = 1e-4
+
+#: Default hard floor on the allowed relative delta.
+DEFAULT_THRESHOLD = 0.25
+
+#: Default multiplier on the observed relative dispersion.
+DEFAULT_NOISE_MULT = 4.0
+
+
+@dataclass(frozen=True)
+class PhaseStats:
+    """Median + dispersion summary of one benchmark phase."""
+
+    median: float
+    mad: float = 0.0
+    repeats: int = 1
+
+    @property
+    def relative_dispersion(self) -> float:
+        """MAD as a fraction of the median (0 when unmeasurable)."""
+        return self.mad / self.median if self.median > 0 else 0.0
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "median": round(self.median, 6),
+            "mad": round(self.mad, 6),
+            "repeats": self.repeats,
+        }
+
+
+def phase_stats(samples: Sequence[float]) -> PhaseStats:
+    """Summarize repeat timings as median + median absolute deviation.
+
+    Median/MAD rather than mean/stddev: one preempted repeat on a busy
+    CI runner must not define the phase.
+    """
+    vals = sorted(float(v) for v in samples)
+    if not vals:
+        raise ValueError("phase_stats needs at least one sample")
+    median = _median(vals)
+    mad = _median(sorted(abs(v - median) for v in vals))
+    return PhaseStats(median=median, mad=mad, repeats=len(vals))
+
+
+def _median(ordered: Sequence[float]) -> float:
+    n = len(ordered)
+    mid = n // 2
+    if n % 2:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+@dataclass
+class BaselineRun:
+    """A parsed benchmark snapshot: named phase stats plus identity."""
+
+    phases: Dict[str, PhaseStats] = field(default_factory=dict)
+    schema: int = 2
+    workload: Dict[str, object] = field(default_factory=dict)
+    host: Dict[str, object] = field(default_factory=dict)
+    path: Optional[str] = None
+
+    def compatible_with(self, other: "BaselineRun") -> bool:
+        """Same workload shape? Comparing different workloads is
+        meaningless, not merely noisy."""
+        keys = ("order", "dim", "unnz", "rank", "tiny")
+        mine = {k: self.workload.get(k) for k in keys}
+        theirs = {k: other.workload.get(k) for k in keys}
+        return mine == theirs
+
+
+def load_baseline(source: Union[str, Path, dict]) -> BaselineRun:
+    """Parse a baseline JSON file (or already-loaded dict), v1 or v2."""
+    path = None
+    if isinstance(source, (str, Path)):
+        path = str(source)
+        payload = json.loads(Path(source).read_text(encoding="utf-8"))
+    else:
+        payload = source
+    run = BaselineRun(
+        schema=int(payload.get("schema", 1)),
+        workload=dict(payload.get("workload") or {}),
+        host=dict(payload.get("host") or {}),
+        path=path,
+    )
+    raw_phases = payload.get("phases")
+    if raw_phases:  # v2
+        for name, spec in raw_phases.items():
+            samples = spec.get("samples")
+            if samples:
+                run.phases[name] = phase_stats(samples)
+            else:
+                run.phases[name] = PhaseStats(
+                    median=float(spec.get("median", 0.0)),
+                    mad=float(spec.get("mad", 0.0)),
+                    repeats=int(spec.get("repeats", 1)),
+                )
+        return run
+    # v1: scalar fields, no dispersion.
+    run.schema = 1
+    plain = payload.get("plain_kernel_seconds")
+    if plain is not None:
+        run.phases["plain_kernel"] = PhaseStats(median=float(plain))
+    for backend, spec in (payload.get("backends") or {}).items():
+        for old, suffix in (
+            ("cold_seconds", "cold"),
+            ("warm_seconds", "warm"),
+            ("plan_build_seconds", "plan_build"),
+        ):
+            if old in spec:
+                run.phases[f"{backend}.{suffix}"] = PhaseStats(
+                    median=float(spec[old])
+                )
+    return run
+
+
+@dataclass
+class RegressionFinding:
+    """Verdict for one phase of a baseline-vs-fresh comparison."""
+
+    phase: str
+    base: Optional[PhaseStats]
+    fresh: Optional[PhaseStats]
+    delta: float = 0.0
+    allowed: float = 0.0
+    status: str = "ok"  # ok | regressed | improved | added | removed | noise
+
+    @property
+    def regressed(self) -> bool:
+        return self.status == "regressed"
+
+
+def compare_runs(
+    base: BaselineRun,
+    fresh: BaselineRun,
+    *,
+    threshold: float = DEFAULT_THRESHOLD,
+    noise_mult: float = DEFAULT_NOISE_MULT,
+    noise_floor: float = NOISE_FLOOR_SECONDS,
+) -> List[RegressionFinding]:
+    """Phase-by-phase comparison; one finding per phase in either run.
+
+    ``delta`` is the fresh median relative to the baseline median;
+    ``allowed`` is ``max(threshold, noise_mult × max(rel dispersion of
+    either side))``. Phases beyond ``+allowed`` are ``regressed``, beyond
+    ``-allowed`` are ``improved`` (informational, never a failure).
+    Sub-``noise_floor`` medians are tagged ``noise`` and never flagged.
+    """
+    findings: List[RegressionFinding] = []
+    names = list(base.phases) + [
+        n for n in fresh.phases if n not in base.phases
+    ]
+    for name in names:
+        b = base.phases.get(name)
+        f = fresh.phases.get(name)
+        if b is None or f is None:
+            findings.append(
+                RegressionFinding(
+                    name, b, f, status="added" if b is None else "removed"
+                )
+            )
+            continue
+        if b.median <= noise_floor or f.median <= noise_floor:
+            findings.append(RegressionFinding(name, b, f, status="noise"))
+            continue
+        delta = f.median / b.median - 1.0
+        allowed = max(
+            threshold,
+            noise_mult * max(b.relative_dispersion, f.relative_dispersion),
+        )
+        if delta > allowed:
+            status = "regressed"
+        elif delta < -allowed:
+            status = "improved"
+        else:
+            status = "ok"
+        findings.append(
+            RegressionFinding(name, b, f, delta=delta, allowed=allowed, status=status)
+        )
+    return findings
+
+
+def has_regressions(findings: Sequence[RegressionFinding]) -> bool:
+    """``True`` when any phase regressed beyond its allowance."""
+    return any(f.regressed for f in findings)
+
+
+def render_findings(
+    findings: Sequence[RegressionFinding], title: str = "perf regression check"
+) -> str:
+    """Render findings as a harness-style table plus a one-line verdict."""
+    # Lazy: bench sits above obs in the layer order (see check_layering).
+    from ..bench.records import SeriesTable, format_seconds
+
+    table = SeriesTable(title, "phase")
+    for f in findings:
+        table.set(
+            "baseline",
+            f.phase,
+            format_seconds(f.base.median) if f.base is not None else "-",
+        )
+        table.set(
+            "fresh",
+            f.phase,
+            format_seconds(f.fresh.median) if f.fresh is not None else "-",
+        )
+        both = f.base is not None and f.fresh is not None
+        table.set(
+            "Δ %", f.phase, f"{f.delta * 100.0:+.1f}" if both and f.status not in ("noise",) else "-"
+        )
+        table.set(
+            "allowed %",
+            f.phase,
+            f"±{f.allowed * 100.0:.1f}" if both and f.allowed else "-",
+        )
+        table.set("verdict", f.phase, f.status)
+    regressed = [f.phase for f in findings if f.regressed]
+    verdict = (
+        f"REGRESSED: {', '.join(regressed)}"
+        if regressed
+        else "no regressions beyond noise allowance"
+    )
+    return table.render() + "\n\n" + verdict

@@ -61,6 +61,7 @@ __all__ = [
     "event",
     "current_span_id",
     "open_span_depth",
+    "snapshot_open_stacks",
 ]
 
 
@@ -196,13 +197,53 @@ _ACTIVE: Optional[TraceCollector] = None
 
 _STACKS = threading.local()
 
+#: Registry of every thread's open-span stack, keyed by thread ident —
+#: the view the sampling profiler (:mod:`repro.obs.profile`) reads from
+#: its own thread. Entries are the *same list objects* the owner threads
+#: mutate; readers must copy under the GIL (``list(stack)``) and tolerate
+#: momentary inconsistency. Registered once per thread (first ``_stack()``
+#: call), so the hot path pays nothing.
+_STACK_REGISTRY: Dict[int, List[Span]] = {}
+_REGISTRY_LOCK = threading.Lock()
+
 
 def _stack() -> List[Span]:
     stack = getattr(_STACKS, "stack", None)
     if stack is None:
         stack = []
         _STACKS.stack = stack
+        with _REGISTRY_LOCK:
+            _STACK_REGISTRY[threading.get_ident()] = stack
     return stack
+
+
+def snapshot_open_stacks() -> Dict[str, List[str]]:
+    """Open-span names per live thread, outermost first.
+
+    A racy-but-safe snapshot for the sampling profiler: each stack is
+    copied in one ``list()`` call (atomic under the GIL), so a sample
+    taken mid-push/pop sees the stack either before or after the
+    mutation, never a torn state. Threads with no open spans are omitted;
+    registry entries of dead threads are pruned as they are discovered.
+    """
+    alive = {t.ident: t.name for t in threading.enumerate()}
+    with _REGISTRY_LOCK:
+        items = list(_STACK_REGISTRY.items())
+    out: Dict[str, List[str]] = {}
+    dead = []
+    for ident, stack in items:
+        name = alive.get(ident)
+        if name is None:
+            dead.append(ident)
+            continue
+        names = [s.name for s in list(stack)]
+        if names:
+            out[name] = names
+    if dead:
+        with _REGISTRY_LOCK:
+            for ident in dead:
+                _STACK_REGISTRY.pop(ident, None)
+    return out
 
 
 def active_collector() -> Optional[TraceCollector]:

@@ -340,10 +340,17 @@ class Backend(ABC):
 
     @staticmethod
     def _fill_chunk_report(
-        report: Optional[ParallelRunReport], slot: int, seconds: float
+        report: Optional[ParallelRunReport],
+        slot: int,
+        seconds: float,
+        worker: Optional[str] = None,
     ) -> None:
-        if report is not None and slot < len(report.chunk_seconds):
+        if report is None:
+            return
+        if slot < len(report.chunk_seconds):
             report.chunk_seconds[slot] += seconds
+        if worker is not None:
+            report.worker_busy[worker] = report.worker_busy.get(worker, 0.0) + seconds
 
 
 class SerialBackend(Backend):
@@ -377,7 +384,7 @@ class SerialBackend(Backend):
                         job, ctx, policy, injector, self.name, slot, cp, report
                     )
                     self._fill_chunk_report(
-                        report, slot, time.perf_counter() - tick
+                        report, slot, time.perf_counter() - tick, worker=self.name
                     )
                 tick = time.perf_counter()
                 out[cp.rows] += partial
@@ -453,7 +460,12 @@ class ThreadBackend(Backend):
                 partials[slot] = _resilient_partial(
                     job, ctx, policy, injector, self.name, slot, cp, report
                 )
-                self._fill_chunk_report(report, slot, time.perf_counter() - tick)
+                self._fill_chunk_report(
+                    report,
+                    slot,
+                    time.perf_counter() - tick,
+                    worker=threading.current_thread().name,
+                )
 
         try:
             if len(plans) <= 1:
@@ -504,7 +516,12 @@ class ThreadBackend(Backend):
                 )
                 partial = np.zeros((job.dim, job.cols), dtype=np.float64)
                 partial[cp.rows] = compact
-                self._fill_chunk_report(report, slot, time.perf_counter() - tick)
+                self._fill_chunk_report(
+                    report,
+                    slot,
+                    time.perf_counter() - tick,
+                    worker=threading.current_thread().name,
+                )
             return partial
 
         def merge(pair) -> np.ndarray:
@@ -945,7 +962,9 @@ class ProcessBackend(Backend):
             stats["hits"] += bool(hit)
             stats["misses"] += not hit
             stats["build"] += build_s
-            self._fill_chunk_report(report, task.slot, numeric_s)
+            self._fill_chunk_report(
+                report, task.slot, numeric_s, worker=f"w{handle.worker_id}"
+            )
             if collector is not None:
                 _trace.event(
                     "parallel.chunk.done",

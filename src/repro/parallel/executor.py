@@ -37,7 +37,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -101,6 +101,12 @@ class ParallelRunReport:
     ``fallbacks`` / ``fallback_chain`` (backend degradations, e.g.
     ``["thread"]`` when a process run fell back to threads). ``backend``
     reports the backend that produced the returned result.
+
+    ``worker_busy`` maps each worker (thread name, or ``w<id>`` for
+    process workers) to its summed chunk seconds; from it derive
+    :meth:`busy_seconds`, :meth:`critical_path_seconds` and
+    :meth:`utilization` — the same rollup ``python -m repro.obs report``
+    computes from a trace, available here without tracing.
     """
 
     n_workers: int = 0
@@ -119,6 +125,24 @@ class ParallelRunReport:
     corrupt_partials: int = 0
     fallbacks: int = 0
     fallback_chain: List[str] = field(default_factory=list)
+    worker_busy: Dict[str, float] = field(default_factory=dict)
+
+    def busy_seconds(self) -> float:
+        """Total worker-busy time (sum over all chunk executions)."""
+        return sum(self.worker_busy.values()) or sum(self.chunk_seconds)
+
+    def critical_path_seconds(self) -> float:
+        """Busy time of the most-loaded worker — the lower bound the
+        run's elapsed time cannot beat however the reduce is overlapped."""
+        if self.worker_busy:
+            return max(self.worker_busy.values())
+        return max(self.chunk_seconds, default=0.0)
+
+    def utilization(self) -> float:
+        """Busy fraction of the ``n_workers × elapsed`` capacity
+        (0 when elapsed was never filled in)."""
+        capacity = self.n_workers * self.elapsed
+        return self.busy_seconds() / capacity if capacity > 0 else 0.0
 
 
 @dataclass(frozen=True)

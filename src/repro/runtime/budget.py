@@ -123,6 +123,10 @@ class MemoryBudget:
                 in_use=in_use,
             )
             collector.metrics.gauge("budget.peak_bytes").update_max(peak)
+            # Delta update, not set(in_use): several budgets (or worker
+            # threads) may report into one collector, and add() is the
+            # form that stays correct without holding the budget lock.
+            collector.metrics.gauge("budget.in_use_bytes").add(nbytes)
             collector.metrics.counter("budget.requests").inc()
 
     def release(self, nbytes: int, label: str = "array", *, collector=None) -> None:
@@ -147,6 +151,7 @@ class MemoryBudget:
                 nbytes=nbytes,
                 in_use=in_use,
             )
+            collector.metrics.gauge("budget.in_use_bytes").add(-nbytes)
 
     def assert_drained(self) -> None:
         """Raise if accounted bytes remain in use (kernel leak check).

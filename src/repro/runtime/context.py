@@ -57,6 +57,7 @@ from typing import Any, Dict, Iterator, List, Optional
 import numpy as np
 
 from ..obs import trace as _trace
+from ..obs.profile import SamplingProfiler
 from . import budget as _budget
 from .budget import MemoryBudget
 from .faults import DEFAULT_FALLBACK, FallbackPolicy, FaultInjector
@@ -198,6 +199,13 @@ class ExecContext:
         retries, respawns, deadlines, OOM bisection and backend
         degradation. ``None`` uses the shared
         :data:`~repro.runtime.faults.DEFAULT_FALLBACK`.
+    profiler:
+        Optional :class:`~repro.obs.profile.SamplingProfiler`. The
+        context *owns* it like the backend: started when the context is
+        entered, stopped (and flushed to its path) in :meth:`close`.
+        Not inherited by :meth:`derive`/:meth:`snapshot` children — the
+        sampler observes every thread of the process already, and a
+        child's ``close()`` must not stop the parent's profiler.
 
     The context is a context manager: ``with ctx:`` activates it on the
     current thread (budget pushed, collector installed thread-locally,
@@ -217,6 +225,7 @@ class ExecContext:
         plans: Optional[PlanCache] = None,
         faults: Optional[FaultInjector] = None,
         fallback: Optional[FallbackPolicy] = None,
+        profiler: Optional["SamplingProfiler"] = None,
     ) -> None:
         self.budget = budget
         self.collector = collector
@@ -227,6 +236,7 @@ class ExecContext:
         self.plans = plans if plans is not None else PlanCache()
         self.faults = faults
         self.fallback = fallback
+        self.profiler = profiler
         self._backend = None
         self._ambient = False
         self._entered: List[Any] = []
@@ -398,11 +408,14 @@ class ExecContext:
         return backend
 
     def close(self) -> None:
-        """Close the owned backend (idempotent); the context stays usable
-        — the next parallel run lazily recreates a backend."""
+        """Close the owned backend and stop the owned profiler
+        (idempotent); the context stays usable — the next parallel run
+        lazily recreates a backend."""
         backend, self._backend = self._backend, None
         if backend is not None:
             backend.close()
+        if self.profiler is not None:
+            self.profiler.stop()
 
     # -- derivation / snapshot ---------------------------------------------
 
@@ -542,6 +555,8 @@ class ExecContext:
         cm = self.scope()
         cm.__enter__()
         self._entered.append(cm)
+        if self.profiler is not None:
+            self.profiler.start()
         return self
 
     def __exit__(self, *exc) -> None:

@@ -9,15 +9,22 @@ Examples::
 
 Exit status 0 when every check passes, 1 otherwise; each failure prints
 the exact ``--case``/``--check`` line that reruns it.
+
+Observability rides along exactly as in the bench harness: set
+``REPRO_TRACE=path.jsonl`` to append every case's spans/metrics, and
+``REPRO_PROFILE=path[:interval_ms]`` to sample the whole run into a
+folded-stack profile.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from typing import List, Optional
 
+from ..obs.profile import profiler_from_env
 from .generators import Workload
 from .runner import VerifyReport, run_case, run_suite
 
@@ -62,39 +69,56 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     args = parser.parse_args(argv)
 
+    trace_path = os.environ.get("REPRO_TRACE") or None
+    profiler = profiler_from_env()
     start = time.perf_counter()
-    if args.case is not None:
-        try:
-            spec = Workload.from_spec(args.case)
-        except ValueError as e:
-            parser.error(str(e))
-        report = VerifyReport()
-        report.results.extend(
-            run_case(spec, include_process=args.include_process, check=args.check)
-        )
-        if not report.results:
-            print(f"no check named {args.check!r} ran for this case", file=sys.stderr)
-            return 2
-    else:
+    if profiler is not None:
+        profiler.start()
+    try:
+        if args.case is not None:
+            try:
+                spec = Workload.from_spec(args.case)
+            except ValueError as e:
+                parser.error(str(e))
+            report = VerifyReport()
+            report.results.extend(
+                run_case(
+                    spec,
+                    include_process=args.include_process,
+                    check=args.check,
+                    trace_path=trace_path,
+                )
+            )
+            if not report.results:
+                print(
+                    f"no check named {args.check!r} ran for this case",
+                    file=sys.stderr,
+                )
+                return 2
+        else:
 
-        def on_case(spec: Workload, results) -> None:
-            if args.quiet:
-                return
-            bad = sum(1 for r in results if not r.ok)
-            status = "ok" if not bad else f"{bad} FAILED"
-            print(f"  {spec.spec}: {len(results)} checks, {status}")
+            def on_case(spec: Workload, results) -> None:
+                if args.quiet:
+                    return
+                bad = sum(1 for r in results if not r.ok)
+                status = "ok" if not bad else f"{bad} FAILED"
+                print(f"  {spec.spec}: {len(results)} checks, {status}")
 
-        report = run_suite(
-            args.config,
-            seeds=args.seeds,
-            base_seed=args.base_seed,
-            include_process=args.include_process,
-            check=args.check,
-            on_case=on_case,
-        )
-        if not report.results:
-            print(f"no check named {args.check!r} ran", file=sys.stderr)
-            return 2
+            report = run_suite(
+                args.config,
+                seeds=args.seeds,
+                base_seed=args.base_seed,
+                include_process=args.include_process,
+                check=args.check,
+                on_case=on_case,
+                trace_path=trace_path,
+            )
+            if not report.results:
+                print(f"no check named {args.check!r} ran", file=sys.stderr)
+                return 2
+    finally:
+        if profiler is not None:
+            profiler.stop()
 
     elapsed = time.perf_counter() - start
     print(f"{report.summary()} in {elapsed:.1f}s")

@@ -7,10 +7,16 @@ results. :func:`run_suite` maps that over the seeded workload matrix for
 a config (``smoke`` / ``full``), prepends the budget-preflight canary,
 and folds everything into a :class:`VerifyReport` whose failure section
 is a list of copy-pasteable repro lines.
+
+Both honour the same observability hooks as the bench harness: with
+``REPRO_TRACE=path.jsonl`` every case's spans/metrics are appended to the
+trace (``trace_path`` on :func:`run_case` for programmatic use), and with
+``REPRO_PROFILE=path`` the whole suite runs under the sampling profiler.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
@@ -65,6 +71,7 @@ def run_case(
     *,
     include_process: bool = False,
     check: Optional[str] = None,
+    trace_path: Optional[str] = None,
 ) -> List[CheckResult]:
     """Run one workload's full check matrix in a private context.
 
@@ -72,12 +79,25 @@ def run_case(
     every request/release pair without refusing any; the collector and
     plan cache are fresh, so invariants observe only this case. ``check``
     filters the returned results to one named check (substring-exact on
-    the check name).
+    the check name). ``trace_path`` appends the case's trace records to
+    a JSONL file after the invariants ran (unwritable paths warn rather
+    than fail — the verdicts already exist and must be reported).
     """
     gen = generate(spec)
     ctx = ExecContext(budget=MemoryBudget(), collector=TraceCollector())
     results = run_workload_checks(gen, ctx, include_process=include_process)
     results.extend(run_case_invariants(gen, ctx))
+    if trace_path is not None:
+        from ..obs.export import write_trace
+
+        try:
+            write_trace(ctx.collector, trace_path, append=True)
+        except OSError as exc:
+            warnings.warn(
+                f"could not write verify trace to {trace_path!r}: {exc}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
     if check is not None:
         results = [r for r in results if r.check == check]
     return results
@@ -91,17 +111,21 @@ def run_suite(
     include_process: bool = False,
     check: Optional[str] = None,
     on_case: Optional[Callable[[Workload, List[CheckResult]], None]] = None,
+    trace_path: Optional[str] = None,
 ) -> VerifyReport:
     """Run the whole seeded matrix for a config.
 
     ``on_case`` is a progress hook called after each case with its spec
-    and results (the CLI uses it for live per-case lines).
+    and results (the CLI uses it for live per-case lines); ``trace_path``
+    is forwarded to every :func:`run_case`.
     """
     report = VerifyReport()
     if check is None or check == "budget-preflight":
         report.results.append(check_budget_preflight())
     for spec in workloads_for(config, seeds=seeds, base_seed=base_seed):
-        results = run_case(spec, include_process=include_process, check=check)
+        results = run_case(
+            spec, include_process=include_process, check=check, trace_path=trace_path
+        )
         report.results.extend(results)
         if on_case is not None:
             on_case(spec, results)

@@ -53,6 +53,9 @@ LAZY_ALLOWED = {
     # obs.export renders per-kernel tables with bench.records formatting;
     # resolved inside the function so observability stays importable alone.
     ("obs", "bench"),
+    # obs.attrib joins measured spans against the perfmodel's closed-form
+    # flop counts/rate calibration; lazy for the same importability reason.
+    ("obs", "perfmodel"),
 }
 
 
