@@ -1,0 +1,170 @@
+"""Committed compiled-vs-generic kernel baseline (kernel compiler v2).
+
+Writes ``BENCH_codegen.json`` at the repository root — a tracked
+snapshot of what the fused exec-compiled kernels
+(:mod:`repro.core.compile`) buy over the generic batched engine across
+orders 3–6 and ranks {4, 8, 16}, on a known host. Every timing is a
+schema-v2 *phase* (samples + median/MAD) so the regression gate
+(``tools/bench_regress.py --suite codegen``) can scale its allowed
+delta by observed noise:
+
+    PYTHONPATH=src python benchmarks/bench_codegen_v2.py
+
+Phase names: ``o{order}.r{rank}.generic`` / ``o{order}.r{rank}.compiled``
+(warm steady state — the plan, gather tables and compiled function are
+built before timing starts, matching the decomposition-loop usage the
+compiler targets). The acceptance workload (order 4, R 8) additionally
+records both paths' budget peaks: fusion must *lower* the measured
+intermediate high-water mark, not trade it for speed.
+
+Environment knobs: ``REPRO_BENCH_TINY=1`` shrinks the grid to CI-smoke
+size; ``REPRO_BASELINE_REPEATS`` sets the warm-sample count (default 5);
+``REPRO_BASELINE_OUT`` redirects the output file (used by the
+regression gate to compare a fresh snapshot against the committed one).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.core.s3ttmc import s3ttmc  # noqa: E402
+from repro.data.synthetic import random_sparse_symmetric  # noqa: E402
+from repro.decomp.hosvd import random_init  # noqa: E402
+from repro.obs.regress import phase_stats  # noqa: E402
+from repro.runtime.budget import MemoryBudget  # noqa: E402
+from repro.runtime.context import ExecContext  # noqa: E402
+
+TINY = os.environ.get("REPRO_BENCH_TINY", "") not in ("", "0")
+WARM_REPEATS = int(os.environ.get("REPRO_BASELINE_REPEATS", "5"))
+
+#: The acceptance workload — the cell the ≥2× compiled speedup and the
+#: strictly-lower budget peak are asserted against.
+ACCEPTANCE = dict(order=4, rank=8)
+
+
+def _grid():
+    """(order, rank) cells with per-order dim/unnz sized to finish fast."""
+    if TINY:
+        return [
+            (3, 4, dict(dim=60, unnz=600)),
+            (4, 8, dict(dim=60, unnz=600)),
+        ]
+    shapes = {3: dict(dim=300, unnz=5_000), 4: dict(dim=300, unnz=5_000),
+              5: dict(dim=100, unnz=1_500), 6: dict(dim=40, unnz=400)}
+    return [
+        (order, rank, shapes[order])
+        for order in (3, 4, 5, 6)
+        for rank in (4, 8, 16)
+    ]
+
+
+def _phase(samples) -> dict:
+    """One schema-v2 phase entry: raw samples plus their median/MAD."""
+    samples = [round(float(s), 6) for s in samples]
+    stats = phase_stats(samples)
+    entry = stats.to_dict()
+    entry["samples"] = samples
+    return entry
+
+
+def _time_mode(tensor, factor, kernel: str):
+    """Warm samples + budget peak for one engine mode.
+
+    A fresh unlimited budget per mode isolates the peak; the untimed
+    first call builds the plan (and, for ``compiled``, the gather tables
+    and the exec-compiled function) so the samples measure the
+    steady-state numeric path only.
+    """
+    ctx = ExecContext(budget=MemoryBudget())
+    s3ttmc(tensor, factor, kernel=kernel, ctx=ctx)
+    ctx.budget.peak = ctx.budget.in_use  # rebase: count the steady state only
+    samples = []
+    for _ in range(max(1, WARM_REPEATS)):
+        tick = time.perf_counter()
+        s3ttmc(tensor, factor, kernel=kernel, ctx=ctx)
+        samples.append(time.perf_counter() - tick)
+    return samples, int(ctx.budget.peak)
+
+
+def main() -> None:
+    phases = {}
+    cells = []
+    for order, rank, shape in _grid():
+        tensor = random_sparse_symmetric(order, shape["dim"], shape["unnz"], seed=11)
+        factor = random_init(shape["dim"], rank, np.random.default_rng(0))
+        generic, generic_peak = _time_mode(tensor, factor, "generic")
+        compiled, compiled_peak = _time_mode(tensor, factor, "compiled")
+        phases[f"o{order}.r{rank}.generic"] = _phase(generic)
+        phases[f"o{order}.r{rank}.compiled"] = _phase(compiled)
+        speedup = phase_stats(generic).median / max(
+            phase_stats(compiled).median, 1e-12
+        )
+        cells.append(
+            {
+                "order": order,
+                "rank": rank,
+                **shape,
+                "unnz_actual": tensor.unnz,
+                "speedup": round(speedup, 3),
+                "generic_peak_bytes": generic_peak,
+                "compiled_peak_bytes": compiled_peak,
+            }
+        )
+        print(
+            f"order={order} rank={rank}: {speedup:.2f}x compiled, "
+            f"peak {compiled_peak / 2**20:.2f} vs "
+            f"{generic_peak / 2**20:.2f} MiB",
+            flush=True,
+        )
+
+    acceptance = next(
+        (
+            c
+            for c in cells
+            if c["order"] == ACCEPTANCE["order"] and c["rank"] == ACCEPTANCE["rank"]
+        ),
+        None,
+    )
+    payload = {
+        "schema": 2,
+        "generated_by": "benchmarks/bench_codegen_v2.py",
+        "host": {
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+        "workload": {"suite": "codegen", **ACCEPTANCE, "tiny": TINY},
+        "phases": phases,
+        "cells": cells,
+        "acceptance": acceptance,
+        "notes": (
+            "Warm steady state (plan/tables/compiled fn prebuilt), "
+            f"median/MAD over {max(1, WARM_REPEATS)} repeats per phase. "
+            "Budget peaks are per-call intermediate high-water marks "
+            "under an unlimited accounting-only budget. The compiled "
+            "path fuses the level-expansion intermediates away; on the "
+            "acceptance cell its peak must stay strictly below the "
+            "generic one (tiny cells and extreme ranks can trade scratch "
+            "buffers for speed instead)."
+        ),
+    }
+    out = Path(
+        os.environ.get("REPRO_BASELINE_OUT", "") or REPO_ROOT / "BENCH_codegen.json"
+    )
+    out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"\nwrote {out}")
+
+
+if __name__ == "__main__":
+    main()

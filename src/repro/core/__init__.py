@@ -1,7 +1,38 @@
 """SymProp core: symmetry-propagated S³TTMc and S³TTMcTC kernels."""
 
-from .codegen import STRATEGIES, codegen_step, generate_step_source, mapping_step, table_step
-from .engine import DEFAULT_BLOCK_BYTES, lattice_ttmc
+from .autotune import (
+    PROFILE_VERSION,
+    TunedConfig,
+    TuneProfileError,
+    autotune,
+    default_candidates,
+    load_profile,
+    save_profile,
+    tuned_s3ttmc,
+    workload_key,
+)
+from .codegen import (
+    CODEGEN_VERSION,
+    STRATEGIES,
+    clear_codegen_cache,
+    codegen_cache_info,
+    codegen_step,
+    generate_step_source,
+    mapping_step,
+    table_step,
+)
+from .compile import (
+    DEFAULT_CHUNK_EDGES,
+    KERNEL_VERSION,
+    KernelSpec,
+    build_tables,
+    clear_kernel_cache,
+    compiled_kernel,
+    generate_kernel_source,
+    get_kernel,
+    kernel_cache_info,
+)
+from .engine import DEFAULT_BLOCK_BYTES, KERNELS, lattice_ttmc
 from .lattice import Lattice, LatticeLevel, build_lattice
 from .layouts import LevelLayout, compact_layout, full_layout, layout_for
 from .plan import TTMcPlan, build_plan, get_plan
@@ -17,6 +48,25 @@ __all__ = [
     "KernelStats",
     "lattice_ttmc",
     "DEFAULT_BLOCK_BYTES",
+    "KERNELS",
+    "KernelSpec",
+    "KERNEL_VERSION",
+    "DEFAULT_CHUNK_EDGES",
+    "build_tables",
+    "generate_kernel_source",
+    "compiled_kernel",
+    "get_kernel",
+    "kernel_cache_info",
+    "clear_kernel_cache",
+    "TunedConfig",
+    "TuneProfileError",
+    "PROFILE_VERSION",
+    "autotune",
+    "tuned_s3ttmc",
+    "default_candidates",
+    "workload_key",
+    "load_profile",
+    "save_profile",
     "build_lattice",
     "Lattice",
     "LatticeLevel",
@@ -32,4 +82,7 @@ __all__ = [
     "table_step",
     "generate_step_source",
     "STRATEGIES",
+    "CODEGEN_VERSION",
+    "codegen_cache_info",
+    "clear_codegen_cache",
 ]

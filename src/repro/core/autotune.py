@@ -1,0 +1,376 @@
+"""Trace-driven autotuner: calibrated kernel/backend configs per workload.
+
+The compiled kernels (:mod:`repro.core.compile`) expose knobs — engine
+mode, fused chunk size, nz-batch size, memoization scope, layout, hoist
+threshold (``block_bytes``) and execution backend — whose best settings
+depend on workload *shape* (order, dim, unnz, rank), not on values. This
+module runs short calibration probes over a candidate list, picks the
+fastest configuration, and persists the decision as a versioned learned
+profile so repeat workloads start tuned and skip calibration entirely.
+
+Profile location: pass ``profile_path=``, or set ``REPRO_TUNE_PROFILE=
+path.json``. The file is ``{"version": N, "entries": {key: config}}``;
+a version mismatch rejects the whole file (:class:`TuneProfileError`)
+and — inside :func:`autotune` — falls back to re-calibration, never to
+silently applying stale knobs.
+
+Observability: every decision is measurable. ``autotune.profile.hits`` /
+``autotune.profile.misses`` counters say whether calibration ran;
+``autotune.probe`` spans time each candidate; the chosen config is
+attached to an ``autotune.selected`` event. Since probes run the real
+kernels, their spans also feed ``python -m repro.obs report``'s
+per-kernel-mode attribution rows.
+
+Determinism: candidate order is fixed, the winner is the lowest median
+probe time with ties broken by candidate index, and the probe runner is
+injectable (``prober=``) — tests drive selection with synthetic timings.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..runtime.context import ExecContext, resolve_context
+from .compile import DEFAULT_CHUNK_EDGES
+from .engine import DEFAULT_BLOCK_BYTES
+from .s3ttmc import SymmetricInput, _as_ucoo, s3ttmc
+
+__all__ = [
+    "PROFILE_VERSION",
+    "PROFILE_ENV",
+    "TuneProfileError",
+    "TunedConfig",
+    "autotune",
+    "default_candidates",
+    "load_profile",
+    "save_profile",
+    "tuned_s3ttmc",
+    "workload_key",
+]
+
+#: Learned-profile schema version. Bump on any change to the config
+#: fields or their semantics; old files are rejected, not reinterpreted.
+PROFILE_VERSION = 1
+
+PROFILE_ENV = "REPRO_TUNE_PROFILE"
+
+
+class TuneProfileError(RuntimeError):
+    """A learned profile could not be used (version mismatch/corrupt)."""
+
+
+@dataclass(frozen=True)
+class TunedConfig:
+    """One tuned kernel/backend configuration (a profile entry)."""
+
+    kernel: str = "generic"
+    chunk_edges: Optional[int] = None
+    nz_batch_size: Optional[int] = None
+    memoize: str = "global"
+    intermediate: str = "compact"
+    block_bytes: Optional[int] = None
+    backend: str = "serial"
+    n_workers: Optional[int] = None
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, spec: dict) -> "TunedConfig":
+        known = {f for f in cls.__dataclass_fields__}  # noqa: C416
+        unknown = set(spec) - known
+        if unknown:
+            raise TuneProfileError(
+                f"unknown profile config fields {sorted(unknown)}"
+            )
+        return cls(**spec)
+
+    def kernel_kwargs(self) -> dict:
+        """Keyword arguments for :func:`repro.core.s3ttmc.s3ttmc`."""
+        kwargs = dict(
+            kernel=self.kernel,
+            chunk_edges=self.chunk_edges,
+            nz_batch_size=self.nz_batch_size,
+            memoize=self.memoize,
+        )
+        if self.block_bytes is not None:
+            kwargs["block_bytes"] = self.block_bytes
+        return kwargs
+
+
+def _bucket(n: int) -> int:
+    """Smallest power of two >= n (workload shapes bucket geometrically)."""
+    if n <= 1:
+        return 1
+    return 1 << (int(n - 1).bit_length())
+
+
+def workload_key(order: int, dim: int, unnz: int, rank: int) -> str:
+    """Profile key for a workload shape.
+
+    ``dim`` and ``unnz`` are bucketed to powers of two so nearby sizes
+    share a tuning; ``order`` and ``rank`` enter exactly (they change the
+    generated kernel).
+    """
+    return f"o{order}.r{rank}.d{_bucket(dim)}.n{_bucket(unnz)}"
+
+
+# ---------------------------------------------------------------------------
+# Profile persistence
+# ---------------------------------------------------------------------------
+
+
+def load_profile(path) -> Dict[str, TunedConfig]:
+    """Read a learned profile; raise :class:`TuneProfileError` when unusable.
+
+    A missing file is an empty profile (first run); a file with the wrong
+    version or shape is an *error* — the caller decides whether that
+    means re-tune (:func:`autotune` does) or abort.
+    """
+    path = Path(path)
+    if not path.exists():
+        return {}
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise TuneProfileError(f"unreadable tune profile {path}: {exc}") from exc
+    if not isinstance(payload, dict) or "version" not in payload:
+        raise TuneProfileError(f"malformed tune profile {path}: no version")
+    if payload["version"] != PROFILE_VERSION:
+        raise TuneProfileError(
+            f"tune profile {path} has version {payload['version']!r}, "
+            f"expected {PROFILE_VERSION} — re-tune instead of applying "
+            f"stale knobs"
+        )
+    entries = payload.get("entries", {})
+    if not isinstance(entries, dict):
+        raise TuneProfileError(f"malformed tune profile {path}: bad entries")
+    out = {}
+    for key, spec in entries.items():
+        if not isinstance(spec, dict):
+            raise TuneProfileError(
+                f"malformed tune profile {path}: entry {key!r} is not a dict"
+            )
+        spec = dict(spec)
+        spec.pop("probe_seconds", None)  # informational, not a config field
+        out[key] = TunedConfig.from_dict(spec)
+    return out
+
+
+def save_profile(
+    path,
+    entries: Dict[str, TunedConfig],
+    probe_seconds: Optional[Dict[str, float]] = None,
+) -> None:
+    """Atomically write a learned profile (tmp + rename)."""
+    path = Path(path)
+    payload_entries = {}
+    for key, config in sorted(entries.items()):
+        spec = config.to_dict()
+        if probe_seconds and key in probe_seconds:
+            spec["probe_seconds"] = round(float(probe_seconds[key]), 6)
+        payload_entries[key] = spec
+    payload = {"version": PROFILE_VERSION, "entries": payload_entries}
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    os.replace(tmp, path)
+
+
+def _profile_path(explicit) -> Optional[Path]:
+    if explicit is not None:
+        return Path(explicit)
+    env = os.environ.get(PROFILE_ENV, "")
+    return Path(env) if env else None
+
+
+# ---------------------------------------------------------------------------
+# Calibration
+# ---------------------------------------------------------------------------
+
+
+def default_candidates(n_workers: Optional[int] = None) -> List[TunedConfig]:
+    """Fixed candidate list: generic vs compiled at several chunk sizes,
+    plus thread-backend variants when more than one worker is available.
+
+    The process backend is deliberately not probed — its cold-start cost
+    dwarfs a short calibration and would always lose; opt in by passing
+    an explicit candidate list.
+    """
+    candidates = [
+        TunedConfig(kernel="generic"),
+        TunedConfig(kernel="compiled", chunk_edges=512),
+        TunedConfig(kernel="compiled", chunk_edges=DEFAULT_CHUNK_EDGES),
+        TunedConfig(kernel="compiled", chunk_edges=2048),
+        TunedConfig(kernel="compiled", chunk_edges=4096),
+    ]
+    workers = n_workers if n_workers is not None else (os.cpu_count() or 1)
+    if workers > 1:
+        candidates.append(
+            TunedConfig(kernel="generic", backend="thread", n_workers=workers)
+        )
+        candidates.append(
+            TunedConfig(
+                kernel="compiled",
+                chunk_edges=DEFAULT_CHUNK_EDGES,
+                backend="thread",
+                n_workers=workers,
+            )
+        )
+    return candidates
+
+
+def _default_prober(
+    tensor: SymmetricInput,
+    factor: np.ndarray,
+    config: TunedConfig,
+    ctx: ExecContext,
+    repeats: int,
+) -> float:
+    """Median wall time of ``config`` on the real kernels (1 warmup)."""
+    kwargs = config.kernel_kwargs()
+    if config.backend == "serial":
+        def run() -> None:
+            s3ttmc(tensor, factor, ctx=ctx, **kwargs)
+    else:
+        # Lazy upward import (core -> parallel), sanctioned in
+        # tools/check_layering.py: calibration optionally probes the
+        # execution backends without coupling the core layer to them.
+        from ..parallel.executor import parallel_s3ttmc
+
+        block_bytes = kwargs.pop("block_bytes", DEFAULT_BLOCK_BYTES)
+        del block_bytes  # parallel path owns its block sizing
+        kwargs.pop("nz_batch_size", None)  # chunking already batches
+        def run() -> None:
+            parallel_s3ttmc(
+                tensor,
+                factor,
+                config.n_workers,
+                backend=config.backend,
+                ctx=ctx,
+                **kwargs,
+            )
+    run()  # warm plan/table/backend caches: probe the steady state
+    samples = []
+    for _ in range(max(1, repeats)):
+        tick = time.perf_counter()
+        run()
+        samples.append(time.perf_counter() - tick)
+    samples.sort()
+    return samples[len(samples) // 2]
+
+
+def autotune(
+    tensor: SymmetricInput,
+    factor: np.ndarray,
+    *,
+    profile_path=None,
+    candidates: Optional[Sequence[TunedConfig]] = None,
+    repeats: int = 2,
+    prober: Optional[Callable] = None,
+    persist: bool = True,
+    ctx: Optional[ExecContext] = None,
+) -> TunedConfig:
+    """Tuned configuration for this workload shape — cached in the profile.
+
+    On a profile hit, returns the stored config without running any probe
+    (``autotune.profile.hits`` increments — the observable "calibration
+    skipped" signal). On a miss, probes every candidate, records the
+    winner in the profile (when ``persist`` and a path is configured) and
+    increments ``autotune.profile.misses``.
+    """
+    ctx = resolve_context(ctx)
+    ucoo = _as_ucoo(tensor)
+    factor = np.asarray(factor, dtype=np.float64)
+    key = workload_key(ucoo.order, ucoo.dim, ucoo.unnz, factor.shape[1])
+    metrics = ctx.metrics
+
+    path = _profile_path(profile_path)
+    entries: Dict[str, TunedConfig] = {}
+    if path is not None:
+        try:
+            entries = load_profile(path)
+        except TuneProfileError:
+            if metrics is not None:
+                metrics.counter("autotune.profile.rejected").inc()
+            entries = {}
+    hit = entries.get(key)
+    if hit is not None:
+        if metrics is not None:
+            metrics.counter("autotune.profile.hits").inc()
+        ctx.event("autotune.profile.hit", key=key, **hit.to_dict())
+        return hit
+    if metrics is not None:
+        metrics.counter("autotune.profile.misses").inc()
+
+    if candidates is None:
+        candidates = default_candidates(ctx.n_workers)
+    if not candidates:
+        raise ValueError("autotune needs at least one candidate")
+    probe = prober if prober is not None else _default_prober
+
+    best: Optional[Tuple[float, int]] = None
+    best_config = candidates[0]
+    for i, config in enumerate(candidates):
+        with ctx.span(
+            "autotune.probe", key=key, candidate=i, **config.to_dict()
+        ):
+            seconds = float(probe(tensor, factor, config, ctx, repeats))
+        if metrics is not None:
+            metrics.counter("autotune.probes").inc()
+        # Deterministic winner: strictly better median, index breaks ties.
+        if best is None or (seconds, i) < best:
+            best = (seconds, i)
+            best_config = config
+    ctx.event(
+        "autotune.selected",
+        key=key,
+        probe_seconds=best[0],
+        **best_config.to_dict(),
+    )
+    if persist and path is not None:
+        entries[key] = best_config
+        save_profile(path, entries, {key: best[0]})
+    return best_config
+
+
+def tuned_s3ttmc(
+    tensor: SymmetricInput,
+    factor: np.ndarray,
+    *,
+    config: Optional[TunedConfig] = None,
+    profile_path=None,
+    ctx: Optional[ExecContext] = None,
+    **autotune_kwargs,
+):
+    """Run S³TTMc under the tuned (or given) configuration.
+
+    Returns the same :class:`~repro.formats.partial_sym.
+    PartiallySymmetricTensor` as :func:`repro.core.s3ttmc.s3ttmc`.
+    """
+    ctx = resolve_context(ctx)
+    if config is None:
+        config = autotune(
+            tensor, factor, profile_path=profile_path, ctx=ctx, **autotune_kwargs
+        )
+    if config.backend == "serial":
+        return s3ttmc(tensor, factor, ctx=ctx, **config.kernel_kwargs())
+    from ..parallel.executor import parallel_s3ttmc  # lazy upward (see above)
+
+    kwargs = config.kernel_kwargs()
+    kwargs.pop("block_bytes", None)
+    kwargs.pop("nz_batch_size", None)
+    return parallel_s3ttmc(
+        tensor,
+        factor,
+        config.n_workers,
+        backend=config.backend,
+        ctx=ctx,
+        **kwargs,
+    )

@@ -28,6 +28,7 @@ over these, reproducing Section VI-B-4.
 from __future__ import annotations
 
 import threading
+from collections import OrderedDict
 from typing import Callable, Dict
 
 import numpy as np
@@ -37,6 +38,9 @@ from ..symmetry.iou import _rank_prefix_table
 from ..symmetry.tables import get_tables
 
 __all__ = [
+    "CODEGEN_VERSION",
+    "clear_codegen_cache",
+    "codegen_cache_info",
     "generate_step_source",
     "codegen_step",
     "mapping_step",
@@ -44,7 +48,18 @@ __all__ = [
     "STRATEGIES",
 ]
 
-_COMPILED: Dict[int, Callable] = {}
+#: Version of the step generator; compiled callables are tagged with it
+#: (``fn.__codegen_version__``) so plan/profile invalidation can detect a
+#: stale compile principledly instead of by identity.
+CODEGEN_VERSION = 1
+
+#: Explicit cap on cached step functions. The old cache was an unbounded
+#: module dict keyed only on ``order`` and shared by every context; a
+#: bounded LRU keeps the sharing (steps are pure functions of ``order``)
+#: while making the growth policy explicit.
+_CACHE_CAP = 32
+
+_COMPILED: "OrderedDict[int, Callable]" = OrderedDict()
 _LOCK = threading.Lock()
 
 
@@ -79,18 +94,36 @@ def generate_step_source(order: int) -> str:
 
 
 def _compiled_step(order: int) -> Callable:
-    fn = _COMPILED.get(order)
-    if fn is not None:
-        return fn
     with _LOCK:
         fn = _COMPILED.get(order)
         if fn is not None:
+            _COMPILED.move_to_end(order)
             return fn
         namespace: dict = {}
         exec(compile(generate_step_source(order), f"<codegen order {order}>", "exec"), namespace)
         fn = namespace[f"_step_{order}"]
+        fn.__codegen_version__ = CODEGEN_VERSION
         _COMPILED[order] = fn
+        while len(_COMPILED) > _CACHE_CAP:
+            _COMPILED.popitem(last=False)
         return fn
+
+
+def codegen_cache_info() -> dict:
+    """Size, cap and cached orders of the compiled-step LRU."""
+    with _LOCK:
+        return {
+            "size": len(_COMPILED),
+            "cap": _CACHE_CAP,
+            "orders": list(_COMPILED),
+            "version": CODEGEN_VERSION,
+        }
+
+
+def clear_codegen_cache() -> None:
+    """Drop every cached compiled step (tests, version bumps)."""
+    with _LOCK:
+        _COMPILED.clear()
 
 
 def codegen_step(u_row: np.ndarray, k_prev: np.ndarray, order: int, dim: int) -> np.ndarray:

@@ -26,14 +26,19 @@ import numpy as np
 from ..runtime.context import ExecContext, resolve_context
 from ..symmetry.combinatorics import dense_size, sym_storage_size
 from ._segment import scatter_add_rows, segment_sum_by_ptr
+from .compile import get_kernel
 from .lattice import Lattice
 from .layouts import layout_for
 from .plan import TTMcPlan, build_plan
 from .stats import KernelStats
 
-__all__ = ["lattice_ttmc", "DEFAULT_BLOCK_BYTES"]
+__all__ = ["lattice_ttmc", "DEFAULT_BLOCK_BYTES", "KERNELS"]
 
 DEFAULT_BLOCK_BYTES = 256 * 2**20
+
+#: Engine modes: the generic batched-gather path and the v2 compiled
+#: (fused, exec-generated) path — bitwise-equal by construction.
+KERNELS = ("generic", "compiled")
 
 
 def lattice_ttmc(
@@ -44,6 +49,8 @@ def lattice_ttmc(
     *,
     intermediate: str = "compact",
     memoize: str = "global",
+    kernel: str = "generic",
+    chunk_edges: Optional[int] = None,
     stats: Optional[KernelStats] = None,
     nz_batch_size: Optional[int] = None,
     block_bytes: int = DEFAULT_BLOCK_BYTES,
@@ -69,6 +76,15 @@ def lattice_ttmc(
     memoize:
         Lattice memoization scope (``"global"`` / ``"nonzero"``); ignored
         when ``plan`` is given.
+    kernel:
+        ``"generic"`` (batched-gather engine below) or ``"compiled"``
+        (:mod:`repro.core.compile`: fused, exec-generated source with
+        per-plan gather tables — bitwise-equal results, no materialized
+        expansion intermediates).
+    chunk_edges:
+        Edges per fused-gather chunk for the compiled kernel (``None`` =
+        :data:`repro.core.compile.DEFAULT_CHUNK_EDGES`); the autotuner's
+        primary knob. Ignored for the generic kernel.
     stats:
         Optional :class:`KernelStats` to fill.
     nz_batch_size:
@@ -126,6 +142,8 @@ def lattice_ttmc(
         cols = rank
     else:
         raise ValueError(f"unknown intermediate layout {intermediate!r}")
+    if kernel not in KERNELS:
+        raise ValueError(f"unknown kernel mode {kernel!r}; expected one of {KERNELS}")
 
     if out is not None and out.dtype != np.float64:
         # scatter_add_rows accumulates with `out[rows] += float64`: a
@@ -180,27 +198,48 @@ def lattice_ttmc(
         with ctx.span(
             "lattice_ttmc",
             intermediate=intermediate,
+            kernel=kernel,
             order=order,
             unnz=unnz,
             rank=rank,
             dim=dim,
         ):
-            for start, stop, lattice in plan.batches:
-                with ctx.span("lattice.batch", nz_start=start, nz_stop=stop):
-                    _accumulate_batch(
-                        lattice,
-                        values[start:stop],
-                        factor,
-                        rank,
-                        intermediate,
-                        out,
-                        stats,
-                        block_bytes,
-                        out_row_map,
-                        ctx,
-                    )
-                if stats is not None:
-                    stats.batches += 1
+            if kernel == "compiled":
+                kern = get_kernel(plan, rank, intermediate, chunk_edges, ctx)
+                collector = ctx.effective_collector()
+                for (start, stop, _lattice), tables in zip(
+                    plan.batches, kern.tables
+                ):
+                    with ctx.span("lattice.batch", nz_start=start, nz_stop=stop):
+                        kern.fn(
+                            tables,
+                            factor,
+                            values[start:stop],
+                            out,
+                            out_row_map,
+                            ctx,
+                            stats,
+                            collector,
+                        )
+                    if stats is not None:
+                        stats.batches += 1
+            else:
+                for start, stop, lattice in plan.batches:
+                    with ctx.span("lattice.batch", nz_start=start, nz_stop=stop):
+                        _accumulate_batch(
+                            lattice,
+                            values[start:stop],
+                            factor,
+                            rank,
+                            intermediate,
+                            out,
+                            stats,
+                            block_bytes,
+                            out_row_map,
+                            ctx,
+                        )
+                    if stats is not None:
+                        stats.batches += 1
         return out
     finally:
         if owned_bytes:

@@ -40,6 +40,8 @@ def s3ttmc(
     factor: np.ndarray,
     *,
     memoize: str = "global",
+    kernel: str = "generic",
+    chunk_edges: Optional[int] = None,
     stats: Optional[KernelStats] = None,
     nz_batch_size: Optional[int] = None,
     block_bytes: int = DEFAULT_BLOCK_BYTES,
@@ -58,6 +60,13 @@ def s3ttmc(
         Lattice memoization scope: ``"global"`` shares sub-multiset ``K``
         tensors across non-zeros (CSS-tree-style), ``"nonzero"`` recomputes
         per non-zero (matches the closed-form complexity model exactly).
+    kernel:
+        Engine mode: ``"generic"`` (batched-gather) or ``"compiled"``
+        (fused exec-generated kernels, :mod:`repro.core.compile`);
+        results are bitwise identical.
+    chunk_edges:
+        Edges per fused chunk for the compiled kernel (``None`` = tuned
+        default); ignored for the generic kernel.
     stats:
         Optional :class:`~repro.core.stats.KernelStats` filled with exact
         flop/structure counts.
@@ -93,6 +102,7 @@ def s3ttmc(
     with ctx.span(
         "s3ttmc",
         kernel="symprop",
+        engine=kernel,
         order=ucoo.order,
         dim=ucoo.dim,
         unnz=ucoo.unnz,
@@ -106,6 +116,8 @@ def s3ttmc(
             factor,
             intermediate="compact",
             memoize=memoize,
+            kernel=kernel,
+            chunk_edges=chunk_edges,
             stats=stats,
             nz_batch_size=nz_batch_size,
             block_bytes=block_bytes,

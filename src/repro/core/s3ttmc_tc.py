@@ -90,6 +90,8 @@ def s3ttmc_tc(
     factor: np.ndarray,
     *,
     memoize: str = "global",
+    kernel: str = "generic",
+    chunk_edges: Optional[int] = None,
     stats: Optional[KernelStats] = None,
     nz_batch_size: Optional[int] = None,
     block_bytes: int = DEFAULT_BLOCK_BYTES,
@@ -98,7 +100,8 @@ def s3ttmc_tc(
 ) -> TTMcTCResult:
     """Full S³TTMcTC-SP: S³TTMc followed by the two Property-2/3 GEMMs.
 
-    See :func:`repro.core.s3ttmc.s3ttmc` for the shared parameters; ``ctx``
+    See :func:`repro.core.s3ttmc.s3ttmc` for the shared parameters
+    (including the ``kernel``/``chunk_edges`` engine mode); ``ctx``
     carries the run's budget/collector (ambient when ``None``).
     """
     ctx = resolve_context(ctx)
@@ -106,6 +109,8 @@ def s3ttmc_tc(
         tensor,
         factor,
         memoize=memoize,
+        kernel=kernel,
+        chunk_edges=chunk_edges,
         stats=stats,
         nz_batch_size=nz_batch_size,
         block_bytes=block_bytes,

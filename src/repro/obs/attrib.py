@@ -51,21 +51,41 @@ __all__ = [
 LAYOUT_FAMILIES = {"compact": "symprop", "full": "css", "cp": "cp"}
 
 
+def _family(layout: str, kernel: str) -> str:
+    """Calibration family for a layout under an engine mode.
+
+    The fused exec-compiled kernels run the same arithmetic at a
+    different achieved rate, so they calibrate as their own family
+    (``symprop+compiled`` vs ``symprop``) — the compiled-vs-generic
+    comparison then falls straight out of the report tables.
+    """
+    base = LAYOUT_FAMILIES.get(layout, layout)
+    return f"{base}+compiled" if kernel == "compiled" else base
+
+
 @dataclass
 class LevelRow:
-    """One ``(level, layout, backend)`` cell of the efficiency table."""
+    """One ``(level, layout, kernel, backend)`` cell of the efficiency table."""
 
     level: str
     layout: str
     backend: str
+    kernel: str = "generic"
     seconds: float = 0.0
     count: int = 0
     flops: float = 0.0
     predicted_seconds: float = 0.0
 
     @property
-    def key(self) -> Tuple[str, str, str]:
-        return (self.level, self.layout, self.backend)
+    def key(self) -> Tuple[str, str, str, str]:
+        return (self.level, self.layout, self.backend, self.kernel)
+
+    @property
+    def label(self) -> str:
+        layout = (
+            f"{self.layout}+compiled" if self.kernel == "compiled" else self.layout
+        )
+        return f"{self.level}/{layout}/{self.backend}"
 
     @property
     def rate(self) -> float:
@@ -218,6 +238,7 @@ def attribute(records: Union[TraceRecords, TraceCollector]) -> AttributionReport
         kernel = ancestor(s, "lattice_ttmc")
         kattrs = (kernel or {}).get("attrs") or {}
         layout = str(kattrs.get("intermediate", "?"))
+        mode = str(kattrs.get("kernel", "generic"))
         run = ancestor(s, "parallel.s3ttmc")
         backend = (
             str((run.get("attrs") or {}).get("backend", "?"))
@@ -229,7 +250,8 @@ def attribute(records: Union[TraceRecords, TraceCollector]) -> AttributionReport
         )
         flops = _structural_flops(name, attrs)
         row = levels.setdefault(
-            (level, layout, backend), LevelRow(level, layout, backend)
+            (level, layout, backend, mode),
+            LevelRow(level, layout, backend, mode),
         )
         row.seconds += float(s.get("seconds") or 0.0)
         row.count += 1
@@ -239,6 +261,7 @@ def attribute(records: Union[TraceRecords, TraceCollector]) -> AttributionReport
                 kernel.get("id"),
                 {
                     "layout": layout,
+                    "kernel": mode,
                     "order": int(kattrs.get("order", 0)),
                     "rank": int(kattrs.get("rank", 0)),
                     "unnz": int(kattrs.get("unnz", 0)),
@@ -251,12 +274,13 @@ def attribute(records: Union[TraceRecords, TraceCollector]) -> AttributionReport
     # -- calibrate family rates from the trace's own kernel calls ----------
     calibration = RateCalibration()
     for acc in calls.values():
-        family = LAYOUT_FAMILIES.get(acc["layout"], acc["layout"])
-        calibration.record(family, acc["flops"], acc["seconds"])
+        calibration.record(
+            _family(acc["layout"], acc["kernel"]), acc["flops"], acc["seconds"]
+        )
     report.rates = {
         family: rate
         for family in sorted(
-            {LAYOUT_FAMILIES.get(a["layout"], a["layout"]) for a in calls.values()}
+            {_family(a["layout"], a["kernel"]) for a in calls.values()}
         )
         if (rate := calibration.rate(family)) is not None
     }
@@ -264,7 +288,7 @@ def attribute(records: Union[TraceRecords, TraceCollector]) -> AttributionReport
     # -- per-kernel-shape predicted vs measured ----------------------------
     kernels: Dict[Tuple[str, int, int, int], KernelRow] = {}
     for acc in calls.values():
-        family = LAYOUT_FAMILIES.get(acc["layout"], acc["layout"])
+        family = _family(acc["layout"], acc["kernel"])
         key = (family, acc["order"], acc["rank"], acc["unnz"])
         row = kernels.setdefault(key, KernelRow(*key))
         row.calls += 1
@@ -279,8 +303,7 @@ def attribute(records: Union[TraceRecords, TraceCollector]) -> AttributionReport
 
     # -- per-level predictions from the calibrated rates -------------------
     for row in levels.values():
-        family = LAYOUT_FAMILIES.get(row.layout, row.layout)
-        rate = report.rates.get(family)
+        rate = report.rates.get(_family(row.layout, row.kernel))
         if rate:
             # Rate-predict the *measured* structural flops: chunked
             # parallel runs never match the closed-form per-call shapes
@@ -288,7 +311,8 @@ def attribute(records: Union[TraceRecords, TraceCollector]) -> AttributionReport
             # is exact in every regime.
             row.predicted_seconds = row.flops / rate
     report.levels = sorted(
-        levels.values(), key=lambda r: (r.layout, r.backend, _level_sort(r.level))
+        levels.values(),
+        key=lambda r: (r.layout, r.kernel, r.backend, _level_sort(r.level)),
     )
 
     # -- parallel rollups: critical path + worker utilization --------------
@@ -356,7 +380,7 @@ def render_attribution(
             f"{title}: per-level predicted vs measured", "level/layout/backend"
         )
         for row in report.levels:
-            label = f"{row.level}/{row.layout}/{row.backend}"
+            label = row.label
             table.set("measured", label, format_seconds(row.seconds))
             table.set(
                 "predicted",

@@ -220,6 +220,8 @@ def _resilient_partial(
                     job.factor,
                     intermediate="compact",
                     memoize=job.memoize,
+                    kernel=job.kernel,
+                    chunk_edges=job.chunk_edges,
                     out=partial,
                     out_row_map=row_map,
                     plan=plan,
@@ -998,6 +1000,7 @@ class ProcessBackend(Backend):
                             job.memoize, job.cols, budget_spec,
                             fault.payload() if fault is not None else None,
                             policy.heartbeat_interval,
+                            job.kernel, job.chunk_edges,
                         )
                     )
                 except (OSError, BrokenPipeError, ValueError):

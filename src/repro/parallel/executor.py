@@ -161,6 +161,12 @@ class ParallelJob:
     #: The run's (snapshotted) ExecContext: budget/collector travel with
     #: the job into worker threads and (as a budget spec) processes.
     ctx: Optional[ExecContext] = None
+    #: Engine mode per chunk: ``"generic"`` or ``"compiled"`` (the spec
+    #: ships to process workers, which compile locally and cache tables
+    #: in their worker-side plan caches).
+    kernel: str = "generic"
+    #: Compiled-kernel chunk size (``None`` = tuned default).
+    chunk_edges: Optional[int] = None
 
     @property
     def order(self) -> int:
@@ -309,6 +315,8 @@ def parallel_s3ttmc(
     *,
     backend: Union[str, "Backend", None] = None,
     memoize: str = "global",
+    kernel: str = "generic",
+    chunk_edges: Optional[int] = None,
     reduction: Optional[str] = None,
     report: Optional[ParallelRunReport] = None,
     ctx: Optional[ExecContext] = None,
@@ -333,6 +341,12 @@ def parallel_s3ttmc(
         call.
     memoize:
         Lattice memoization scope, forwarded to the chunk plans.
+    kernel:
+        Per-chunk engine mode: ``"generic"`` or ``"compiled"`` (fused
+        exec-generated kernels; process workers compile locally from the
+        shipped spec and reuse worker-side table caches).
+    chunk_edges:
+        Compiled-kernel fused chunk size (``None`` = tuned default).
     reduction:
         ``"blocked"`` (compact row-block partials, ``~I·S`` reduction
         memory) or ``"tree"`` (full-width private partials reduced
@@ -398,6 +412,8 @@ def parallel_s3ttmc(
         reduction=reduction,
         tensor=ucoo,
         ctx=run_ctx,
+        kernel=kernel,
+        chunk_edges=chunk_edges,
     )
     if report is not None:
         report.n_workers = n_workers

@@ -278,6 +278,12 @@ class _WorkerState:
         self.factor_name = ""
         # (tensor_gen, start, stop, memoize) -> (plan, rows, row_map)
         self.plan_cache: Dict[tuple, tuple] = {}
+        # Worker-side PlanCache: compiled-kernel gather tables persist
+        # across chunk calls (keyed by plan stamp, so a new tensor
+        # generation — new pattern — can never hit stale tables).
+        from ..runtime.context import PlanCache
+
+        self.plans = PlanCache()
         self.result: Optional[SharedMemory] = None
 
     def attach(self, key: str, spec: ShmArraySpec) -> np.ndarray:
@@ -319,6 +325,8 @@ def _run_chunk(
     budget_spec,
     fault,
     heartbeat: _Heartbeat,
+    kernel: str = "generic",
+    chunk_edges=None,
 ):
     """Evaluate one chunk into the worker's result buffer.
 
@@ -394,7 +402,7 @@ def _run_chunk(
     # the mirrored budget; relying on ambient state here would be wrong
     # twice over — the fork may have inherited the parent's thread-local
     # context stack, and a bare budget push would not survive it.
-    worker_ctx = ExecContext(budget=budget)
+    worker_ctx = ExecContext(budget=budget, plans=state.plans)
     tick = time.perf_counter()
     lattice_ttmc(
         state.indices[start:stop],
@@ -403,6 +411,8 @@ def _run_chunk(
         state.factor,
         intermediate="compact",
         memoize=memoize,
+        kernel=kernel,
+        chunk_edges=chunk_edges,
         out=block,
         out_row_map=row_map,
         plan=plan,
@@ -430,9 +440,10 @@ def worker_main(
         (Re-)attach the factor buffer. The parent rewrites the segment in
         place between calls; a new name arrives only when the shape grew.
     ``("chunk", task_id, start, stop, memoize, cols, budget_spec, fault,
-    heartbeat_interval)``
-        Evaluate one chunk under the mirrored budget, heartbeating every
-        ``heartbeat_interval`` seconds; reply ``("chunk_done", task_id,
+    heartbeat_interval, kernel, chunk_edges)``
+        Evaluate one chunk under the mirrored budget — with the generic
+        or compiled engine per the shipped kernel spec — heartbeating
+        every ``heartbeat_interval`` seconds; reply ``("chunk_done", task_id,
         result_name, n_rows, checksum, build_s, numeric_s, hit, peak)``,
         ``("chunk_oom", task_id, label, nbytes, limit, in_use)`` when the
         mirrored budget refuses an allocation, or ``("chunk_error",
@@ -489,6 +500,8 @@ def worker_main(
                         budget_spec,
                         fault,
                         hb_interval,
+                        kernel,
+                        chunk_edges,
                     ) = msg
                     heartbeat.start_task(task_id, hb_interval)
                     try:
@@ -501,6 +514,8 @@ def worker_main(
                             budget_spec,
                             fault,
                             heartbeat,
+                            kernel,
+                            chunk_edges,
                         )
                     except MemoryLimitError as oom:
                         reply(

@@ -24,8 +24,12 @@ def kernel_flops_model(
     """Closed-form kernel flop count per invocation.
 
     ``family`` ∈ {"symprop", "symprop-tc", "css", "splatt", "hoqri-nary",
-    "cp"}.
+    "cp"}, optionally with an engine-mode suffix (``symprop+compiled``):
+    the fused compiled kernels perform the same arithmetic, so a suffixed
+    family shares its base family's flop count (only its calibrated
+    *rate* differs).
     """
+    family = family.partition("+")[0] or family
     if family in ("symprop", "symprop-tc"):
         return float(total_sp(order, rank, unnz))
     if family == "css":

@@ -51,6 +51,7 @@ from __future__ import annotations
 
 import threading
 import weakref
+from collections import OrderedDict
 from contextlib import ExitStack, contextmanager
 from typing import Any, Dict, Iterator, List, Optional
 
@@ -63,6 +64,7 @@ from .budget import MemoryBudget
 from .faults import DEFAULT_FALLBACK, FallbackPolicy, FaultInjector
 
 __all__ = [
+    "COMPILED_TABLE_CACHE_CAP",
     "EXECUTIONS",
     "ExecContext",
     "PlanCache",
@@ -74,6 +76,11 @@ __all__ = [
 
 #: Recognized execution strategies (see :mod:`repro.parallel.backends`).
 EXECUTIONS = ("serial", "thread", "process")
+
+#: Cap on cached compiled-kernel table sets per :class:`PlanCache` — the
+#: keys are pattern stamps (not weakly referenceable), so the store is
+#: bounded by eviction instead of garbage collection.
+COMPILED_TABLE_CACHE_CAP = 64
 
 
 # ---------------------------------------------------------------------------
@@ -116,6 +123,11 @@ class PlanCache:
     are pattern-only (they never depend on factor values), so sharing a
     cache between contexts is always *correct* — separate caches are
     about lifecycle isolation, not numerics.
+
+    Compiled-kernel gather tables (:mod:`repro.core.compile`) are stored
+    separately in a bounded LRU keyed by the plan's pattern stamp plus the
+    kernel-spec axes — stamp keys cannot be weakly held, so an explicit
+    cap (:data:`COMPILED_TABLE_CACHE_CAP`) bounds the store instead.
     """
 
     def __init__(self) -> None:
@@ -125,6 +137,9 @@ class PlanCache:
         self._partitions: "weakref.WeakKeyDictionary[object, dict]" = (
             weakref.WeakKeyDictionary()
         )
+        self._compiled: "OrderedDict[tuple, object]" = OrderedDict()
+        self.compiled_hits = 0
+        self.compiled_misses = 0
 
     def chunk_plans(self, tensor: object) -> dict:
         """The (mutable) chunk-plan dict for ``tensor``."""
@@ -148,15 +163,38 @@ class PlanCache:
                 return {}
         return cache
 
+    def compiled_get(self, key: tuple):
+        """Cached compiled-kernel tables for ``key``, or ``None`` (LRU)."""
+        entry = self._compiled.get(key)
+        if entry is None:
+            self.compiled_misses += 1
+            return None
+        self._compiled.move_to_end(key)
+        self.compiled_hits += 1
+        return entry
+
+    def compiled_put(self, key: tuple, tables: object) -> None:
+        """Store compiled-kernel tables, evicting least-recently-used."""
+        self._compiled[key] = tables
+        self._compiled.move_to_end(key)
+        while len(self._compiled) > COMPILED_TABLE_CACHE_CAP:
+            self._compiled.popitem(last=False)
+
+    @property
+    def n_compiled(self) -> int:
+        """Number of cached compiled-kernel table sets."""
+        return len(self._compiled)
+
     @property
     def n_tensors(self) -> int:
         """Number of tensors with live cached state (either kind)."""
         return len(set(self._chunk_plans) | set(self._partitions))
 
     def clear(self) -> None:
-        """Drop all cached plans and partitions."""
+        """Drop all cached plans, partitions and compiled tables."""
         self._chunk_plans.clear()
         self._partitions.clear()
+        self._compiled.clear()
 
 
 # ---------------------------------------------------------------------------

@@ -291,6 +291,99 @@ def run_workload_checks(
         )
     )
 
+    # Compiled kernels (repro.core.compile): the fused exec-generated
+    # path preserves operation order (stable scatter sort, degree-group
+    # reductions, node-aligned chunks) so it must match the generic
+    # kernel bitwise; batching/memoization variants reorder (allclose).
+    results.append(
+        _guarded(
+            spec,
+            "compiled-vs-generic",
+            "bitwise",
+            lambda: _compare(
+                spec,
+                "compiled-vs-generic",
+                "bitwise",
+                kernel(kernel="compiled"),
+                canonical,
+            ),
+        )
+    )
+    if dense_ok:
+        results.append(
+            _guarded(
+                spec,
+                "compiled-vs-dense",
+                "allclose",
+                lambda: _compare(
+                    spec,
+                    "compiled-vs-dense",
+                    "allclose",
+                    s3ttmc(x, u, kernel="compiled", ctx=ctx).to_full_unfolding(),
+                    dense_y,
+                ),
+            )
+        )
+
+    def _compiled_plan_reuse() -> CheckResult:
+        # Two calls on the same stamped plan: the second hits the
+        # per-plan gather-table cache and must still be bitwise.
+        kernel(kernel="compiled", plan=plan)
+        return _compare(
+            spec,
+            "compiled-plan-reuse",
+            "bitwise",
+            kernel(kernel="compiled", plan=plan),
+            canonical,
+        )
+
+    results.append(
+        _guarded(spec, "compiled-plan-reuse", "bitwise", _compiled_plan_reuse)
+    )
+    results.append(
+        _guarded(
+            spec,
+            "compiled-chunk-invariance",
+            "bitwise",
+            lambda: _compare(
+                spec,
+                "compiled-chunk-invariance",
+                "bitwise",
+                kernel(kernel="compiled", chunk_edges=64),
+                kernel(kernel="compiled", chunk_edges=100_000),
+            ),
+        )
+    )
+    if unnz > 0:
+        results.append(
+            _guarded(
+                spec,
+                "compiled-nz-batch",
+                "allclose",
+                lambda: _compare(
+                    spec,
+                    "compiled-nz-batch",
+                    "allclose",
+                    kernel(kernel="compiled", nz_batch_size=max(1, unnz // 3)),
+                    canonical,
+                ),
+            )
+        )
+    results.append(
+        _guarded(
+            spec,
+            "compiled-memoize-nonzero",
+            "allclose",
+            lambda: _compare(
+                spec,
+                "compiled-memoize-nonzero",
+                "allclose",
+                kernel(kernel="compiled", memoize="nonzero"),
+                canonical,
+            ),
+        )
+    )
+
     # Reordered-summation paths: batching, memoization scope, forced
     # non-hoisted gathers (tiny block_bytes also splits the scatter).
     if unnz > 0:
@@ -436,7 +529,9 @@ def run_workload_checks(
     if unnz > 0:
         n_workers = 3
 
-        def _parallel(backend: str, reduction: str) -> np.ndarray:
+        def _parallel(
+            backend: str, reduction: str, kernel_mode: str = "generic"
+        ) -> np.ndarray:
             report = ParallelRunReport()
             return parallel_s3ttmc(
                 x,
@@ -444,6 +539,7 @@ def run_workload_checks(
                 n_workers,
                 backend=backend,
                 reduction=reduction,
+                kernel=kernel_mode,
                 report=report,
                 ctx=ctx,
             ).data
@@ -484,6 +580,39 @@ def run_workload_checks(
                     canonical,
                 )
             )
+            # Compiled kernels under the blocked reduction: every backend
+            # must match the serial-blocked *compiled* base bitwise (the
+            # chunk partition itself reorders vs the unchunked canonical,
+            # hence the allclose anchor row).
+            base_c = _parallel("serial", "blocked", "compiled")
+            out.append(
+                _compare(
+                    spec,
+                    "parallel:serial:blocked:compiled",
+                    "allclose",
+                    base_c,
+                    canonical,
+                )
+            )
+            out.append(
+                _compare(
+                    spec,
+                    "parallel:thread:blocked:compiled",
+                    "bitwise",
+                    _parallel("thread", "blocked", "compiled"),
+                    base_c,
+                )
+            )
+            if include_process:
+                out.append(
+                    _compare(
+                        spec,
+                        "parallel:process:blocked:compiled",
+                        "bitwise",
+                        _parallel("process", "blocked", "compiled"),
+                        base_c,
+                    )
+                )
             return out
 
         try:

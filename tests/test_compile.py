@@ -1,0 +1,244 @@
+"""Tests for the kernel compiler v2 (repro.core.compile).
+
+The compiled kernels promise *bitwise* agreement with the generic
+engine (same reduction order, same stable scatter sort, node-aligned
+chunks) — so most assertions here are ``array_equal``, not ``allclose``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.compile import (
+    DEFAULT_CHUNK_EDGES,
+    KERNEL_VERSION,
+    KernelSpec,
+    build_tables,
+    clear_kernel_cache,
+    compiled_kernel,
+    generate_kernel_source,
+    get_kernel,
+    kernel_cache_info,
+)
+from repro.core.engine import lattice_ttmc
+from repro.core.plan import build_plan
+from repro.core.s3ttmc import s3ttmc
+from repro.runtime.budget import MemoryBudget
+from repro.runtime.context import ExecContext
+from repro.symmetry.combinatorics import sym_storage_size
+
+from .conftest import make_random_tensor
+
+
+def _run(tensor, factor, **kwargs):
+    return lattice_ttmc(
+        tensor.indices, tensor.values, tensor.dim, factor, **kwargs
+    )
+
+
+class TestBitwiseEquality:
+    @pytest.mark.parametrize("order,dim,unnz", [(2, 8, 20), (3, 8, 25), (4, 7, 20), (5, 6, 12), (6, 5, 8)])
+    @pytest.mark.parametrize("intermediate", ["compact", "full", "cp"])
+    def test_matches_generic(self, order, dim, unnz, intermediate, rng):
+        t = make_random_tensor(order, dim, unnz, rng)
+        u = rng.standard_normal((dim, 4))
+        ref = _run(t, u, intermediate=intermediate)
+        got = _run(t, u, intermediate=intermediate, kernel="compiled")
+        assert np.array_equal(got, ref)
+
+    @pytest.mark.parametrize("memoize", ["global", "nonzero"])
+    def test_memoize_scopes(self, memoize, rng):
+        t = make_random_tensor(4, 7, 25, rng)
+        u = rng.standard_normal((7, 3))
+        ref = _run(t, u, memoize=memoize)
+        got = _run(t, u, memoize=memoize, kernel="compiled")
+        assert np.array_equal(got, ref)
+
+    def test_s3ttmc_entry_point(self, small_tensor, rng):
+        u = rng.standard_normal((small_tensor.dim, 5))
+        ref = s3ttmc(small_tensor, u)
+        got = s3ttmc(small_tensor, u, kernel="compiled")
+        assert np.array_equal(got.data, ref.data)
+
+    def test_chunk_size_invariance(self, rng):
+        # Chunks never split a node or scatter segment, so any chunk
+        # size must be bitwise-identical — not merely close.
+        t = make_random_tensor(4, 8, 30, rng)
+        u = rng.standard_normal((8, 4))
+        base = _run(t, u, kernel="compiled", chunk_edges=DEFAULT_CHUNK_EDGES)
+        for chunk in (16, 64, 1_000_000):
+            got = _run(t, u, kernel="compiled", chunk_edges=chunk)
+            assert np.array_equal(got, base), f"chunk_edges={chunk}"
+
+    def test_nz_batching_allclose(self, rng):
+        # Batching reorders the output accumulation (like the generic
+        # engine) — allclose, and bitwise against the *generic* kernel
+        # run at the same batch size.
+        t = make_random_tensor(4, 7, 24, rng)
+        u = rng.standard_normal((7, 3))
+        got = _run(t, u, kernel="compiled", nz_batch_size=7)
+        assert np.array_equal(got, _run(t, u, nz_batch_size=7))
+        np.testing.assert_allclose(got, _run(t, u), rtol=1e-12, atol=1e-12)
+
+    def test_empty_tensor(self, rng):
+        t = make_random_tensor(3, 6, 4, rng)
+        empty = type(t)(3, 6, t.indices[:0], t.values[:0])
+        u = rng.standard_normal((6, 3))
+        got = _run(empty, u, kernel="compiled")
+        assert got.shape == (6, sym_storage_size(2, 3))
+        assert not got.any()
+
+
+class TestOutAndRowMap:
+    def test_out_accumulates_bitwise(self, rng):
+        t = make_random_tensor(4, 7, 20, rng)
+        u = rng.standard_normal((7, 3))
+        ref = _run(t, u)
+        out = np.zeros_like(ref)
+        _run(t, u, kernel="compiled", out=out)
+        assert np.array_equal(out, ref)
+
+    def test_row_map_identity_bitwise(self, rng):
+        t = make_random_tensor(3, 8, 15, rng)
+        u = rng.standard_normal((8, 4))
+        ref = _run(t, u)
+        out = np.zeros_like(ref)
+        _run(
+            t,
+            u,
+            kernel="compiled",
+            out=out,
+            out_row_map=np.arange(8, dtype=np.int64),
+        )
+        assert np.array_equal(out, ref)
+
+    def test_unmapped_row_raises(self, rng):
+        t = make_random_tensor(3, 6, 10, rng)
+        u = rng.standard_normal((6, 3))
+        row_map = np.full(6, -1, dtype=np.int64)
+        out = np.zeros((1, sym_storage_size(2, 3)))
+        with pytest.raises(ValueError, match="row"):
+            _run(t, u, kernel="compiled", out=out, out_row_map=row_map)
+
+    def test_invalid_kernel_name(self, rng):
+        t = make_random_tensor(3, 6, 10, rng)
+        u = rng.standard_normal((6, 3))
+        with pytest.raises(ValueError, match="kernel"):
+            _run(t, u, kernel="vectorized")
+
+
+class TestCaching:
+    def test_function_cache_identity_and_tags(self):
+        clear_kernel_cache()
+        spec = KernelSpec(order=3, rank=4)
+        fn = compiled_kernel(spec)
+        assert compiled_kernel(spec) is fn
+        assert fn.__kernel_spec__ == spec
+        assert fn.__codegen_version__ == KERNEL_VERSION
+        assert fn.__source__ == generate_kernel_source(spec)
+        assert spec.function_name in fn.__source__
+        info = kernel_cache_info()
+        assert info["size"] == 1 and spec in info["specs"]
+
+    def test_function_cache_evicts_past_cap(self):
+        clear_kernel_cache()
+        cap = kernel_cache_info()["cap"]
+        specs = [KernelSpec(order=2, rank=r) for r in range(1, cap + 2)]
+        for spec in specs:
+            compiled_kernel(spec)
+        info = kernel_cache_info()
+        assert info["size"] == cap
+        assert specs[0] not in info["specs"]  # oldest evicted
+        assert specs[-1] in info["specs"]
+        clear_kernel_cache()
+        assert kernel_cache_info()["size"] == 0
+
+    def test_distinct_specs_distinct_functions(self):
+        a = compiled_kernel(KernelSpec(order=3, rank=4))
+        b = compiled_kernel(KernelSpec(order=3, rank=5))
+        assert a is not b
+
+    def test_table_cache_hits_on_plan_stamp(self, rng):
+        t = make_random_tensor(4, 7, 20, rng)
+        ctx = ExecContext()
+        plan = build_plan(t.indices, "global", None)
+        k1 = get_kernel(plan, 3, "compact", None, ctx)
+        k2 = get_kernel(plan, 3, "compact", None, ctx)
+        assert k2.tables is k1.tables  # cached on ctx.plans, not rebuilt
+        assert ctx.plans.compiled_hits == 1
+        assert ctx.plans.compiled_misses == 1
+
+    def test_table_cache_misses_on_changed_pattern(self, rng):
+        ctx = ExecContext()
+        t1 = make_random_tensor(4, 7, 20, rng)
+        t2 = make_random_tensor(4, 7, 21, rng)
+        k1 = get_kernel(build_plan(t1.indices, "global", None), 3, "compact", None, ctx)
+        k2 = get_kernel(build_plan(t2.indices, "global", None), 3, "compact", None, ctx)
+        assert k1.tables is not k2.tables
+        assert ctx.plans.compiled_hits == 0
+
+    def test_unstamped_plan_never_cached(self, rng):
+        import dataclasses
+
+        t = make_random_tensor(3, 6, 10, rng)
+        ctx = ExecContext()
+        plan = build_plan(t.indices, "global", None)
+        legacy = dataclasses.replace(plan, unnz=-1, fingerprint=-1)
+        get_kernel(legacy, 3, "compact", None, ctx)
+        assert ctx.plans.n_compiled == 0
+
+
+class TestBudget:
+    def test_compiled_peak_below_generic(self, rng):
+        # The fusion claim, measured: no (M_{l-1}, S_l) expanded
+        # intermediate means a strictly lower accounting high-water mark
+        # on a workload big enough that intermediates dominate the
+        # compiled path's fixed-size chunk scratch buffers.
+        t = make_random_tensor(4, 100, 2000, rng)
+        u = rng.standard_normal((100, 8))
+        peaks = {}
+        for mode in ("generic", "compiled"):
+            ctx = ExecContext(budget=MemoryBudget())
+            _run(t, u, kernel=mode, ctx=ctx)
+            ctx.budget.peak = ctx.budget.in_use
+            _run(t, u, kernel=mode, ctx=ctx)
+            peaks[mode] = ctx.budget.peak
+        assert peaks["compiled"] < peaks["generic"]
+
+    def test_budget_released_on_failure(self, rng):
+        # The generated kernel releases held allocations even when it
+        # raises (the unmapped-row contract) — the budget must balance.
+        t = make_random_tensor(3, 6, 10, rng)
+        u = rng.standard_normal((6, 3))
+        ctx = ExecContext(budget=MemoryBudget())
+        row_map = np.full(6, -1, dtype=np.int64)
+        out = np.zeros((1, sym_storage_size(2, 3)))
+        with pytest.raises(ValueError):
+            _run(t, u, kernel="compiled", out=out, out_row_map=row_map, ctx=ctx)
+        assert ctx.budget.in_use == 0
+
+
+class TestSpecAndTables:
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            KernelSpec(order=1, rank=4)
+        with pytest.raises(ValueError):
+            KernelSpec(order=3, rank=0)
+        with pytest.raises(ValueError):
+            KernelSpec(order=3, rank=4, layout="sparse")
+        with pytest.raises(ValueError):
+            KernelSpec(order=3, rank=4, chunk_edges=0)
+
+    def test_function_name_encodes_spec(self):
+        spec = KernelSpec(order=5, rank=7, layout="full", memoize="nonzero", chunk_edges=64)
+        name = spec.function_name
+        assert "o5" in name and "r7" in name and "full" in name
+        assert "nonzero" in name and "c64" in name
+
+    def test_tables_nbytes_positive(self, rng):
+        from repro.core.lattice import build_lattice
+
+        t = make_random_tensor(3, 6, 10, rng)
+        lattice = build_lattice(t.indices, memoize="global")
+        tables = build_tables(lattice, 4, "compact")
+        assert tables.nbytes > 0
+        assert len(tables.levels) >= 1

@@ -81,6 +81,41 @@ class TestStepStrategies:
         codegen_step(np.ones(2), np.ones(2), 2, 2)
         assert codegen._compiled_step(2) is fn1
 
+    def test_codegen_cache_is_bounded_lru(self, monkeypatch):
+        # CPython rejects > 20 statically nested blocks, so real orders
+        # can't overflow the default cap of 32 — shrink the cap instead.
+        from repro.core import codegen
+        from repro.core.codegen import (
+            _compiled_step,
+            clear_codegen_cache,
+            codegen_cache_info,
+        )
+
+        monkeypatch.setattr(codegen, "_CACHE_CAP", 4)
+        clear_codegen_cache()
+        cap = codegen_cache_info()["cap"]
+        assert cap == 4
+        # Fill past the cap: oldest orders must be evicted, newest kept.
+        for order in range(2, 2 + cap + 3):
+            _compiled_step(order)
+        info = codegen_cache_info()
+        assert info["size"] == cap
+        assert 2 not in info["orders"]
+        assert 2 + cap + 2 in info["orders"]
+        # A hit refreshes recency: touch the oldest survivor, add one
+        # more order, and the survivor must still be cached.
+        oldest = info["orders"][0]
+        _compiled_step(oldest)
+        _compiled_step(2 + cap + 3)
+        assert oldest in codegen_cache_info()["orders"]
+        clear_codegen_cache()
+        assert codegen_cache_info()["size"] == 0
+
+    def test_codegen_callables_version_tagged(self):
+        from repro.core.codegen import CODEGEN_VERSION, _compiled_step
+
+        assert _compiled_step(3).__codegen_version__ == CODEGEN_VERSION
+
     def test_mapping_step_high_order(self, rng):
         order, dim = 7, 2
         u_row = rng.random(dim)

@@ -342,6 +342,57 @@ class TestAttribution:
         expected = kernel_flops_model("symprop", 3, 4, 50, dim=400) / rate
         assert krow.predicted_seconds == pytest.approx(expected)
 
+    def test_kernel_modes_split_into_families(self):
+        # Same workload traced under both engine modes: the compiled
+        # call must land in its own calibration family and its own
+        # per-level rows, never averaged into the generic ones.
+        generic, flops = _fabricated_kernel_trace(seconds=1.0)
+        compiled, _ = _fabricated_kernel_trace(seconds=0.5)
+        spans = list(generic.spans)
+        offset = max(s["id"] for s in spans)
+        for s in compiled.spans:
+            s = dict(s, id=s["id"] + offset, attrs=dict(s["attrs"]))
+            if s["parent"] is not None:
+                s["parent"] += offset
+            else:
+                s["attrs"]["kernel"] = "compiled"
+            spans.append(s)
+        report = attribute(TraceRecords(spans=spans))
+        total = sum(flops.values())
+        assert report.rates["symprop"] == pytest.approx(total)
+        assert report.rates["symprop+compiled"] == pytest.approx(total / 0.5)
+        families = {k.family: k for k in report.kernels}
+        assert set(families) == {"symprop", "symprop+compiled"}
+        assert families["symprop+compiled"].seconds == pytest.approx(0.5)
+        # closed-form prediction works for the suffixed family too
+        assert families["symprop+compiled"].predicted_seconds is not None
+        by_mode = {(r.level, r.kernel) for r in report.levels}
+        assert ("2", "generic") in by_mode and ("2", "compiled") in by_mode
+        compiled_row = next(
+            r for r in report.levels if r.level == "2" and r.kernel == "compiled"
+        )
+        assert "compact+compiled" in compiled_row.label
+
+    def test_kernel_modes_live_trace(self, rng):
+        # End to end on real kernels: both modes traced in one run show
+        # up as distinct attribution rows.
+        from repro.core import s3ttmc
+        from repro.runtime.context import ExecContext
+
+        tensor = make_random_tensor(3, 10, 30, rng)
+        factor = rng.standard_normal((10, 4))
+        with TraceCollector() as col:
+            ctx = ExecContext(collector=col)
+            s3ttmc(tensor, factor, ctx=ctx)
+            s3ttmc(tensor, factor, kernel="compiled", ctx=ctx)
+        report = attribute(col)
+        assert {k.family for k in report.kernels} == {
+            "symprop",
+            "symprop+compiled",
+        }
+        text = render_attribution(report)
+        assert "symprop+compiled" in text
+
     def test_worker_rollups_spans_and_events(self):
         spans = [
             {

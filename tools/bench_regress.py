@@ -1,9 +1,11 @@
 #!/usr/bin/env python
-"""Noise-aware perf-regression gate over the committed parallel baseline.
+"""Noise-aware perf-regression gate over the committed baselines.
 
-Compares a *fresh* run of ``benchmarks/bench_parallel_baseline.py``
-against the committed ``BENCH_parallel.json`` (or any two baseline
-files), phase by phase, using :mod:`repro.obs.regress`: a phase is only
+Compares a *fresh* run of a benchmark suite (``--suite parallel`` =
+``benchmarks/bench_parallel_baseline.py`` vs ``BENCH_parallel.json``,
+``--suite codegen`` = ``benchmarks/bench_codegen_v2.py`` vs
+``BENCH_codegen.json``, or any two baseline files via ``--baseline`` /
+``--fresh``), phase by phase, using :mod:`repro.obs.regress`: a phase is only
 flagged when its median moved beyond ``max(--threshold, --noise-mult ×
 observed relative dispersion)``. Both the v2 (median/MAD phases) and the
 legacy v1 (scalar) baseline schemas load.
@@ -49,18 +51,29 @@ from repro.obs.regress import (  # noqa: E402
     render_findings,
 )
 
-BASELINE_SCRIPT = REPO_ROOT / "benchmarks" / "bench_parallel_baseline.py"
+#: Benchmark suites the gate knows how to rerun: suite name ->
+#: (baseline script, committed snapshot at the repo root).
+SUITES = {
+    "parallel": (
+        REPO_ROOT / "benchmarks" / "bench_parallel_baseline.py",
+        REPO_ROOT / "BENCH_parallel.json",
+    ),
+    "codegen": (
+        REPO_ROOT / "benchmarks" / "bench_codegen_v2.py",
+        REPO_ROOT / "BENCH_codegen.json",
+    ),
+}
 
 
-def run_fresh_baseline(out_path: Path) -> None:
-    """Run the baseline benchmark in a subprocess, writing to ``out_path``."""
+def run_fresh_baseline(script: Path, out_path: Path) -> None:
+    """Run a suite's baseline benchmark in a subprocess, writing ``out_path``."""
     env = dict(os.environ)
     env["REPRO_BASELINE_OUT"] = str(out_path)
     env["PYTHONPATH"] = os.pathsep.join(
         p for p in (str(REPO_ROOT / "src"), env.get("PYTHONPATH")) if p
     )
     subprocess.run(
-        [sys.executable, str(BASELINE_SCRIPT)],
+        [sys.executable, str(script)],
         check=True,
         env=env,
         stdout=subprocess.DEVNULL,
@@ -73,9 +86,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         description="Noise-aware comparison of parallel-baseline snapshots.",
     )
     parser.add_argument(
+        "--suite",
+        choices=sorted(SUITES),
+        default="parallel",
+        help="benchmark suite: which script to rerun and which committed "
+        "snapshot to compare against (default: parallel)",
+    )
+    parser.add_argument(
         "--baseline",
-        default=str(REPO_ROOT / "BENCH_parallel.json"),
-        help="committed snapshot to compare against (default: BENCH_parallel.json)",
+        default=None,
+        help="committed snapshot to compare against "
+        "(default: the --suite's BENCH_*.json)",
     )
     parser.add_argument(
         "--fresh",
@@ -108,7 +129,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    base_path = Path(args.baseline)
+    script, default_baseline = SUITES[args.suite]
+    base_path = Path(args.baseline) if args.baseline else default_baseline
     if not base_path.exists():
         print(f"baseline not found: {base_path}", file=sys.stderr)
         return 2
@@ -123,8 +145,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     else:
         with tempfile.TemporaryDirectory(prefix="bench_regress_") as tmp:
             out = Path(tmp) / "fresh.json"
-            print("running fresh baseline benchmark...", flush=True)
-            run_fresh_baseline(out)
+            print(f"running fresh {args.suite} baseline benchmark...", flush=True)
+            run_fresh_baseline(script, out)
             fresh = load_baseline(out)
 
     if not base.compatible_with(fresh):

@@ -56,6 +56,10 @@ LAZY_ALLOWED = {
     # obs.attrib joins measured spans against the perfmodel's closed-form
     # flop counts/rate calibration; lazy for the same importability reason.
     ("obs", "perfmodel"),
+    # core.autotune optionally probes the parallel backends during
+    # calibration; lazy so the core kernels stay importable without the
+    # executor stack.
+    ("core", "parallel"),
 }
 
 
