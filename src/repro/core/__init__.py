@@ -5,6 +5,7 @@ from .autotune import (
     TunedConfig,
     TuneProfileError,
     autotune,
+    candidates_from_attribution,
     default_candidates,
     load_profile,
     save_profile,
@@ -62,6 +63,7 @@ __all__ = [
     "TuneProfileError",
     "PROFILE_VERSION",
     "autotune",
+    "candidates_from_attribution",
     "tuned_s3ttmc",
     "default_candidates",
     "workload_key",

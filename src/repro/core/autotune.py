@@ -48,6 +48,7 @@ __all__ = [
     "TuneProfileError",
     "TunedConfig",
     "autotune",
+    "candidates_from_attribution",
     "default_candidates",
     "load_profile",
     "save_profile",
@@ -226,6 +227,56 @@ def default_candidates(n_workers: Optional[int] = None) -> List[TunedConfig]:
     return candidates
 
 
+def candidates_from_attribution(
+    report, n_workers: Optional[int] = None
+) -> List[TunedConfig]:
+    """Candidate list seeded from an attribution report's deviation rows.
+
+    ``report`` is an :class:`repro.obs.attrib.AttributionReport` (duck-
+    typed: only ``levels`` / ``parallel`` are read, so the core layer
+    stays decoupled from ``obs``). The default candidates are reordered
+    so engine modes the report measured *closest to* the perfmodel's
+    prediction (lowest mean :attr:`~repro.obs.attrib.LevelRow.deviation`)
+    are probed first — underperforming modes are demoted, not dropped,
+    since probes still measure everything. Thread-backend rollups the
+    report observed contribute matching parallel candidates, so a
+    workload that already ran well at ``n_workers=k`` gets that exact
+    configuration probed.
+    """
+    base = default_candidates(n_workers)
+    for rollup in getattr(report, "parallel", []):
+        if getattr(rollup, "backend", "") != "thread":
+            continue
+        workers = int(getattr(rollup, "n_workers", 0))
+        if workers <= 1:
+            continue
+        for cand in (
+            TunedConfig(kernel="generic", backend="thread", n_workers=workers),
+            TunedConfig(
+                kernel="compiled",
+                chunk_edges=DEFAULT_CHUNK_EDGES,
+                backend="thread",
+                n_workers=workers,
+            ),
+        ):
+            if cand not in base:
+                base.append(cand)
+    deviations: Dict[str, List[float]] = {}
+    for row in getattr(report, "levels", []):
+        deviations.setdefault(row.kernel, []).append(float(row.deviation))
+    mean_dev = {k: sum(v) / len(v) for k, v in deviations.items() if v}
+    if not mean_dev:
+        return base
+    # Stable sort: measured-better modes first, original index breaks ties
+    # — candidate order stays deterministic for the probe tie-break.
+    return [
+        cand
+        for _, cand in sorted(
+            enumerate(base), key=lambda ic: (mean_dev.get(ic[1].kernel, 0.0), ic[0])
+        )
+    ]
+
+
 def _default_prober(
     tensor: SymmetricInput,
     factor: np.ndarray,
@@ -272,6 +323,7 @@ def autotune(
     *,
     profile_path=None,
     candidates: Optional[Sequence[TunedConfig]] = None,
+    attrib_report=None,
     repeats: int = 2,
     prober: Optional[Callable] = None,
     persist: bool = True,
@@ -284,6 +336,13 @@ def autotune(
     skipped" signal). On a miss, probes every candidate, records the
     winner in the profile (when ``persist`` and a path is configured) and
     increments ``autotune.profile.misses``.
+
+    ``attrib_report`` optionally seeds the candidate list from an
+    :class:`repro.obs.attrib.AttributionReport` (ignored when an explicit
+    ``candidates`` sequence is given): modes the report measured closest
+    to the perfmodel prediction are probed first, and observed
+    thread-backend configurations join the pool — see
+    :func:`candidates_from_attribution`.
     """
     ctx = resolve_context(ctx)
     ucoo = _as_ucoo(tensor)
@@ -310,7 +369,10 @@ def autotune(
         metrics.counter("autotune.profile.misses").inc()
 
     if candidates is None:
-        candidates = default_candidates(ctx.n_workers)
+        if attrib_report is not None:
+            candidates = candidates_from_attribution(attrib_report, ctx.n_workers)
+        else:
+            candidates = default_candidates(ctx.n_workers)
     if not candidates:
         raise ValueError("autotune needs at least one candidate")
     probe = prober if prober is not None else _default_prober

@@ -27,13 +27,19 @@ from typing import Optional, Tuple
 from ..parallel.backends import Backend, make_backend
 from ..runtime.context import EXECUTIONS, ExecContext, current_context
 
-__all__ = ["acquire_backend", "resolve_backend", "resolve_run_context"]
+__all__ = [
+    "acquire_backend",
+    "resolve_backend",
+    "resolve_run_context",
+    "sharding_config",
+]
 
 
 def resolve_run_context(
     ctx: Optional[ExecContext],
     execution: Optional[str],
     n_workers: Optional[int],
+    sharding: Optional[str] = None,
 ) -> Tuple[ExecContext, bool]:
     """The context a decomposition run executes under, plus ownership.
 
@@ -43,8 +49,8 @@ def resolve_run_context(
     the legacy keyword overrides and ``owns_ctx=True`` tells the driver
     to ``close()`` it (and any backend it adopted) when the run ends.
 
-    ``execution`` may not be combined with an explicit ``ctx`` — the
-    context already states how to execute.
+    ``execution`` / ``sharding`` may not be combined with an explicit
+    ``ctx`` — the context already states how to execute.
     """
     if ctx is not None:
         if execution is not None and execution != ctx.execution:
@@ -57,13 +63,24 @@ def resolve_run_context(
                 "n_workers conflicts with ctx.n_workers; configure the "
                 "ExecContext instead"
             )
+        if sharding is not None and sharding != ctx.sharding:
+            raise ValueError(
+                f"sharding={sharding!r} conflicts with ctx.sharding="
+                f"{ctx.sharding!r}; configure the ExecContext instead"
+            )
         return ctx, False
     base = current_context()
-    if execution is None and n_workers is None and not base.is_ambient:
+    if (
+        execution is None
+        and n_workers is None
+        and sharding is None
+        and not base.is_ambient
+    ):
         return base, False  # run inside the active explicit context
     run_ctx = base.derive(
         execution=execution if execution is not None else base.execution,
         n_workers=n_workers,
+        sharding=sharding,
     )
     return run_ctx, True
 
@@ -84,6 +101,31 @@ def acquire_backend(ctx: ExecContext, kernel: str) -> Optional[Backend]:
     if ctx.backend is None:
         ctx.adopt_backend(make_backend(ctx.execution, ctx.n_workers))
     return ctx.backend
+
+
+def sharding_config(
+    ucoo, rank: int, ctx: ExecContext, backend: Optional[Backend]
+) -> dict:
+    """Checkpoint-config entries describing the run's tensor distribution.
+
+    Empty for serial or broadcast runs (nothing distribution-dependent to
+    pin). For ``sharding="owned"`` parallel runs it records the mode and
+    the shard map — the exact non-zero ranges each worker owns — so a
+    resume can verify the checkpoint was produced under the same shard
+    layout. The ranges come from the same cached
+    :func:`~repro.parallel.sharding.partition_ranges` the executor uses,
+    and are recorded as lists-of-lists for JSON stability.
+    """
+    if backend is None or ctx.sharding != "owned":
+        return {}
+    from ..parallel.sharding import partition_ranges
+
+    n_chunks = ctx.n_workers if ctx.n_workers is not None else backend.n_workers
+    ranges = partition_ranges(ucoo, rank, max(1, n_chunks), ctx)
+    return {
+        "sharding": "owned",
+        "shard_ranges": [[int(a), int(b)] for a, b in ranges],
+    }
 
 
 def resolve_backend(

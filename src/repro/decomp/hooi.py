@@ -33,7 +33,7 @@ from ..runtime.checkpoint import (
 )
 from ..runtime.context import ExecContext, resolve_context
 from ..runtime.timer import PhaseTimer
-from ._execution import acquire_backend, resolve_run_context
+from ._execution import acquire_backend, resolve_run_context, sharding_config
 from .hosvd import initialize
 from .objective import relative_error
 from .result import ConvergenceTrace, DecompositionResult
@@ -82,6 +82,7 @@ def hooi(
     timer: Optional[PhaseTimer] = None,
     execution: Optional[str] = None,
     n_workers: Optional[int] = None,
+    sharding: Optional[str] = None,
     ctx: Optional[ExecContext] = None,
     checkpoint_dir: Optional[Union[str, Path]] = None,
     checkpoint_every: int = 1,
@@ -119,6 +120,13 @@ def hooi(
         shared-memory operands — are reused. Requires
         ``kernel="symprop"``. ``n_workers`` defaults to the core count.
         May not be combined with ``ctx``.
+    sharding:
+        Tensor distribution for parallel executions: ``"broadcast"``
+        (the default — every worker sees the whole tensor) or
+        ``"owned"`` (each worker owns a disjoint
+        :class:`~repro.parallel.sharding.TensorShard`; partials merge
+        through the hierarchical cross-shard reduction and checkpoints
+        record the shard map). May not be combined with ``ctx``.
     ctx:
         Optional :class:`~repro.runtime.context.ExecContext` governing
         the whole run: its budget, collector, execution backend, plan
@@ -146,7 +154,7 @@ def hooi(
         raise ValueError(f"unknown kernel {kernel!r}")
     if svd_method not in ("expand", "gram"):
         raise ValueError(f"unknown svd_method {svd_method!r}")
-    run_ctx, owns_ctx = resolve_run_context(ctx, execution, n_workers)
+    run_ctx, owns_ctx = resolve_run_context(ctx, execution, n_workers, sharding)
     backend = acquire_backend(run_ctx, kernel)
     if seed is None:
         seed = run_ctx.seed
@@ -166,6 +174,7 @@ def hooi(
         "rank": int(rank),
         "tol": float(tol),
         **tensor_fingerprint(ucoo),
+        **sharding_config(ucoo, rank, run_ctx, backend),
     }
     try:
         with run_ctx.scope():

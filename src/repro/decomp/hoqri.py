@@ -31,7 +31,7 @@ from ..runtime.checkpoint import (
 from ..runtime.context import ExecContext
 from ..runtime.timer import PhaseTimer
 from ..symmetry.expansion import compact_from_full
-from ._execution import acquire_backend, resolve_run_context
+from ._execution import acquire_backend, resolve_run_context, sharding_config
 from .hosvd import initialize
 from .objective import relative_error
 from .result import ConvergenceTrace, DecompositionResult
@@ -61,6 +61,7 @@ def hoqri(
     timer: Optional[PhaseTimer] = None,
     execution: Optional[str] = None,
     n_workers: Optional[int] = None,
+    sharding: Optional[str] = None,
     ctx: Optional[ExecContext] = None,
     checkpoint_dir: Optional[Union[str, Path]] = None,
     checkpoint_every: int = 1,
@@ -72,7 +73,9 @@ def hoqri(
     ``"symprop"`` (Algorithm 2) or ``"nary"`` (the original contraction).
     ``execution="thread"|"process"`` routes the S³TTMc pass through the
     parallel backend, reused across all iterations (requires
-    ``kernel="symprop"``). ``ctx`` supplies a full
+    ``kernel="symprop"``); ``sharding="owned"`` gives each worker a
+    disjoint tensor shard instead of the broadcast copy (the checkpoint
+    then records the shard map). ``ctx`` supplies a full
     :class:`~repro.runtime.context.ExecContext` (budget, collector,
     backend, plan cache, default seed) instead of the legacy keywords.
     ``checkpoint_dir`` / ``checkpoint_every`` / ``resume`` persist and
@@ -87,7 +90,7 @@ def hoqri(
         raise ValueError(f"rank must be in [1, {ucoo.dim}], got {rank}")
     if kernel not in ("symprop", "nary"):
         raise ValueError(f"unknown kernel {kernel!r}")
-    run_ctx, owns_ctx = resolve_run_context(ctx, execution, n_workers)
+    run_ctx, owns_ctx = resolve_run_context(ctx, execution, n_workers, sharding)
     backend = acquire_backend(run_ctx, kernel)
     if seed is None:
         seed = run_ctx.seed
@@ -107,6 +110,7 @@ def hoqri(
         "rank": int(rank),
         "tol": float(tol),
         **tensor_fingerprint(ucoo),
+        **sharding_config(ucoo, rank, run_ctx, backend),
     }
     try:
         with run_ctx.scope():

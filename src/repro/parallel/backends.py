@@ -101,6 +101,7 @@ from .executor import (
     get_chunk_plans,
 )
 from .partition import balanced_partition, estimate_nonzero_costs
+from .sharding import TensorShard, hierarchical_merge, shards_for_ranges
 
 __all__ = [
     "Backend",
@@ -372,6 +373,8 @@ class SerialBackend(Backend):
         plans = get_chunk_plans(
             job.tensor, job.ranges, job.memoize, report=report, ctx=ctx
         )
+        if job.sharding == "owned":
+            return self._execute_owned(job, plans, report)
         out = self._alloc_out(job)
         # One compact partial lives at a time; account for the largest.
         partial_bytes = max((cp.n_rows for cp in plans), default=0) * job.cols * 8
@@ -395,6 +398,50 @@ class SerialBackend(Backend):
             return out
         finally:
             ctx.release_bytes(partial_bytes, "parallel partials (blocked)")
+            self._handoff(job)
+
+    # -- owned: shard partials merged by the hierarchical reduction --------
+    def _execute_owned(
+        self,
+        job: ParallelJob,
+        plans: List[ChunkPlan],
+        report: Optional[ParallelRunReport],
+    ) -> np.ndarray:
+        """Sharded reference path: every shard partial is computed exactly
+        like the matching blocked chunk partial, then merged through the
+        deterministic pairwise tree — the bitwise anchor the thread and
+        process sharded paths are checked against. All shard partials are
+        staged until the merge, so reduction memory is ``Σ_c rows_c·S``
+        (vs one-at-a-time for the broadcast serial loop)."""
+        ctx = self._job_ctx(job)
+        policy = ctx.effective_fallback()
+        injector = ctx.faults
+        partial_bytes = sum(cp.n_rows for cp in plans) * job.cols * 8
+        ctx.request_bytes(partial_bytes, "parallel partials (sharded)")
+        ctx.request_bytes(job.dim * job.cols * 8, "Y (parallel)")
+        try:
+            partials: List[Tuple[np.ndarray, np.ndarray]] = []
+            for slot, cp in enumerate(plans):
+                with ctx.span(
+                    "parallel.chunk",
+                    chunk=slot,
+                    shard=slot,
+                    nz_start=cp.start,
+                    nz_stop=cp.stop,
+                ):
+                    tick = time.perf_counter()
+                    partial = _resilient_partial(
+                        job, ctx, policy, injector, self.name, slot, cp, report
+                    )
+                    self._fill_chunk_report(
+                        report, slot, time.perf_counter() - tick, worker=self.name
+                    )
+                partials.append((cp.rows, partial))
+            return hierarchical_merge(
+                partials, job.dim, job.cols, ctx=ctx, report=report
+            )
+        finally:
+            ctx.release_bytes(partial_bytes, "parallel partials (sharded)")
             self._handoff(job)
 
 
@@ -426,9 +473,70 @@ class ThreadBackend(Backend):
             job.tensor, job.ranges, job.memoize, report=report,
             ctx=self._job_ctx(job),
         )
+        if job.sharding == "owned":
+            return self._execute_owned(job, plans, report)
         if job.reduction == "tree":
             return self._execute_tree(job, plans, report)
         return self._execute_blocked(job, plans, report)
+
+    # -- owned: per-shard partials, hierarchical cross-shard merge ---------
+    def _execute_owned(
+        self,
+        job: ParallelJob,
+        plans: List[ChunkPlan],
+        report: Optional[ParallelRunReport],
+    ) -> np.ndarray:
+        """Shard partials computed concurrently (one thread per shard),
+        merged by the deterministic pairwise tree on the calling thread —
+        bitwise-identical to the serial sharded path regardless of which
+        thread finished when."""
+        ctx = self._job_ctx(job)
+        policy = ctx.effective_fallback()
+        injector = ctx.faults
+        partial_bytes = sum(cp.n_rows for cp in plans) * job.cols * 8
+        ctx.request_bytes(partial_bytes, "parallel partials (sharded)")
+        ctx.request_bytes(job.dim * job.cols * 8, "Y (parallel)")
+        parent_span = _trace.current_span_id()
+        partials: List[Optional[np.ndarray]] = [None] * len(plans)
+
+        def run(slot: int) -> None:
+            cp = plans[slot]
+            with ctx.scope(), ctx.span(
+                "parallel.chunk",
+                parent_id=parent_span,
+                chunk=slot,
+                shard=slot,
+                nz_start=cp.start,
+                nz_stop=cp.stop,
+            ) as chunk_span:
+                chunk_span.set_attr("worker", threading.current_thread().name)
+                tick = time.perf_counter()
+                partials[slot] = _resilient_partial(
+                    job, ctx, policy, injector, self.name, slot, cp, report
+                )
+                self._fill_chunk_report(
+                    report,
+                    slot,
+                    time.perf_counter() - tick,
+                    worker=threading.current_thread().name,
+                )
+
+        try:
+            if len(plans) <= 1:
+                for slot in range(len(plans)):
+                    run(slot)
+            else:
+                list(self._ensure_pool().map(run, range(len(plans))))
+            return hierarchical_merge(
+                [(cp.rows, partial) for cp, partial in zip(plans, partials)],
+                job.dim,
+                job.cols,
+                ctx=ctx,
+                report=report,
+            )
+        finally:
+            ctx.release_bytes(partial_bytes, "parallel partials (sharded)")
+            self._handoff(job)
 
     # -- blocked: compact row-block partials, slot-ordered merge -----------
     def _execute_blocked(
@@ -638,6 +746,13 @@ class ProcessBackend(Backend):
         self._factor_view: Optional[np.ndarray] = None
         self._factor_spec = None
         self._attached_results: Dict[str, object] = {}  # name -> SharedMemory
+        # Sharded (owned) distribution state: per-worker shard messages
+        # (worker_id -> ("shard", ...)), the parent-side shard records,
+        # and whether the workers currently hold shards or a broadcast.
+        self._sharded = False
+        self._shard_token: Optional[tuple] = None
+        self._shard_msgs: Dict[int, tuple] = {}
+        self._shards: List[TensorShard] = []
 
     # -- worker lifecycle --------------------------------------------------
     def _spawn_one(self, worker_id: int) -> _WorkerHandle:
@@ -672,8 +787,17 @@ class ProcessBackend(Backend):
         ]
 
     def _send_state(self, handle: _WorkerHandle) -> None:
-        """Bring a (re)spawned worker up to the current operand state."""
-        if self._tensor_msg is not None:
+        """Bring a (re)spawned worker up to the current operand state.
+
+        In owned mode this is shard *re-ingest*: the worker receives only
+        its own shard's segments (kept alive parent-side as the canonical
+        slice copies), never the whole tensor.
+        """
+        if self._sharded:
+            msg = self._shard_msgs.get(handle.worker_id)
+            if msg is not None:
+                handle.conn.send(msg)
+        elif self._tensor_msg is not None:
             handle.conn.send(self._tensor_msg)
         if self._factor_spec is not None:
             handle.conn.send(("factor", self._factor_spec))
@@ -727,13 +851,24 @@ class ProcessBackend(Backend):
         self._tensor_msg = None
         self._factor_view = None
         self._factor_spec = None
+        self._drop_shards()
+
+    def _drop_shards(self) -> None:
+        """Unlink shard segments and forget the sharded distribution."""
+        for label in [k for k in self._owned if k.startswith("shard")]:
+            _shm.close_and_unlink(self._owned.pop(label))
+        self._sharded = False
+        self._shard_token = None
+        self._shard_msgs = {}
+        self._shards = []
 
     def _ensure_tensor(self, job: ParallelJob) -> None:
         # tensor_generation (not id()) — generations are never reused, so
         # a new tensor at a recycled address cannot alias a stale token.
         token = (tensor_generation(job.tensor), job.indices.shape, job.dim)
-        if token == self._tensor_token:
+        if token == self._tensor_token and not self._sharded:
             return
+        self._drop_shards()
         for label in ("indices", "values"):
             _shm.close_and_unlink(self._owned.pop(label, None))
         idx_shm, _v, idx_spec = _shm.create_shared_array(job.indices)
@@ -746,6 +881,57 @@ class ProcessBackend(Backend):
             "tensor", self._tensor_gen, idx_spec, val_spec, job.dim
         )
         self._broadcast(self._tensor_msg)
+
+    def _ensure_shards(self, job: ParallelJob) -> List[TensorShard]:
+        """Ship each worker its disjoint shard (owned distribution).
+
+        One shard per chunk range, bound to the same-numbered worker.
+        The parent keeps every shard's segments alive in ``self._owned``
+        — they are the canonical copies a respawned owner re-ingests via
+        :meth:`_send_state`. Switching distributions invalidates the
+        other mode's state so a later broadcast run re-ships cleanly.
+        """
+        token = (tensor_generation(job.tensor), tuple(job.ranges), job.dim)
+        if token == self._shard_token and self._sharded:
+            return self._shards
+        self._drop_shards()
+        # Broadcast state is stale the moment workers attach shards (the
+        # worker-side segments are rebound); force a re-broadcast if a
+        # later job goes back to broadcast mode.
+        for label in ("indices", "values"):
+            _shm.close_and_unlink(self._owned.pop(label, None))
+        self._tensor_token = None
+        self._tensor_msg = None
+
+        shards = shards_for_ranges(job.tensor, job.ranges, job.rank)
+        self._tensor_gen += 1
+        gen = self._tensor_gen
+        for shard in shards:
+            idx_shm, _v, idx_spec = _shm.create_shared_array(shard.indices)
+            val_shm, _v, val_spec = _shm.create_shared_array(shard.values)
+            self._owned[f"shard{shard.shard_id}:indices"] = idx_shm
+            self._owned[f"shard{shard.shard_id}:values"] = val_shm
+            self._shard_msgs[shard.shard_id] = (
+                "shard", gen, shard.shard_id, idx_spec, val_spec, job.dim
+            )
+        self._shards = shards
+        self._shard_token = token
+        self._sharded = True
+        # Ship each worker its own shard (workers beyond the shard count
+        # stay idle). State is already updated, so a worker found dead
+        # here is respawned by _send_state with the correct shard.
+        for handle in list(self._workers):
+            msg = self._shard_msgs.get(handle.worker_id)
+            if msg is None:
+                continue
+            try:
+                handle.conn.send(msg)
+            except (OSError, BrokenPipeError, ValueError):
+                self._retire_worker(handle, kill=True)
+                fresh = self._spawn_one(handle.worker_id)
+                self._workers.append(fresh)
+                self._send_state(fresh)
+        return shards
 
     def _ensure_factor(self, factor: np.ndarray) -> None:
         if (
@@ -793,6 +979,10 @@ class ProcessBackend(Backend):
         self._factor_spec = None
         self._tensor_token = None
         self._tensor_msg = None
+        self._sharded = False
+        self._shard_token = None
+        self._shard_msgs = {}
+        self._shards = []
 
     def __del__(self) -> None:  # pragma: no cover - interpreter teardown
         try:
@@ -804,6 +994,8 @@ class ProcessBackend(Backend):
     def execute(
         self, job: ParallelJob, report: Optional[ParallelRunReport] = None
     ) -> np.ndarray:
+        if job.sharding == "owned":
+            return self._execute_sharded(job, report)
         ctx = self._job_ctx(job)
         policy = ctx.effective_fallback()
         injector = ctx.faults
@@ -1106,6 +1298,344 @@ class ProcessBackend(Backend):
             raise
         finally:
             ctx.release_bytes(partial_bytes, "parallel partials (shm)")
+            self._handoff(job)
+
+    def _execute_sharded(
+        self, job: ParallelJob, report: Optional[ParallelRunReport] = None
+    ) -> np.ndarray:
+        """Owned distribution: one shard per worker, shard-local chunks.
+
+        Each shard is bound 1:1 to its same-numbered owner worker — tasks
+        for shard *k* only ever run on worker *k*, in the worker's local
+        non-zero coordinates (its segments hold just the slice). Losing
+        an owner triggers a respawn plus shard *re-ingest* (the parent
+        re-sends the shard's canonical segments — counted by
+        ``parallel.shard_reingests``) and a bounded requeue. OOM splits
+        bisect within the shard and stay on the owner. Completed shard
+        row-blocks merge through the deterministic hierarchical
+        reduction, so recovered runs are bit-identical to clean ones and
+        to the serial/thread sharded paths.
+        """
+        ctx = self._job_ctx(job)
+        policy = ctx.effective_fallback()
+        injector = ctx.faults
+        self._ensure_workers()
+        shards = self._ensure_shards(job)
+        self._ensure_factor(job.factor)
+        collector = ctx.effective_collector()
+
+        total_rows = sum(s.n_rows for s in shards)
+        partial_bytes = total_rows * job.cols * 8
+        ctx.request_bytes(partial_bytes, "parallel partials (sharded)")
+        ctx.request_bytes(job.dim * job.cols * 8, "Y (parallel)")
+        blocks = [
+            np.zeros((s.n_rows, job.cols), dtype=np.float64) for s in shards
+        ]
+        budget = ctx.effective_budget()
+        budget_spec = (
+            (budget.limit_bytes, budget.in_use) if budget is not None else None
+        )
+
+        # Per-owner queues in shard-LOCAL coordinates: [0, n_nz) of the
+        # worker's own slice (the parent maps back via shard.start).
+        queues: Dict[int, Deque[_ChunkTask]] = {
+            s.shard_id: deque([_ChunkTask(s.shard_id, 0, s.n_nz, s.rows)])
+            for s in shards
+        }
+        running: Dict[object, _WorkerHandle] = {}  # conn -> handle
+        outstanding = {s.shard_id: 1 for s in shards}
+        split_slots: set = set()
+        sub_partials: Dict[int, List[Tuple[int, np.ndarray, np.ndarray]]] = {}
+        task_seq = 0
+        respawns_used = 0
+        stats = {"hits": 0, "misses": 0, "build": 0.0, "reduce": 0.0}
+
+        def handle_for(worker_id: int) -> Optional[_WorkerHandle]:
+            for handle in self._workers:
+                if handle.worker_id == worker_id:
+                    return handle
+            return None
+
+        def release(handle: _WorkerHandle) -> None:
+            running.pop(handle.conn, None)
+            handle.task = None
+            handle.task_id = -1
+
+        def retry_task(task: _ChunkTask, reason: str) -> None:
+            task.attempt += 1
+            if task.attempt > policy.max_retries:
+                raise BackendUnhealthyError(
+                    self.name,
+                    f"shard {task.slot} chunk [{task.start},{task.stop}) "
+                    f"failed after {task.attempt} attempts: {reason}",
+                )
+            _note_incident(
+                ctx, report, "parallel.retry", "parallel.retries", "retries",
+                backend=self.name, chunk=task.slot, shard=task.slot,
+                attempt=task.attempt, reason=reason,
+            )
+            backoff = policy.backoff(task.attempt)
+            if backoff > 0:
+                time.sleep(backoff)
+            queues[task.slot].append(task)
+
+        def lose_worker(handle: _WorkerHandle, reason: str, *, kill: bool) -> None:
+            nonlocal respawns_used
+            running.pop(handle.conn, None)
+            task = handle.task
+            worker_id = handle.worker_id
+            self._retire_worker(handle, kill=kill)
+            owns_shard = worker_id in self._shard_msgs
+            if respawns_used >= policy.max_respawns:
+                if owns_shard:
+                    # Nobody else holds this shard: the run cannot finish.
+                    raise BackendUnhealthyError(
+                        self.name,
+                        f"shard {worker_id} owner lost with respawn budget "
+                        f"exhausted ({reason})",
+                    )
+                return
+            respawns_used += 1
+            _note_incident(
+                ctx, report, "parallel.worker_respawn",
+                "parallel.worker_respawns", "respawns",
+                worker=worker_id, reason=reason,
+            )
+            fresh = self._spawn_one(worker_id)
+            self._workers.append(fresh)
+            self._send_state(fresh)  # re-ingests the worker's shard
+            if owns_shard:
+                _note_incident(
+                    ctx, report, "parallel.shard_reingest",
+                    "parallel.shard_reingests", "shard_reingests",
+                    worker=worker_id, shard=worker_id, reason=reason,
+                )
+            if task is not None:
+                retry_task(task, reason)
+
+        def split_task(task: _ChunkTask, oom: MemoryLimitError) -> None:
+            if task.depth >= policy.max_oom_splits or task.stop - task.start <= 1:
+                raise oom
+            shard = shards[task.slot]
+            _note_incident(
+                ctx, report, "parallel.oom_split", "parallel.oom_splits",
+                "oom_splits", backend=self.name, chunk=task.slot,
+                shard=task.slot, nz_start=shard.start + task.start,
+                nz_stop=shard.start + task.stop, depth=task.depth,
+                label=oom.label,
+            )
+            split_slots.add(task.slot)
+            halves = _bisect_range(
+                job.indices,
+                shard.start + task.start,
+                shard.start + task.stop,
+                job.rank,
+            )
+            outstanding[task.slot] += len(halves) - 1
+            for gs, ge in halves:
+                rows_sub, _map = chunk_row_block(job.indices[gs:ge], job.dim)
+                queues[task.slot].append(
+                    _ChunkTask(
+                        task.slot,
+                        gs - shard.start,
+                        ge - shard.start,
+                        rows_sub,
+                        depth=task.depth + 1,
+                    )
+                )
+
+        def merge_split_slot(slot: int) -> None:
+            shard = shards[slot]
+            block = blocks[slot]
+            # Start-ordered merge: the summation order is a function of
+            # the split tree alone, never of completion order.
+            for _start, rows_sub, part in sorted(
+                sub_partials.pop(slot, []), key=lambda item: item[0]
+            ):
+                block[np.searchsorted(shard.rows, rows_sub)] += part
+
+        def finish(handle: _WorkerHandle, msg: tuple) -> None:
+            (
+                _kind, _task_id, result_name, n_rows, checksum,
+                build_s, numeric_s, hit, peak,
+            ) = msg
+            task = handle.task
+            buffer = self._attach_result(handle, result_name, n_rows, job.cols)
+            if policy.verify_partials and not _checksums_match(
+                checksum, float(buffer.sum())
+            ):
+                _note_incident(
+                    ctx, report, "parallel.corrupt_partial",
+                    "parallel.corrupt_partials", "corrupt_partials",
+                    backend=self.name, chunk=task.slot, shard=task.slot,
+                    worker=handle.worker_id,
+                )
+                release(handle)
+                retry_task(task, "corrupt partial (checksum mismatch)")
+                return
+            if budget is not None and peak:
+                budget.observe_peak(peak)
+            tick = time.perf_counter()
+            if task.slot in split_slots:
+                sub_partials.setdefault(task.slot, []).append(
+                    (task.start, task.rows, np.array(buffer, copy=True))
+                )
+            else:
+                blocks[task.slot][...] = buffer
+            outstanding[task.slot] -= 1
+            if outstanding[task.slot] == 0 and task.slot in split_slots:
+                merge_split_slot(task.slot)
+            stats["reduce"] += time.perf_counter() - tick
+            stats["hits"] += bool(hit)
+            stats["misses"] += not hit
+            stats["build"] += build_s
+            self._fill_chunk_report(
+                report, task.slot, numeric_s, worker=f"w{handle.worker_id}"
+            )
+            if collector is not None:
+                _trace.event(
+                    "parallel.chunk.done",
+                    collector=collector,
+                    chunk=task.slot,
+                    shard=task.slot,
+                    worker=handle.worker_id,
+                    attempt=task.attempt,
+                    numeric_seconds=numeric_s,
+                    build_seconds=build_s,
+                    plan_cache_hit=bool(hit),
+                )
+            release(handle)
+
+        def dispatch_owner(worker_id: int) -> None:
+            nonlocal task_seq
+            queue = queues.get(worker_id)
+            if not queue:
+                return
+            handle = handle_for(worker_id)
+            if handle is None or handle.conn in running:
+                return
+            task = queue.popleft()
+            fault = (
+                injector.arm(
+                    "chunk", backend=self.name, slot=task.slot,
+                    attempt=task.attempt, worker=worker_id, shard=task.slot,
+                )
+                if injector is not None
+                else None
+            )
+            task_seq += 1
+            try:
+                handle.conn.send(
+                    (
+                        "chunk", task_seq, task.start, task.stop,
+                        job.memoize, job.cols, budget_spec,
+                        fault.payload() if fault is not None else None,
+                        policy.heartbeat_interval,
+                        job.kernel, job.chunk_edges,
+                    )
+                )
+            except (OSError, BrokenPipeError, ValueError):
+                queues[task.slot].appendleft(task)
+                lose_worker(handle, "shard owner died while idle", kill=True)
+                return
+            handle.task = task
+            handle.task_id = task_seq
+            handle.last_heard = time.monotonic()
+            running[handle.conn] = handle
+
+        try:
+            while running or any(queues.values()):
+                for worker_id in list(queues):
+                    dispatch_owner(worker_id)
+                if not running:
+                    if not self._workers and any(queues.values()):
+                        raise BackendUnhealthyError(
+                            self.name, "no workers available"
+                        )
+                    continue
+                if policy.chunk_timeout is None:
+                    timeout = None
+                else:
+                    now = time.monotonic()
+                    deadline = min(
+                        h.last_heard + policy.chunk_timeout
+                        for h in running.values()
+                    )
+                    timeout = max(0.005, deadline - now)
+                for conn in _mp_wait(list(running), timeout):
+                    handle = running.get(conn)
+                    if handle is None:
+                        continue  # worker was killed earlier this round
+                    try:
+                        msg = conn.recv()
+                    except (EOFError, OSError):
+                        lose_worker(handle, "worker died (pipe EOF)", kill=True)
+                        continue
+                    kind = msg[0]
+                    if kind == "beat":
+                        if msg[1] == handle.task_id:
+                            handle.last_heard = time.monotonic()
+                    elif msg[1] != handle.task_id:
+                        continue  # reply for a superseded dispatch
+                    elif kind == "chunk_done":
+                        finish(handle, msg)
+                    elif kind == "chunk_oom":
+                        _k, _tid, label, nbytes, limit, in_use = msg
+                        task = handle.task
+                        release(handle)
+                        split_task(
+                            task, MemoryLimitError(label, nbytes, limit, in_use)
+                        )
+                    elif kind == "chunk_error":
+                        task = handle.task
+                        release(handle)
+                        retry_task(
+                            task,
+                            f"worker error: {str(msg[2]).splitlines()[0]}",
+                        )
+                if policy.chunk_timeout is not None:
+                    now = time.monotonic()
+                    for handle in list(running.values()):
+                        if now - handle.last_heard > policy.chunk_timeout:
+                            lose_worker(
+                                handle,
+                                f"worker hung (silent for "
+                                f"{now - handle.last_heard:.2f}s)",
+                                kill=True,
+                            )
+
+            out = hierarchical_merge(
+                [(shard.rows, block) for shard, block in zip(shards, blocks)],
+                job.dim,
+                job.cols,
+                ctx=ctx,
+                report=report,
+            )
+            if report is not None:
+                report.reduce_seconds += stats["reduce"]
+
+            if collector is not None:
+                if stats["hits"]:
+                    collector.metrics.counter("parallel.plan_cache.hits").inc(
+                        stats["hits"]
+                    )
+                if stats["misses"]:
+                    collector.metrics.counter(
+                        "parallel.plan_cache.misses"
+                    ).inc(stats["misses"])
+            if report is not None:
+                report.plan_cache_hits += stats["hits"]
+                report.plan_cache_misses += stats["misses"]
+                report.plan_build_seconds += stats["build"]
+            return out
+        except BaseException:
+            # Workers may be mid-chunk, wedged, or have unread replies in
+            # their pipes; reset the pool so this backend (or its
+            # successor after a fallback) starts clean.
+            self._reset_workers()
+            raise
+        finally:
+            ctx.release_bytes(partial_bytes, "parallel partials (sharded)")
             self._handoff(job)
 
     def _attach_result(

@@ -49,7 +49,7 @@ from ..obs import trace as _trace
 from ..runtime.context import ExecContext, resolve_context
 from ..runtime.faults import BackendUnhealthyError
 from ..symmetry.combinatorics import sym_storage_size
-from .partition import balanced_partition, estimate_nonzero_costs
+from .sharding import chunk_row_block, partition_ranges, shard_resident_bytes
 
 __all__ = [
     "ChunkPlan",
@@ -58,6 +58,7 @@ __all__ = [
     "chunk_row_block",
     "get_chunk_plans",
     "parallel_s3ttmc",
+    "partition_ranges",
     "measure_chunk_costs",
 ]
 
@@ -115,6 +116,8 @@ class ParallelRunReport:
     elapsed: float = 0.0
     backend: str = ""
     reduction: str = ""
+    sharding: str = ""
+    shard_reingests: int = 0
     plan_cache_hits: int = 0
     plan_cache_misses: int = 0
     plan_build_seconds: float = 0.0
@@ -167,6 +170,10 @@ class ParallelJob:
     kernel: str = "generic"
     #: Compiled-kernel chunk size (``None`` = tuned default).
     chunk_edges: Optional[int] = None
+    #: Tensor distribution: ``"broadcast"`` (whole tensor to every
+    #: worker) or ``"owned"`` (disjoint per-worker shards merged by the
+    #: hierarchical reduction — see :mod:`repro.parallel.sharding`).
+    sharding: str = "broadcast"
 
     @property
     def order(self) -> int:
@@ -175,19 +182,6 @@ class ParallelJob:
     @property
     def rank(self) -> int:
         return self.factor.shape[1]
-
-
-def chunk_row_block(indices: np.ndarray, dim: int) -> Tuple[np.ndarray, np.ndarray]:
-    """``(rows, row_map)`` for one chunk's compact output block.
-
-    ``rows`` is the sorted distinct index values of the chunk (the exact
-    set of output rows its top-level scatter hits); ``row_map`` inverts
-    it over ``[0, dim)`` with ``-1`` for untouched rows.
-    """
-    rows = np.unique(indices)
-    row_map = np.full(dim, -1, dtype=np.int64)
-    row_map[rows] = np.arange(rows.shape[0], dtype=np.int64)
-    return rows, row_map
 
 
 def _count_cache(
@@ -287,27 +281,6 @@ def get_chunk_plans(
     return out
 
 
-def partition_ranges(
-    tensor, rank: int, n_chunks: int, ctx: Optional[ExecContext] = None
-) -> Tuple[Tuple[int, int], ...]:
-    """Balanced non-zero partition, cached per ``(n_chunks, rank)``.
-
-    The cost estimate depends on the rank (row widths scale with it) but
-    not on factor values, so the partition — like the plans keyed on it —
-    is stable across iterations. Cached on the context's plan cache.
-    """
-    cache = resolve_context(ctx).plans.partitions(tensor)
-    key = (int(n_chunks), int(rank))
-    ranges = cache.get(key)
-    if ranges is None:
-        costs = estimate_nonzero_costs(tensor.indices, rank)
-        ranges = tuple(
-            r for r in balanced_partition(costs, n_chunks) if r[0] < r[1]
-        )
-        cache[key] = ranges
-    return ranges
-
-
 def parallel_s3ttmc(
     tensor: SymmetricInput,
     factor: np.ndarray,
@@ -318,6 +291,7 @@ def parallel_s3ttmc(
     kernel: str = "generic",
     chunk_edges: Optional[int] = None,
     reduction: Optional[str] = None,
+    sharding: Optional[str] = None,
     report: Optional[ParallelRunReport] = None,
     ctx: Optional[ExecContext] = None,
 ) -> PartiallySymmetricTensor:
@@ -352,6 +326,15 @@ def parallel_s3ttmc(
         memory) or ``"tree"`` (full-width private partials reduced
         pairwise — the legacy layout, kept for comparison). ``None``
         defaults to the context's ``reduction`` (``"blocked"``).
+    sharding:
+        ``"broadcast"`` (every worker sees the whole tensor — the
+        legacy, byte-compatible layout) or ``"owned"`` (each worker
+        owns a disjoint :class:`~repro.parallel.sharding.TensorShard`
+        and partials merge through the hierarchical cross-shard
+        reduction; requires ``reduction="blocked"``). ``None`` defaults
+        to the context's ``sharding`` (``"broadcast"``). Per-worker
+        resident tensor bytes for the chosen mode land in the
+        ``parallel.shard_bytes`` gauge.
     report:
         Optional :class:`ParallelRunReport` to fill.
     ctx:
@@ -373,6 +356,15 @@ def parallel_s3ttmc(
         reduction = ctx.reduction
     if reduction not in ("blocked", "tree"):
         raise ValueError(f"unknown reduction {reduction!r}")
+    if sharding is None:
+        sharding = getattr(ctx, "sharding", "broadcast")
+    if sharding not in ("broadcast", "owned"):
+        raise ValueError(f"unknown sharding {sharding!r}")
+    if sharding == "owned" and reduction != "blocked":
+        raise ValueError(
+            "sharding='owned' requires reduction='blocked' (shard "
+            "row-blocks are what the hierarchical reduction exchanges)"
+        )
     rank = factor.shape[1]
     cols = sym_storage_size(ucoo.order - 1, rank)
     if n_workers is None:
@@ -414,13 +406,25 @@ def parallel_s3ttmc(
         ctx=run_ctx,
         kernel=kernel,
         chunk_edges=chunk_edges,
+        sharding=sharding,
     )
     if report is not None:
         report.n_workers = n_workers
         report.ranges = list(ranges)
         report.backend = backend.name
         report.reduction = reduction
+        report.sharding = sharding
         report.chunk_seconds = [0.0] * len(ranges)
+
+    # Per-worker resident tensor bytes under the chosen distribution —
+    # the gauge the sharded-memory acceptance criterion reads.
+    collector = ctx.effective_collector()
+    if collector is not None:
+        collector.metrics.gauge("parallel.shard_bytes").set(
+            shard_resident_bytes(
+                ucoo.unnz, ucoo.order, ranges, sharding=sharding
+            )
+        )
 
     policy = ctx.effective_fallback()
     tick = time.perf_counter()
@@ -433,6 +437,7 @@ def parallel_s3ttmc(
                     n_workers=n_workers,
                     n_chunks=len(ranges),
                     reduction=reduction,
+                    sharding=sharding,
                 ):
                     data = backend.execute(job, report)
                 break

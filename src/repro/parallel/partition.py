@@ -77,8 +77,16 @@ def balanced_partition(costs: np.ndarray, n_parts: int) -> List[Tuple[int, int]]
         raise ValueError("n_parts must be >= 1")
     if n == 0:
         return [(0, 0)] * n_parts
+    if n_parts >= n:
+        # One non-zero per part, trailing parts empty — quantile splitting
+        # would scatter the empties and lump real work unevenly.
+        return [(i, i + 1) for i in range(n)] + [(n, n)] * (n_parts - n)
     cumulative = np.concatenate([[0.0], np.cumsum(costs)])
     total = cumulative[-1]
+    if not np.isfinite(total) or total <= 0.0:
+        # All-zero (or degenerate) costs carry no balance signal; the
+        # quantile search would put every non-zero in the last part.
+        return block_partition(n, n_parts)
     targets = np.linspace(0, total, n_parts + 1)
     bounds = np.searchsorted(cumulative, targets, side="left")
     bounds[0], bounds[-1] = 0, n
@@ -99,10 +107,14 @@ def assign_chunks(sizes: "np.ndarray | List[float]", n_workers: int) -> List[Lis
     sizes = np.asarray(sizes, dtype=np.float64)
     assignment: List[List[int]] = [[] for _ in range(n_workers)]
     loads = np.zeros(n_workers, dtype=np.float64)
+    counts = np.zeros(n_workers, dtype=np.int64)
     for chunk in np.argsort(-sizes, kind="stable"):
-        worker = int(np.argmin(loads))
+        # Tie-break equal loads by chunk count so all-zero sizes spread
+        # round-robin instead of piling every chunk onto worker 0.
+        worker = int(np.lexsort((counts, loads))[0])
         assignment[worker].append(int(chunk))
         loads[worker] += sizes[chunk]
+        counts[worker] += 1
     for chunks in assignment:
         chunks.sort()
     return assignment

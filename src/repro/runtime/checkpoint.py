@@ -53,6 +53,21 @@ CHECKPOINT_VERSION = 1
 CHECKPOINT_FILENAME = "checkpoint.npz"
 
 
+def _normalize_config_value(value: Any) -> Any:
+    """JSON-shape a config value for comparison: tuples become lists,
+    integer-like scalars become ``int`` — matching what a save/load
+    roundtrip does to the stored side."""
+    if isinstance(value, (list, tuple)):
+        return [_normalize_config_value(v) for v in value]
+    if isinstance(value, dict):
+        return {k: _normalize_config_value(v) for k, v in value.items()}
+    if isinstance(value, (bool, np.bool_)):
+        return bool(value)
+    if isinstance(value, (int, np.integer)):
+        return int(value)
+    return value
+
+
 def tensor_fingerprint(tensor: Any) -> Dict[str, Any]:
     """Cheap identity fingerprint binding a checkpoint to its input."""
     return {
@@ -89,7 +104,15 @@ class CheckpointState:
     config: Dict[str, Any] = field(default_factory=dict)
 
     def check_config(self, expected: Dict[str, Any]) -> None:
-        """Raise ``ValueError`` on any config-field mismatch."""
+        """Raise ``ValueError`` on any config-field mismatch.
+
+        Sequences are compared structurally (tuples and lists equal when
+        their elements are): the config travels through JSON, which turns
+        every tuple into a list, and values like the sharded-run shard
+        map (``"shard_ranges"``: a sequence of ``(start, stop)`` pairs)
+        must roundtrip regardless of which container the driver built
+        them in.
+        """
         for key, want in expected.items():
             got = self.config.get(key)
             if isinstance(want, float) or isinstance(got, float):
@@ -99,7 +122,9 @@ class CheckpointState:
                     and float(got) == float(want)
                 )
             else:
-                same = got == want
+                same = _normalize_config_value(got) == _normalize_config_value(
+                    want
+                )
             if not same:
                 raise ValueError(
                     f"checkpoint config mismatch for {key!r}: "

@@ -66,6 +66,7 @@ from .faults import DEFAULT_FALLBACK, FallbackPolicy, FaultInjector
 __all__ = [
     "COMPILED_TABLE_CACHE_CAP",
     "EXECUTIONS",
+    "SHARDINGS",
     "ExecContext",
     "PlanCache",
     "current_context",
@@ -76,6 +77,13 @@ __all__ = [
 
 #: Recognized execution strategies (see :mod:`repro.parallel.backends`).
 EXECUTIONS = ("serial", "thread", "process")
+
+#: Recognized tensor-distribution strategies for parallel runs:
+#: ``"broadcast"`` ships the whole tensor to every worker (the legacy
+#: byte-compatible layout); ``"owned"`` gives each worker a disjoint
+#: :class:`~repro.parallel.sharding.TensorShard` plus a private row-block
+#: of ``Y``, merged by a hierarchical blocked reduction.
+SHARDINGS = ("broadcast", "owned")
 
 #: Cap on cached compiled-kernel table sets per :class:`PlanCache` — the
 #: keys are pattern stamps (not weakly referenceable), so the store is
@@ -222,6 +230,12 @@ class ExecContext:
     reduction:
         Partial-reduction strategy for parallel runs (``"blocked"`` /
         ``"tree"``).
+    sharding:
+        Tensor-distribution strategy for parallel runs: ``"broadcast"``
+        (whole tensor to every worker — the legacy, byte-compatible
+        default) or ``"owned"`` (disjoint per-worker tensor shards with
+        a hierarchical cross-shard reduction; see
+        :mod:`repro.parallel.sharding`).
     seed:
         Default RNG seed for drivers invoked with ``seed=None`` —
         deterministic replay travels with the context.
@@ -259,6 +273,7 @@ class ExecContext:
         execution: str = "serial",
         n_workers: Optional[int] = None,
         reduction: str = "blocked",
+        sharding: str = "broadcast",
         seed: Optional[int] = None,
         plans: Optional[PlanCache] = None,
         faults: Optional[FaultInjector] = None,
@@ -270,6 +285,7 @@ class ExecContext:
         self.execution = execution
         self.n_workers = None if n_workers is None else int(n_workers)
         self.reduction = reduction
+        self.sharding = sharding
         self.seed = seed
         self.plans = plans if plans is not None else PlanCache()
         self.faults = faults
@@ -405,6 +421,16 @@ class ExecContext:
                 f"unknown execution {self.execution!r}; "
                 f"expected one of {EXECUTIONS}"
             )
+        if self.sharding not in SHARDINGS:
+            raise ValueError(
+                f"unknown sharding {self.sharding!r}; "
+                f"expected one of {SHARDINGS}"
+            )
+        if self.sharding == "owned" and self.reduction != "blocked":
+            raise ValueError(
+                "sharding='owned' requires reduction='blocked' (shard "
+                "row-blocks are what the hierarchical reduction exchanges)"
+            )
         if self.execution == "serial":
             if self.n_workers is not None:
                 raise ValueError("n_workers requires execution='thread'|'process'")
@@ -463,6 +489,7 @@ class ExecContext:
         execution: Optional[str] = None,
         n_workers: Optional[int] = None,
         reduction: Optional[str] = None,
+        sharding: Optional[str] = None,
         seed: Optional[int] = None,
     ) -> "ExecContext":
         """Child context sharing budget/collector/plan cache, with its own
@@ -479,6 +506,7 @@ class ExecContext:
             execution=execution if execution is not None else self.execution,
             n_workers=n_workers if n_workers is not None else self.n_workers,
             reduction=reduction if reduction is not None else self.reduction,
+            sharding=sharding if sharding is not None else self.sharding,
             seed=seed if seed is not None else self.seed,
             plans=self.plans,
             faults=self.faults,
@@ -502,6 +530,7 @@ class ExecContext:
             execution=self.execution,
             n_workers=self.n_workers,
             reduction=self.reduction,
+            sharding=self.sharding,
             seed=self.seed,
             plans=self.plans,
             faults=self.faults,
@@ -523,6 +552,7 @@ class ExecContext:
             "execution": self.execution,
             "n_workers": self.n_workers,
             "reduction": self.reduction,
+            "sharding": self.sharding,
             "seed": self.seed,
             "budget_limit_bytes": (
                 self.budget.limit_bytes if self.budget is not None else None
@@ -553,6 +583,7 @@ class ExecContext:
             execution=spec.get("execution", "serial"),
             n_workers=spec.get("n_workers"),
             reduction=spec.get("reduction", "blocked"),
+            sharding=spec.get("sharding", "broadcast"),
             seed=spec.get("seed"),
             fallback=fallback,
         )

@@ -35,8 +35,11 @@ from ..core.plan import build_plan
 from ..core.s3ttmc import s3ttmc
 from ..core.s3ttmc_tc import s3ttmc_tc
 from ..cp.mttkrp import symmetric_mttkrp
+from ..obs.trace import TraceCollector
+from ..parallel.distributed import exchange_from_trace, plan_sharded_exchange
 from ..parallel.executor import ParallelRunReport, parallel_s3ttmc
 from ..runtime.context import ExecContext
+from ..runtime.faults import FaultInjector, FaultSpec
 from ..symmetry.combinatorics import dense_size, sym_storage_size
 from .generators import GeneratedWorkload
 
@@ -530,9 +533,14 @@ def run_workload_checks(
         n_workers = 3
 
         def _parallel(
-            backend: str, reduction: str, kernel_mode: str = "generic"
+            backend: str,
+            reduction: str,
+            kernel_mode: str = "generic",
+            sharding: str = "broadcast",
+            run_ctx: ExecContext = None,
+            report: ParallelRunReport = None,
         ) -> np.ndarray:
-            report = ParallelRunReport()
+            report = ParallelRunReport() if report is None else report
             return parallel_s3ttmc(
                 x,
                 u,
@@ -540,8 +548,9 @@ def run_workload_checks(
                 backend=backend,
                 reduction=reduction,
                 kernel=kernel_mode,
+                sharding=sharding,
                 report=report,
-                ctx=ctx,
+                ctx=ctx if run_ctx is None else run_ctx,
             ).data
 
         def _blocked_matrix() -> List[CheckResult]:
@@ -622,6 +631,167 @@ def run_workload_checks(
                 CheckResult(
                     spec,
                     "parallel:matrix",
+                    "allclose",
+                    False,
+                    f"raised {type(e).__name__}: {e}",
+                )
+            )
+
+        # Sharded execution (sharding="owned"): workers own disjoint
+        # tensor shards and partials merge through the deterministic
+        # hierarchical tree. Cross-shard sums are reordered relative to
+        # the slot-ordered broadcast reduce, so the sharded serial run
+        # anchors allclose against the canonical kernel — and every
+        # backend running the same shards must match it bitwise.
+        def _sharded_matrix() -> List[CheckResult]:
+            out: List[CheckResult] = []
+            base = _parallel("serial", "blocked", sharding="owned")
+            out.append(
+                _compare(
+                    spec, "sharded:serial:owned", "allclose", base, canonical
+                )
+            )
+            out.append(
+                _compare(
+                    spec,
+                    "sharded:thread:owned",
+                    "bitwise",
+                    _parallel("thread", "blocked", sharding="owned"),
+                    base,
+                )
+            )
+            if include_process:
+                out.append(
+                    _compare(
+                        spec,
+                        "sharded:process:owned",
+                        "bitwise",
+                        _parallel("process", "blocked", sharding="owned"),
+                        base,
+                    )
+                )
+            base_c = _parallel("serial", "blocked", "compiled", sharding="owned")
+            out.append(
+                _compare(
+                    spec,
+                    "sharded:serial:owned:compiled",
+                    "allclose",
+                    base_c,
+                    canonical,
+                )
+            )
+            out.append(
+                _compare(
+                    spec,
+                    "sharded:thread:owned:compiled",
+                    "bitwise",
+                    _parallel("thread", "blocked", "compiled", sharding="owned"),
+                    base_c,
+                )
+            )
+            if include_process:
+                out.append(
+                    _compare(
+                        spec,
+                        "sharded:process:owned:compiled",
+                        "bitwise",
+                        _parallel(
+                            "process", "blocked", "compiled", sharding="owned"
+                        ),
+                        base_c,
+                    )
+                )
+
+            def _exchange_agreement() -> CheckResult:
+                # The merge's emitted parallel.reduce.exchange events must
+                # equal the planned schedule record-for-record — the
+                # contract the distributed simulator builds on.
+                collector = TraceCollector()
+                run_ctx = ExecContext(
+                    budget=ctx.effective_budget(),
+                    collector=collector,
+                    plans=ctx.plans,
+                )
+                _parallel("serial", "blocked", sharding="owned", run_ctx=run_ctx)
+                planned = plan_sharded_exchange(
+                    x, n_workers, rank, ctx=run_ctx
+                ).exchanges
+                measured = exchange_from_trace(collector)
+                ok = measured == planned
+                detail = (
+                    ""
+                    if ok
+                    else f"measured {measured!r} != planned {planned!r}"
+                )
+                return CheckResult(
+                    spec, "sharded:exchange-plan-vs-trace", "invariant", ok, detail
+                )
+
+            out.append(
+                _guarded(
+                    spec,
+                    "sharded:exchange-plan-vs-trace",
+                    "invariant",
+                    _exchange_agreement,
+                )
+            )
+
+            if include_process:
+
+                def _shard_loss_recovery() -> CheckResult:
+                    # Crash one shard owner mid-run: the respawned worker
+                    # re-ingests its shard from the parent's canonical copy
+                    # and the run must complete bitwise-identical anyway.
+                    name = "sharded:shard-loss-recovery"
+                    injector = FaultInjector(
+                        [FaultSpec(site="chunk", kind="crash", match={"slot": 0})],
+                        seed=0,
+                    )
+                    run_ctx = ExecContext(
+                        budget=ctx.effective_budget(),
+                        plans=ctx.plans,
+                        faults=injector,
+                    )
+                    report = ParallelRunReport()
+                    got = _parallel(
+                        "process",
+                        "blocked",
+                        sharding="owned",
+                        run_ctx=run_ctx,
+                        report=report,
+                    )
+                    if injector.n_fired == 0:
+                        return CheckResult(
+                            spec, name, "invariant", False, "fault never fired"
+                        )
+                    if report.shard_reingests < 1:
+                        return CheckResult(
+                            spec,
+                            name,
+                            "invariant",
+                            False,
+                            f"no shard re-ingest (respawns={report.respawns}, "
+                            f"fallbacks={report.fallbacks})",
+                        )
+                    return _compare(spec, name, "bitwise", got, base)
+
+                out.append(
+                    _guarded(
+                        spec,
+                        "sharded:shard-loss-recovery",
+                        "invariant",
+                        _shard_loss_recovery,
+                    )
+                )
+            return out
+
+        try:
+            results.extend(_sharded_matrix())
+        except Exception as e:
+            results.append(
+                CheckResult(
+                    spec,
+                    "sharded:matrix",
                     "allclose",
                     False,
                     f"raised {type(e).__name__}: {e}",

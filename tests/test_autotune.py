@@ -229,3 +229,89 @@ class TestTunedRun:
             prober=probe,
         )
         assert np.array_equal(got.data, s3ttmc(tensor, factor).data)
+
+
+class TestAttributionSeeding:
+    """Satellite: autotune candidates seeded from obs.attrib reports."""
+
+    def _report(self, generic_dev, compiled_dev, thread_workers=0):
+        from repro.obs.attrib import AttributionReport, LevelRow, WorkerRollup
+
+        report = AttributionReport(
+            levels=[
+                LevelRow(
+                    level="2", layout="compact", backend="serial",
+                    kernel="generic", seconds=1.0 + generic_dev,
+                    predicted_seconds=1.0,
+                ),
+                LevelRow(
+                    level="2", layout="compact", backend="serial",
+                    kernel="compiled", seconds=1.0 + compiled_dev,
+                    predicted_seconds=1.0,
+                ),
+            ],
+        )
+        if thread_workers:
+            report.parallel.append(
+                WorkerRollup(backend="thread", n_workers=thread_workers)
+            )
+        return report
+
+    def test_underperforming_mode_is_demoted(self):
+        from repro.core.autotune import candidates_from_attribution
+
+        # Generic measured 2x slower than its model, compiled on-model:
+        # compiled candidates must be probed first.
+        cands = candidates_from_attribution(self._report(1.0, 0.0), 1)
+        assert cands[0].kernel == "compiled"
+        assert cands[-1].kernel == "generic"
+        # Flipped deviations flip the ordering.
+        flipped = candidates_from_attribution(self._report(0.0, 1.0), 1)
+        assert flipped[0].kernel == "generic"
+
+    def test_observed_thread_rollup_adds_candidates(self):
+        from repro.core.autotune import candidates_from_attribution
+
+        cands = candidates_from_attribution(self._report(0.0, 0.0, thread_workers=3), 1)
+        assert any(c.backend == "thread" and c.n_workers == 3 for c in cands)
+
+    def test_no_deviation_rows_keeps_default_order(self):
+        from repro.obs.attrib import AttributionReport
+        from repro.core.autotune import candidates_from_attribution
+
+        assert candidates_from_attribution(AttributionReport(), 1) == default_candidates(1)
+
+    def test_autotune_accepts_attrib_report(self, workload, tmp_path):
+        tensor, factor = workload
+        probed = []
+
+        def probe(t, f, config, ctx, repeats):
+            probed.append(config)
+            return 1.0 + len(probed)  # first candidate wins
+
+        cfg = autotune(
+            tensor,
+            factor,
+            profile_path=tmp_path / "tune.json",
+            attrib_report=self._report(1.0, 0.0),
+            prober=probe,
+        )
+        # Seeded ordering put a compiled candidate first, and the
+        # synthetic prober makes the first candidate win.
+        assert cfg.kernel == "compiled"
+        assert probed[0].kernel == "compiled"
+
+    def test_explicit_candidates_override_report(self, workload, tmp_path):
+        tensor, factor = workload
+        probe = _fake_prober(
+            {("generic", None): 1.0, ("compiled", 512): 2.0, ("compiled", 2048): 3.0}
+        )
+        cfg = autotune(
+            tensor,
+            factor,
+            profile_path=tmp_path / "tune.json",
+            candidates=CANDS,
+            attrib_report=self._report(1.0, 0.0),
+            prober=probe,
+        )
+        assert cfg == CANDS[0]  # the explicit list was used as-is

@@ -4,7 +4,13 @@ import numpy as np
 import pytest
 
 from repro.data import random_sparse_symmetric
-from repro.parallel import plan_distribution, simulate_distributed_time
+from repro.parallel import (
+    CommunicationPlan,
+    measure_chunk_costs,
+    plan_distribution,
+    simulate_distributed_time,
+)
+from repro.symmetry.combinatorics import sym_storage_size
 
 
 @pytest.fixture(scope="module")
@@ -96,3 +102,78 @@ class TestSimulatedTime:
         base = simulate_distributed_time(plan, 4, 3, latency_seconds=0.0)
         with_lat = simulate_distributed_time(plan, 4, 3, latency_seconds=1.0)
         assert with_lat >= base + 2 * 3  # 2 phases x (p-1) messages
+
+    def test_closed_form_fixture(self):
+        # Hand-built plan: every term of T = work/flop + 2·α·msgs +
+        # (factor + output bytes)/β is known exactly.
+        order, rank = 4, 3
+        plan = CommunicationPlan(
+            n_procs=2,
+            ranges=[(0, 5), (5, 12)],
+            owned_rows=[np.arange(3), np.arange(3, 6)],
+            recv_factor_rows=[3, 5],
+            send_output_rows=[3, 5],
+            local_work=[100.0, 200.0],
+        )
+        flop_rate, bandwidth, latency = 1e6, 1e6, 1e-3
+        expected = (
+            200.0 / flop_rate
+            + 2 * latency * 1  # p - 1 messages per phase
+            + (5 * rank * 8 + 5 * sym_storage_size(order - 1, rank) * 8)
+            / bandwidth
+        )
+        got = simulate_distributed_time(
+            plan,
+            order,
+            rank,
+            flop_rate=flop_rate,
+            bandwidth_bytes=bandwidth,
+            latency_seconds=latency,
+        )
+        assert got == pytest.approx(expected, rel=1e-12)
+
+    def test_messages_override(self):
+        plan = CommunicationPlan(
+            n_procs=4,
+            ranges=[(0, 1)] * 4,
+            owned_rows=[np.arange(1)] * 4,
+            recv_factor_rows=[0] * 4,
+            send_output_rows=[0] * 4,
+            local_work=[1.0] * 4,
+        )
+        base = simulate_distributed_time(
+            plan, 3, 2, latency_seconds=1.0, messages_per_phase=0
+        )
+        more = simulate_distributed_time(
+            plan, 3, 2, latency_seconds=1.0, messages_per_phase=5
+        )
+        assert more == pytest.approx(base + 2 * 5)
+
+
+class TestMeasureChunkCosts:
+    def test_one_cost_per_chunk_all_positive(self, tensor):
+        factor = np.random.default_rng(0).standard_normal((tensor.dim, 3))
+        costs = measure_chunk_costs(tensor, factor, 4)
+        assert len(costs) == 4
+        assert all(np.isfinite(c) and c > 0 for c in costs)
+
+    def test_cost_monotone_in_rank(self, tensor):
+        # Higher rank strictly widens every level's row blocks, so the
+        # summed measured chunk cost must grow with it. Rank 2 -> 8 is a
+        # ~10x closed-form work increase — far above timer noise.
+        rng = np.random.default_rng(1)
+        low = sum(
+            measure_chunk_costs(tensor, rng.standard_normal((tensor.dim, 2)), 3, repeats=3)
+        )
+        high = sum(
+            measure_chunk_costs(tensor, rng.standard_normal((tensor.dim, 8)), 3, repeats=3)
+        )
+        assert high > low
+
+    def test_costs_track_partition_estimate(self, tensor):
+        # The measured per-chunk times are what the Figure-6 simulator
+        # schedules; they must at least be balanced to the same order the
+        # cost model promises (no chunk 10x another on a balanced split).
+        factor = np.random.default_rng(2).standard_normal((tensor.dim, 3))
+        costs = measure_chunk_costs(tensor, factor, 4, repeats=3)
+        assert max(costs) < 10 * min(costs)

@@ -1,0 +1,476 @@
+"""Sharded execution v2: workers own tensor shards, not just nz ranges.
+
+Covers the whole owned-sharding stack: the sharder and its invariants,
+the deterministic hierarchical merge (and its exchange-event contract
+with ``merge_schedule``), the owned mode on every backend (bitwise
+across backends, allclose vs the canonical serial kernel), the
+``parallel.shard_bytes`` memory acceptance bound, shard re-ingest after
+a worker crash, context/checkpoint plumbing, and the distributed
+simulator's plan-vs-trace agreement.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import s3ttmc
+from repro.decomp import hooi, hoqri
+from repro.obs.trace import TraceCollector
+from repro.parallel import (
+    ParallelRunReport,
+    build_shards,
+    exchange_from_trace,
+    hierarchical_merge,
+    merge_schedule,
+    parallel_s3ttmc,
+    partition_ranges,
+    plan_sharded_exchange,
+    shard_resident_bytes,
+    simulate_sharded_time,
+)
+from repro.perfmodel import predict_parallel_seconds, worker_footprint, RateCalibration
+from repro.runtime.checkpoint import load_checkpoint
+from repro.runtime.context import ExecContext
+from repro.runtime.faults import FaultInjector, FaultSpec
+from repro.symmetry.combinatorics import sym_storage_size
+from tests.conftest import make_random_tensor
+
+
+@pytest.fixture
+def workload(rng):
+    tensor = make_random_tensor(4, 24, 200, rng)
+    factor = rng.standard_normal((24, 4))
+    return tensor, factor
+
+
+def _owned(tensor, factor, backend, n_workers=4, **kwargs):
+    report = kwargs.pop("report", None) or ParallelRunReport()
+    data = parallel_s3ttmc(
+        tensor,
+        factor,
+        n_workers,
+        backend=backend,
+        sharding="owned",
+        report=report,
+        **kwargs,
+    ).data
+    return data, report
+
+
+class TestBuildShards:
+    def test_shards_cover_disjointly(self, workload):
+        tensor, factor = workload
+        shards = build_shards(tensor, 4, factor.shape[1])
+        assert shards[0].start == 0
+        assert shards[-1].stop == tensor.unnz
+        for left, right in zip(shards, shards[1:]):
+            assert left.stop == right.start
+        assert [s.shard_id for s in shards] == list(range(len(shards)))
+
+    def test_shards_match_executor_partition(self, workload):
+        # A shard's nz slice must equal the broadcast chunk for the same
+        # partition — that identity is what makes per-shard partials
+        # bitwise-reproducible across modes.
+        tensor, factor = workload
+        ranges = partition_ranges(tensor, factor.shape[1], 4)
+        shards = build_shards(tensor, 4, factor.shape[1])
+        assert [(s.start, s.stop) for s in shards] == list(ranges)
+
+    def test_shard_views_alias_parent(self, workload):
+        tensor, factor = workload
+        shard = build_shards(tensor, 4, factor.shape[1])[0]
+        assert shard.indices.base is not None
+        assert np.shares_memory(shard.indices, tensor.indices)
+        assert np.shares_memory(shard.values, tensor.values)
+
+    def test_row_block_structure(self, workload):
+        tensor, factor = workload
+        for shard in build_shards(tensor, 4, factor.shape[1]):
+            assert np.array_equal(shard.rows, np.unique(shard.indices))
+            # row_map inverts rows, -1 elsewhere
+            assert np.array_equal(shard.row_map[shard.rows], np.arange(shard.n_rows))
+            untouched = np.setdiff1d(np.arange(tensor.dim), shard.rows)
+            assert np.all(shard.row_map[untouched] == -1)
+
+    def test_costs_positive_and_balanced(self, workload):
+        tensor, factor = workload
+        shards = build_shards(tensor, 4, factor.shape[1])
+        costs = [s.cost for s in shards]
+        assert all(c > 0 for c in costs)
+        assert max(costs) <= 2.5 * min(costs)
+
+    def test_resident_bytes_owned_vs_broadcast(self, workload):
+        tensor, factor = workload
+        ranges = partition_ranges(tensor, factor.shape[1], 4)
+        owned = shard_resident_bytes(
+            tensor.unnz, tensor.order, ranges, sharding="owned"
+        )
+        broadcast = shard_resident_bytes(
+            tensor.unnz, tensor.order, ranges, sharding="broadcast"
+        )
+        per_nz = tensor.order * 8 + 8
+        assert broadcast == tensor.unnz * per_nz
+        assert owned == max(b - a for a, b in ranges) * per_nz
+        assert owned <= broadcast / 2
+
+
+class TestHierarchicalMerge:
+    def test_matches_flat_sum(self, rng):
+        dim, cols = 30, 6
+        partials = []
+        expected = np.zeros((dim, cols))
+        for _ in range(5):
+            rows = np.unique(rng.integers(0, dim, size=12))
+            block = rng.standard_normal((rows.shape[0], cols))
+            partials.append((rows, block))
+            expected[rows] += block
+        merged = hierarchical_merge(partials, dim, cols)
+        assert np.allclose(merged, expected, atol=1e-12)
+
+    def test_deterministic(self, rng):
+        dim, cols = 20, 4
+        partials = [
+            (np.unique(rng.integers(0, dim, size=8)), None) for _ in range(4)
+        ]
+        partials = [
+            (rows, np.arange(rows.shape[0] * cols, dtype=np.float64).reshape(-1, cols))
+            for rows, _ in partials
+        ]
+        a = hierarchical_merge(partials, dim, cols)
+        b = hierarchical_merge(partials, dim, cols)
+        assert np.array_equal(a, b)
+
+    def test_single_partial_and_empty(self):
+        rows = np.array([1, 3])
+        block = np.array([[1.0], [2.0]])
+        out = hierarchical_merge([(rows, block)], 5, 1)
+        assert np.array_equal(out[:, 0], [0.0, 1.0, 0.0, 2.0, 0.0])
+        assert np.array_equal(hierarchical_merge([], 4, 2), np.zeros((4, 2)))
+
+    def test_emitted_exchanges_match_schedule(self, rng):
+        dim, cols = 40, 3
+        row_sets = [np.unique(rng.integers(0, dim, size=15)) for _ in range(5)]
+        partials = [
+            (rows, rng.standard_normal((rows.shape[0], cols))) for rows in row_sets
+        ]
+        collector = TraceCollector()
+        ctx = ExecContext(collector=collector)
+        hierarchical_merge(partials, dim, cols, ctx=ctx)
+        assert exchange_from_trace(collector) == merge_schedule(row_sets, cols)
+
+    def test_schedule_rounds_and_bytes(self):
+        row_sets = [np.arange(10), np.arange(5), np.arange(7), np.arange(3)]
+        schedule = merge_schedule(row_sets, cols=2)
+        # 4 shards -> 2 rounds: (0,1), (2,3), then the two survivors.
+        assert [e["round"] for e in schedule] == [0, 0, 1]
+        assert schedule[0]["rows"] == 5  # right operand ships
+        assert all(e["bytes"] == e["rows"] * (2 * 8 + 8) for e in schedule)
+
+
+class TestOwnedShardingBackends:
+    def test_serial_owned_allclose_canonical(self, workload):
+        tensor, factor = workload
+        canonical = s3ttmc(tensor, factor).data
+        data, report = _owned(tensor, factor, "serial")
+        assert np.allclose(data, canonical, atol=1e-10)
+        assert report.sharding == "owned"
+        assert report.reduce_seconds > 0
+
+    def test_thread_bitwise_matches_serial_owned(self, workload):
+        tensor, factor = workload
+        base, _ = _owned(tensor, factor, "serial")
+        data, _ = _owned(tensor, factor, "thread")
+        assert np.array_equal(data, base)
+
+    def test_process_bitwise_matches_serial_owned(self, workload):
+        tensor, factor = workload
+        base, _ = _owned(tensor, factor, "serial")
+        data, report = _owned(tensor, factor, "process")
+        assert np.array_equal(data, base)
+        assert report.backend == "process"
+
+    def test_compiled_kernel_owned(self, workload):
+        tensor, factor = workload
+        base, _ = _owned(tensor, factor, "serial", kernel="compiled")
+        thread, _ = _owned(tensor, factor, "thread", kernel="compiled")
+        assert np.array_equal(thread, base)
+        canonical = s3ttmc(tensor, factor).data
+        assert np.allclose(base, canonical, atol=1e-10)
+
+    def test_owned_requires_blocked_reduction(self, workload):
+        tensor, factor = workload
+        with pytest.raises(ValueError, match="blocked"):
+            parallel_s3ttmc(
+                tensor, factor, 4, backend="serial", sharding="owned", reduction="tree"
+            )
+        with pytest.raises(ValueError, match="sharding"):
+            parallel_s3ttmc(tensor, factor, 4, backend="serial", sharding="bogus")
+
+    def test_broadcast_unchanged_by_default(self, workload):
+        tensor, factor = workload
+        report = ParallelRunReport()
+        parallel_s3ttmc(tensor, factor, 4, backend="serial", report=report)
+        assert report.sharding == "broadcast"
+
+    def test_mode_switch_on_live_process_backend(self, workload):
+        # One backend instance must serve owned and broadcast runs
+        # interleaved (shard segments torn down and rebuilt cleanly).
+        from repro.parallel import make_backend
+
+        tensor, factor = workload
+        base, _ = _owned(tensor, factor, "serial")
+        with make_backend("process", 4) as backend:
+            owned1, _ = _owned(tensor, factor, backend)
+            broadcast = parallel_s3ttmc(tensor, factor, 4, backend=backend).data
+            owned2, _ = _owned(tensor, factor, backend)
+        assert np.array_equal(owned1, base)
+        assert np.array_equal(owned2, base)
+        assert np.allclose(broadcast, base, atol=1e-10)
+
+
+class TestMemoryAcceptance:
+    def test_owned_gauge_at_most_half_of_broadcast(self, workload):
+        # The acceptance criterion: order-4 workload, >= 4 process
+        # workers, owned resident tensor bytes <= 0.5x broadcast.
+        tensor, factor = workload
+        readings = {}
+        for sharding in ("broadcast", "owned"):
+            collector = TraceCollector()
+            ctx = ExecContext(collector=collector)
+            parallel_s3ttmc(
+                tensor, factor, 4, backend="process", sharding=sharding, ctx=ctx
+            )
+            readings[sharding] = collector.metrics.gauge("parallel.shard_bytes").value
+        assert readings["owned"] <= 0.5 * readings["broadcast"]
+
+    def test_worker_footprint_model_agrees(self, workload):
+        tensor, factor = workload
+        rank = factor.shape[1]
+        owned = worker_footprint(
+            tensor.dim, tensor.order, rank, tensor.unnz, n_workers=4, sharding="owned"
+        )
+        broadcast = worker_footprint(
+            tensor.dim, tensor.order, rank, tensor.unnz, n_workers=4
+        )
+        assert owned.tensor <= 0.5 * broadcast.tensor
+        assert owned.total < broadcast.total
+        # The model's owned tensor bound must dominate the real widest shard.
+        ranges = partition_ranges(tensor, rank, 4)
+        real = shard_resident_bytes(tensor.unnz, tensor.order, ranges, sharding="owned")
+        per_nz = tensor.order * 8 + 8
+        assert owned.tensor >= (tensor.unnz // 4) * per_nz
+        assert real <= broadcast.tensor
+
+    def test_worker_footprint_validation(self):
+        with pytest.raises(ValueError):
+            worker_footprint(10, 3, 2, 50, n_workers=0)
+        with pytest.raises(ValueError):
+            worker_footprint(10, 3, 2, 50, n_workers=2, sharding="bogus")
+
+
+class TestShardLossRecovery:
+    def test_crash_recovers_via_reingest(self, workload):
+        tensor, factor = workload
+        base, _ = _owned(tensor, factor, "serial")
+        injector = FaultInjector(
+            [FaultSpec(site="chunk", kind="crash", match={"slot": 1})], seed=0
+        )
+        collector = TraceCollector()
+        ctx = ExecContext(collector=collector, faults=injector)
+        report = ParallelRunReport()
+        data, report = _owned(tensor, factor, "process", ctx=ctx, report=report)
+        assert injector.n_fired == 1
+        assert report.respawns >= 1
+        assert report.shard_reingests >= 1
+        assert report.fallbacks == 0  # recovered, not degraded
+        assert np.array_equal(data, base)
+        assert collector.metrics.counter("parallel.shard_reingests").value >= 1
+
+    def test_reingest_counter_zero_on_clean_run(self, workload):
+        tensor, factor = workload
+        _data, report = _owned(tensor, factor, "process")
+        assert report.shard_reingests == 0
+        assert report.respawns == 0
+
+
+class TestContextPlumbing:
+    def test_context_carries_sharding(self, workload):
+        tensor, factor = workload
+        ctx = ExecContext(execution="thread", n_workers=4, sharding="owned")
+        base, _ = _owned(tensor, factor, "serial")
+        report = ParallelRunReport()
+        data = parallel_s3ttmc(tensor, factor, report=report, ctx=ctx).data
+        ctx.close()
+        assert report.sharding == "owned"
+        assert np.array_equal(data, base)
+
+    def test_validate_rejects_bad_sharding(self):
+        with pytest.raises(ValueError):
+            ExecContext(sharding="bogus").validate()
+        with pytest.raises(ValueError):
+            ExecContext(
+                execution="thread", sharding="owned", reduction="tree"
+            ).validate()
+
+    def test_serialization_roundtrip(self):
+        ctx = ExecContext(execution="process", n_workers=4, sharding="owned")
+        spec = ctx.to_dict()
+        assert spec["sharding"] == "owned"
+        restored = ExecContext.from_dict(spec)
+        assert restored.sharding == "owned"
+        assert ExecContext.from_dict({"execution": "serial"}).sharding == "broadcast"
+
+    def test_derive_overrides_sharding(self):
+        base = ExecContext(execution="thread", n_workers=2)
+        child = base.derive(sharding="owned")
+        assert child.sharding == "owned"
+        assert base.derive().sharding == "broadcast"
+
+
+class TestDecompositionWiring:
+    def test_hooi_owned_matches_serial(self, workload):
+        tensor, _ = workload
+        serial = hooi(tensor, 3, max_iters=3, seed=7)
+        owned = hooi(
+            tensor, 3, max_iters=3, seed=7, execution="thread", n_workers=3,
+            sharding="owned",
+        )
+        assert np.allclose(owned.factor, serial.factor, atol=1e-8)
+
+    def test_hoqri_owned_matches_serial(self, workload):
+        tensor, _ = workload
+        serial = hoqri(tensor, 3, max_iters=3, seed=7)
+        owned = hoqri(
+            tensor, 3, max_iters=3, seed=7, execution="thread", n_workers=3,
+            sharding="owned",
+        )
+        assert np.allclose(owned.factor, serial.factor, atol=1e-8)
+
+    def test_sharding_conflicts_with_explicit_ctx(self, workload):
+        tensor, _ = workload
+        ctx = ExecContext(execution="thread", n_workers=2)
+        with pytest.raises(ValueError, match="sharding"):
+            hooi(tensor, 3, max_iters=1, ctx=ctx, sharding="owned")
+        ctx.close()
+
+    def test_checkpoint_records_shard_map(self, workload, tmp_path):
+        tensor, _ = workload
+        hooi(
+            tensor, 3, max_iters=2, seed=7, execution="thread", n_workers=3,
+            sharding="owned", checkpoint_dir=tmp_path,
+        )
+        state = load_checkpoint(tmp_path)
+        assert state.config["sharding"] == "owned"
+        ranges = state.config["shard_ranges"]
+        assert ranges[0][0] == 0 and ranges[-1][1] == tensor.unnz
+        # Resume under the same layout continues; a different layout is
+        # rejected (the shard map is part of the run identity).
+        hooi(
+            tensor, 3, max_iters=4, seed=7, execution="thread", n_workers=3,
+            sharding="owned", checkpoint_dir=tmp_path, resume=True,
+        )
+        with pytest.raises(ValueError, match="shard_ranges"):
+            hooi(
+                tensor, 3, max_iters=4, seed=7, execution="thread", n_workers=2,
+                sharding="owned", checkpoint_dir=tmp_path, resume=True,
+            )
+
+    def test_broadcast_checkpoint_has_no_shard_map(self, workload, tmp_path):
+        tensor, _ = workload
+        hooi(
+            tensor, 3, max_iters=2, seed=7, execution="thread", n_workers=3,
+            checkpoint_dir=tmp_path,
+        )
+        state = load_checkpoint(tmp_path)
+        assert "sharding" not in state.config
+        assert "shard_ranges" not in state.config
+
+
+class TestShardedExchangeModel:
+    def test_plan_matches_trace(self, workload):
+        tensor, factor = workload
+        collector = TraceCollector()
+        ctx = ExecContext(collector=collector)
+        parallel_s3ttmc(
+            tensor, factor, 4, backend="serial", sharding="owned", ctx=ctx
+        )
+        plan = plan_sharded_exchange(tensor, 4, factor.shape[1], ctx=ctx)
+        assert exchange_from_trace(collector) == plan.exchanges
+
+    def test_plan_shape(self, workload):
+        tensor, factor = workload
+        rank = factor.shape[1]
+        plan = plan_sharded_exchange(tensor, 4, rank)
+        assert plan.n_shards == 4
+        assert plan.cols == sym_storage_size(tensor.order - 1, rank)
+        assert plan.n_rounds == 2  # 4 shards -> pairwise tree of depth 2
+        assert len(plan.exchanges) == 3
+        assert plan.total_exchange_bytes == sum(e["bytes"] for e in plan.exchanges)
+        assert plan.imbalance() >= 1.0
+
+    def test_single_shard_no_exchange(self, workload):
+        tensor, factor = workload
+        plan = plan_sharded_exchange(tensor, 1, factor.shape[1])
+        assert plan.exchanges == []
+        assert plan.n_rounds == 0
+        assert simulate_sharded_time(plan) == plan.shard_costs[0] / 1e9
+
+    def test_simulated_time_terms(self, workload):
+        tensor, factor = workload
+        plan = plan_sharded_exchange(tensor, 4, factor.shape[1])
+        compute_only = simulate_sharded_time(
+            plan, bandwidth_bytes=1e15, latency_seconds=0.0
+        )
+        assert compute_only == pytest.approx(max(plan.shard_costs) / 1e9, rel=1e-6)
+        with_latency = simulate_sharded_time(plan, latency_seconds=1.0)
+        assert with_latency >= compute_only + plan.n_rounds
+        slow_net = simulate_sharded_time(
+            plan, bandwidth_bytes=1e3, latency_seconds=0.0
+        )
+        assert slow_net > compute_only
+
+    def test_invalid_shards(self, workload):
+        tensor, factor = workload
+        with pytest.raises(ValueError):
+            plan_sharded_exchange(tensor, 0, factor.shape[1])
+
+
+class TestPredictParallel:
+    def test_owned_reduce_cheaper_than_broadcast(self):
+        cal = RateCalibration()
+        cal.record("symprop", 1e9, 1.0)
+        kwargs = dict(order=4, rank=4, unnz=10_000, dim=2_000, n_workers=8)
+        broadcast = predict_parallel_seconds(cal, "symprop", **kwargs)
+        owned = predict_parallel_seconds(
+            cal, "symprop", sharding="owned", **kwargs
+        )
+        assert owned < broadcast
+
+    def test_single_worker_has_no_reduce_term(self):
+        cal = RateCalibration()
+        cal.record("symprop", 1e9, 1.0)
+        serial_like = predict_parallel_seconds(
+            cal, "symprop", 4, 4, 1000, n_workers=1, sharding="owned"
+        )
+        from repro.perfmodel import predict_seconds
+
+        assert serial_like == pytest.approx(
+            predict_seconds(cal, "symprop", 4, 4, 1000), rel=1e-9
+        )
+
+    def test_uncalibrated_returns_none(self):
+        assert (
+            predict_parallel_seconds(
+                RateCalibration(), "symprop", 4, 4, 100, n_workers=4
+            )
+            is None
+        )
+
+    def test_validation(self):
+        cal = RateCalibration()
+        cal.record("symprop", 1e9, 1.0)
+        with pytest.raises(ValueError):
+            predict_parallel_seconds(cal, "symprop", 4, 4, 100, n_workers=0)
+        with pytest.raises(ValueError):
+            predict_parallel_seconds(
+                cal, "symprop", 4, 4, 100, n_workers=2, sharding="bogus"
+            )
