@@ -34,7 +34,7 @@ from ..obs.export import write_trace
 from ..perfmodel.memory import kernel_footprint, suggest_nz_batch
 from ..runtime.budget import MemoryBudget, MemoryLimitError
 from ..runtime.context import ExecContext
-from ..runtime.faults import faults_from_env
+from ..runtime.faults import faults_from_env, policy_from_env
 from .records import Measurement
 
 __all__ = [
@@ -116,9 +116,13 @@ def timed_measurement(
 
     Every cell gets its own context (fresh budget; the ``REPRO_TRACE``
     collector when tracing; the ``REPRO_FAULTS`` injector when fault
-    injection is requested), so concurrent or interleaved cells can never
-    share budget peaks, trace records, or fault occurrence counts. A
-    :class:`MemoryLimitError` (at any repeat) renders as ``OOM``.
+    injection is requested; the ``REPRO_POLICY`` fallback-policy
+    overrides when set — e.g.
+    ``REPRO_POLICY="chunk_timeout=5,max_retries=1,check_finite=0"`` to
+    harden or relax the resilience knobs per run), so concurrent or
+    interleaved cells can never share budget peaks, trace records, or
+    fault occurrence counts. A :class:`MemoryLimitError` (at any repeat)
+    renders as ``OOM``.
     """
     n = repeats if repeats is not None else bench_repeats()
     times = []
@@ -127,6 +131,7 @@ def timed_measurement(
             budget=MemoryBudget(gigabytes=budget_gb),
             collector=collector,
             faults=faults_from_env(),
+            fallback=policy_from_env(),
         )
         try:
             with ctx:

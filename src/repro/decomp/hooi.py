@@ -32,10 +32,16 @@ from ..runtime.checkpoint import (
     tensor_fingerprint,
 )
 from ..runtime.context import ExecContext, resolve_context
+from ..runtime.health import (
+    DeadlineExceededError,
+    HealthMonitor,
+    RunCancelledError,
+)
 from ..runtime.timer import PhaseTimer
 from ._execution import acquire_backend, resolve_run_context, sharding_config
 from .hosvd import initialize
 from .objective import relative_error
+from .restarts import reseed_seed
 from .result import ConvergenceTrace, DecompositionResult
 
 __all__ = ["hooi"]
@@ -144,6 +150,18 @@ def hooi(
         configuration or tensor is rejected with ``ValueError``. Phase
         timers and kernel statistics restart from zero on resume (they
         are observability, not algorithm state).
+
+    Runs are guarded by the run-level health machinery on ``ctx``
+    (:mod:`repro.runtime.health`): cancellation and ``deadline_seconds``
+    are checked between iterations (and between chunks inside the
+    parallel backends); on a trip the last completed iteration is
+    checkpointed first (when ``checkpoint_dir`` is set) so the run
+    resumes bit-for-bit. A divergence/stall watchdog restores from the
+    last healthy snapshot or reseeds when the objective goes non-finite
+    or worsens for ``FallbackPolicy.max_unhealthy_iters`` consecutive
+    iterations, raising
+    :class:`~repro.runtime.health.NumericalHealthError` once
+    ``max_health_recoveries`` is exhausted.
     """
     ucoo = _as_ucoo(tensor)
     if ucoo.order < 2:
@@ -203,126 +221,200 @@ def hooi(
                     factor = initialize(ucoo, rank, init, rng, ctx=run_ctx)
                     norm_x_squared = ucoo.norm_squared()
 
-            for _iteration in range(start_iteration, max_iters):
-                if converged:
-                    break  # resumed from an already-converged checkpoint
-                with run_ctx.span(
-                    "hooi.iteration",
-                    iteration=_iteration,
-                    kernel=kernel,
-                    svd_method=svd_method,
-                    rank=rank,
-                ):
-                    with timer.phase("s3ttmc"):
-                        if backend is not None:
-                            # Parallel path: plans (and, for the process
-                            # backend, worker-side state) persist across
-                            # iterations. KernelStats are not collected
-                            # chunk-wise.
-                            from ..parallel.executor import parallel_s3ttmc
+            last_snapshot: Optional[CheckpointState] = restored
+            monitor = HealthMonitor(run_ctx.effective_fallback(), run_ctx)
+            try:
+                for _iteration in range(start_iteration, max_iters):
+                    if converged:
+                        break  # resumed from an already-converged checkpoint
+                    run_ctx.check_health("hooi.iteration")
+                    iter_error: Optional[Exception] = None
+                    try:
+                        with run_ctx.span(
+                            "hooi.iteration",
+                            iteration=_iteration,
+                            kernel=kernel,
+                            svd_method=svd_method,
+                            rank=rank,
+                        ):
+                            with timer.phase("s3ttmc"):
+                                if backend is not None:
+                                    # Parallel path: plans (and, for the process
+                                    # backend, worker-side state) persist across
+                                    # iterations. KernelStats are not collected
+                                    # chunk-wise.
+                                    from ..parallel.executor import parallel_s3ttmc
 
-                            # backend= is deliberately not forwarded: the
-                            # executor resolves run_ctx.backend each call,
-                            # so an unhealthy-backend degrade sticks for
-                            # the remaining iterations.
-                            y = parallel_s3ttmc(
-                                ucoo,
-                                factor,
-                                memoize=memoize,
-                                ctx=run_ctx,
-                            )
-                        elif kernel == "symprop":
-                            y = s3ttmc(
-                                ucoo,
-                                factor,
-                                memoize=memoize,
-                                stats=stats,
-                                nz_batch_size=nz_batch_size,
-                                ctx=run_ctx,
-                            )
-                        else:
-                            from ..baselines.css_ttmc import css_s3ttmc
+                                    # backend= is deliberately not forwarded: the
+                                    # executor resolves run_ctx.backend each call,
+                                    # so an unhealthy-backend degrade sticks for
+                                    # the remaining iterations.
+                                    y = parallel_s3ttmc(
+                                        ucoo,
+                                        factor,
+                                        memoize=memoize,
+                                        ctx=run_ctx,
+                                    )
+                                elif kernel == "symprop":
+                                    y = s3ttmc(
+                                        ucoo,
+                                        factor,
+                                        memoize=memoize,
+                                        stats=stats,
+                                        nz_batch_size=nz_batch_size,
+                                        ctx=run_ctx,
+                                    )
+                                else:
+                                    from ..baselines.css_ttmc import css_s3ttmc
 
-                            y_full = css_s3ttmc(
-                                ucoo,
-                                factor,
-                                memoize=memoize,
-                                stats=stats,
-                                nz_batch_size=nz_batch_size,
-                                ctx=run_ctx,
-                            )
-                            # Compact for downstream steps (CSS-HOOI still
-                            # runs SVD on the full matrix; keep y_full for
-                            # that path).
-                    with timer.phase("svd"):
-                        if kernel == "symprop":
-                            if svd_method == "expand":
-                                factor = _leading_left_singular_vectors_expand(
-                                    y, rank, ctx=run_ctx
+                                    y_full = css_s3ttmc(
+                                        ucoo,
+                                        factor,
+                                        memoize=memoize,
+                                        stats=stats,
+                                        nz_batch_size=nz_batch_size,
+                                        ctx=run_ctx,
+                                    )
+                                    # Compact for downstream steps (CSS-HOOI still
+                                    # runs SVD on the full matrix; keep y_full for
+                                    # that path).
+                            with timer.phase("svd"):
+                                if kernel == "symprop":
+                                    if svd_method == "expand":
+                                        factor = _leading_left_singular_vectors_expand(
+                                            y, rank, ctx=run_ctx
+                                        )
+                                    else:
+                                        factor = _leading_left_singular_vectors_gram(
+                                            y, rank, ctx=run_ctx
+                                        )
+                                else:
+                                    u, _s, _vt = scipy.linalg.svd(
+                                        y_full, full_matrices=False
+                                    )
+                                    factor = u[:, :rank].copy()
+                            with timer.phase("core"):
+                                if kernel == "symprop":
+                                    core = y.mode1_ttm(factor)
+                                else:
+                                    c1 = factor.T @ y_full
+                                    # Compact the full core for uniform objective
+                                    # computation.
+                                    from ..symmetry.expansion import compact_from_full
+
+                                    core_data = compact_from_full(
+                                        c1, ucoo.order - 1, rank, check_symmetry=False
+                                    )
+                                    core = PartiallySymmetricTensor(
+                                        rank, ucoo.order - 1, rank, core_data
+                                    )
+                            with timer.phase("objective"):
+                                core_norm_sq = core.norm_squared()
+                                objective = norm_x_squared - core_norm_sq
+                                trace.record(
+                                    objective,
+                                    relative_error(norm_x_squared, core),
+                                    core_norm_sq,
                                 )
-                            else:
-                                factor = _leading_left_singular_vectors_gram(
-                                    y, rank, ctx=run_ctx
-                                )
-                        else:
-                            u, _s, _vt = scipy.linalg.svd(
-                                y_full, full_matrices=False
-                            )
-                            factor = u[:, :rank].copy()
-                    with timer.phase("core"):
-                        if kernel == "symprop":
-                            core = y.mode1_ttm(factor)
-                        else:
-                            c1 = factor.T @ y_full
-                            # Compact the full core for uniform objective
-                            # computation.
-                            from ..symmetry.expansion import compact_from_full
-
-                            core_data = compact_from_full(
-                                c1, ucoo.order - 1, rank, check_symmetry=False
-                            )
-                            core = PartiallySymmetricTensor(
-                                rank, ucoo.order - 1, rank, core_data
-                            )
-                    with timer.phase("objective"):
-                        core_norm_sq = core.norm_squared()
-                        objective = norm_x_squared - core_norm_sq
-                        trace.record(
-                            objective,
-                            relative_error(norm_x_squared, core),
-                            core_norm_sq,
+                    except (ValueError, np.linalg.LinAlgError) as exc:
+                        # Numerical blow-ups surface as untyped errors from
+                        # the SVD/eigh path (non-finite inputs, failed
+                        # convergence). Route them through the watchdog as a
+                        # non-finite strike instead of crashing the run.
+                        iter_error = exc
+                    directive = monitor.observe(
+                        float("nan") if iter_error is not None else objective,
+                        prev_objective,
+                        norm_x_squared=norm_x_squared,
+                        iteration=_iteration,
+                    )
+                    if (
+                        directive == "restore"
+                        and last_snapshot is not None
+                        and last_snapshot.core_data is not None
+                    ):
+                        # Replay the last healthy iteration's state exactly
+                        # as resume would — transient corruption that slipped
+                        # past the chunk checks is discarded without losing
+                        # converged progress.
+                        factor = np.array(last_snapshot.factor)
+                        prev_objective = last_snapshot.prev_objective
+                        core = PartiallySymmetricTensor(
+                            rank,
+                            ucoo.order - 1,
+                            rank,
+                            np.array(last_snapshot.core_data),
                         )
-                if prev_objective - objective <= tol * max(norm_x_squared, 1e-300):
-                    converged = True
-                else:
-                    prev_objective = objective
-                if checkpoint_dir is not None and (
-                    converged
-                    or _iteration == max_iters - 1
-                    or (_iteration - start_iteration + 1) % max(1, checkpoint_every)
-                    == 0
-                ):
-                    with timer.phase("checkpoint"):
-                        save_checkpoint(
-                            checkpoint_dir,
-                            CheckpointState(
-                                algorithm="hooi",
-                                iteration=_iteration,
-                                factor=factor,
-                                prev_objective=prev_objective,
-                                norm_x_squared=norm_x_squared,
-                                converged=converged,
-                                objective=list(trace.objective),
-                                relative_error=list(trace.relative_error),
-                                core_norm_squared=list(trace.core_norm_squared),
-                                core_data=core.data,
-                                core_nrows=core.nrows,
-                                config=checkpoint_config,
+                        trace = ConvergenceTrace()
+                        for vals in zip(
+                            last_snapshot.objective,
+                            last_snapshot.relative_error,
+                            last_snapshot.core_norm_squared,
+                        ):
+                            trace.record(*vals)
+                        continue
+                    if directive is not None:
+                        # Reseed (also the fallback when there is no healthy
+                        # snapshot to restore): deterministic divergence
+                        # re-strikes from the same state, so draw the next
+                        # restart seed instead.
+                        factor = initialize(
+                            ucoo,
+                            rank,
+                            "random",
+                            np.random.default_rng(
+                                reseed_seed(seed, monitor.recoveries)
                             ),
                             ctx=run_ctx,
                         )
-                if converged:
-                    break
+                        prev_objective = np.inf
+                        continue
+                    if monitor.strikes:
+                        # Unhealthy but under the strike ceiling: keep the
+                        # last healthy bookkeeping so a NaN/worsened
+                        # objective never poisons prev_objective or lands in
+                        # a checkpoint.
+                        continue
+                    if prev_objective - objective <= tol * max(
+                        norm_x_squared, 1e-300
+                    ):
+                        converged = True
+                    else:
+                        prev_objective = objective
+                    last_snapshot = CheckpointState(
+                        algorithm="hooi",
+                        iteration=_iteration,
+                        factor=factor,
+                        prev_objective=prev_objective,
+                        norm_x_squared=norm_x_squared,
+                        converged=converged,
+                        objective=list(trace.objective),
+                        relative_error=list(trace.relative_error),
+                        core_norm_squared=list(trace.core_norm_squared),
+                        core_data=core.data,
+                        core_nrows=core.nrows,
+                        config=checkpoint_config,
+                    )
+                    if checkpoint_dir is not None and (
+                        converged
+                        or _iteration == max_iters - 1
+                        or (_iteration - start_iteration + 1)
+                        % max(1, checkpoint_every)
+                        == 0
+                    ):
+                        with timer.phase("checkpoint"):
+                            save_checkpoint(
+                                checkpoint_dir, last_snapshot, ctx=run_ctx
+                            )
+                    if converged:
+                        break
+            except (RunCancelledError, DeadlineExceededError):
+                # Preemption mid-iteration: persist the last completed
+                # iteration so the run resumes bit-for-bit, then let the
+                # trip propagate to the caller.
+                if checkpoint_dir is not None and last_snapshot is not None:
+                    save_checkpoint(checkpoint_dir, last_snapshot, ctx=run_ctx)
+                raise
     finally:
         if owns_ctx:
             run_ctx.close()

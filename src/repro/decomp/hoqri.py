@@ -29,11 +29,17 @@ from ..runtime.checkpoint import (
     tensor_fingerprint,
 )
 from ..runtime.context import ExecContext
+from ..runtime.health import (
+    DeadlineExceededError,
+    HealthMonitor,
+    RunCancelledError,
+)
 from ..runtime.timer import PhaseTimer
 from ..symmetry.expansion import compact_from_full
 from ._execution import acquire_backend, resolve_run_context, sharding_config
 from .hosvd import initialize
 from .objective import relative_error
+from .restarts import reseed_seed
 from .result import ConvergenceTrace, DecompositionResult
 
 __all__ = ["hoqri"]
@@ -82,6 +88,9 @@ def hoqri(
     continue runs exactly as in :func:`~repro.decomp.hooi.hooi`; the
     checkpoint additionally carries HOQRI's pre-QR update matrix ``A``,
     so a resumed run re-enters the iteration at the QR step bit-for-bit.
+    Deadlines, cancellation, and the numerical-health watchdog behave
+    exactly as in :func:`~repro.decomp.hooi.hooi` (see
+    :mod:`repro.runtime.health`).
     """
     ucoo = _as_ucoo(tensor)
     if ucoo.order < 2:
@@ -140,95 +149,182 @@ def hoqri(
                     factor = initialize(ucoo, rank, init, rng, ctx=run_ctx)
                     norm_x_squared = ucoo.norm_squared()
 
-            for _iteration in range(start_iteration, max_iters):
-                if converged:
-                    break  # resumed from an already-converged checkpoint
-                with run_ctx.span(
-                    "hoqri.iteration", iteration=_iteration, kernel=kernel, rank=rank
-                ):
-                    # QR at the top of the body (from the previous iteration's A)
-                    # keeps the returned (factor, core, objective) triple
-                    # consistent: on exit `core` was computed with the current
-                    # `factor`.
-                    if a is not None:
-                        with timer.phase("qr"):
-                            factor = _qr_orthonormal(a)
-                    if kernel == "symprop":
-                        with timer.phase("s3ttmc"):
-                            if backend is not None:
-                                from ..parallel.executor import parallel_s3ttmc
+            last_snapshot: Optional[CheckpointState] = restored
+            monitor = HealthMonitor(run_ctx.effective_fallback(), run_ctx)
+            try:
+                for _iteration in range(start_iteration, max_iters):
+                    if converged:
+                        break  # resumed from an already-converged checkpoint
+                    run_ctx.check_health("hoqri.iteration")
+                    iter_error: Optional[Exception] = None
+                    try:
+                        with run_ctx.span(
+                            "hoqri.iteration",
+                            iteration=_iteration,
+                            kernel=kernel,
+                            rank=rank,
+                        ):
+                            # QR at the top of the body (from the previous
+                            # iteration's A) keeps the returned (factor, core,
+                            # objective) triple consistent: on exit `core` was
+                            # computed with the current `factor`.
+                            if a is not None:
+                                with timer.phase("qr"):
+                                    factor = _qr_orthonormal(a)
+                            if kernel == "symprop":
+                                with timer.phase("s3ttmc"):
+                                    if backend is not None:
+                                        from ..parallel.executor import parallel_s3ttmc
 
-                                # backend= not forwarded: the executor
-                                # resolves run_ctx.backend each call, so a
-                                # degrade sticks for later iterations.
-                                y = parallel_s3ttmc(
-                                    ucoo,
-                                    factor,
-                                    memoize=memoize,
-                                    ctx=run_ctx,
-                                )
+                                        # backend= not forwarded: the executor
+                                        # resolves run_ctx.backend each call, so a
+                                        # degrade sticks for later iterations.
+                                        y = parallel_s3ttmc(
+                                            ucoo,
+                                            factor,
+                                            memoize=memoize,
+                                            ctx=run_ctx,
+                                        )
+                                    else:
+                                        y = s3ttmc(
+                                            ucoo,
+                                            factor,
+                                            memoize=memoize,
+                                            stats=stats,
+                                            nz_batch_size=nz_batch_size,
+                                            ctx=run_ctx,
+                                        )
+                                with timer.phase("times_core"):
+                                    result = times_core(
+                                        y, factor, stats=stats, ctx=run_ctx
+                                    )
+                                core = result.core
+                                a = result.a
                             else:
-                                y = s3ttmc(
-                                    ucoo,
-                                    factor,
-                                    memoize=memoize,
-                                    stats=stats,
-                                    nz_batch_size=nz_batch_size,
-                                    ctx=run_ctx,
+                                with timer.phase("nary"):
+                                    a, c1 = nary_hoqri_step(ucoo, factor, stats=stats)
+                                core_data = compact_from_full(
+                                    c1, ucoo.order - 1, rank, check_symmetry=False
                                 )
-                        with timer.phase("times_core"):
-                            result = times_core(y, factor, stats=stats, ctx=run_ctx)
-                        core = result.core
-                        a = result.a
-                    else:
-                        with timer.phase("nary"):
-                            a, c1 = nary_hoqri_step(ucoo, factor, stats=stats)
-                        core_data = compact_from_full(
-                            c1, ucoo.order - 1, rank, check_symmetry=False
+                                core = PartiallySymmetricTensor(
+                                    rank, ucoo.order - 1, rank, core_data
+                                )
+                            with timer.phase("objective"):
+                                core_norm_sq = core.norm_squared()
+                                objective = norm_x_squared - core_norm_sq
+                                trace.record(
+                                    objective,
+                                    relative_error(norm_x_squared, core),
+                                    core_norm_sq,
+                                )
+                    except (ValueError, np.linalg.LinAlgError) as exc:
+                        # Numerical blow-ups surface as untyped errors
+                        # from the QR/GEMM path (non-finite inputs,
+                        # failed convergence). Route them through the
+                        # watchdog as a non-finite strike instead of
+                        # crashing the run.
+                        iter_error = exc
+                    directive = monitor.observe(
+                        float("nan") if iter_error is not None else objective,
+                        prev_objective,
+                        norm_x_squared=norm_x_squared,
+                        iteration=_iteration,
+                    )
+                    if (
+                        directive == "restore"
+                        and last_snapshot is not None
+                        and last_snapshot.core_data is not None
+                    ):
+                        # Replay the last healthy iteration's state exactly
+                        # as resume would — including the pre-QR update
+                        # matrix A, so the next iteration re-enters at the
+                        # QR step.
+                        factor = np.array(last_snapshot.factor)
+                        a = (
+                            None
+                            if last_snapshot.a is None
+                            else np.array(last_snapshot.a)
                         )
+                        prev_objective = last_snapshot.prev_objective
                         core = PartiallySymmetricTensor(
-                            rank, ucoo.order - 1, rank, core_data
+                            rank,
+                            ucoo.order - 1,
+                            rank,
+                            np.array(last_snapshot.core_data),
                         )
-                    with timer.phase("objective"):
-                        core_norm_sq = core.norm_squared()
-                        objective = norm_x_squared - core_norm_sq
-                        trace.record(
-                            objective,
-                            relative_error(norm_x_squared, core),
-                            core_norm_sq,
-                        )
-                if prev_objective - objective <= tol * max(norm_x_squared, 1e-300):
-                    converged = True
-                else:
-                    prev_objective = objective
-                if checkpoint_dir is not None and (
-                    converged
-                    or _iteration == max_iters - 1
-                    or (_iteration - start_iteration + 1) % max(1, checkpoint_every)
-                    == 0
-                ):
-                    with timer.phase("checkpoint"):
-                        save_checkpoint(
-                            checkpoint_dir,
-                            CheckpointState(
-                                algorithm="hoqri",
-                                iteration=_iteration,
-                                factor=factor,
-                                prev_objective=prev_objective,
-                                norm_x_squared=norm_x_squared,
-                                converged=converged,
-                                objective=list(trace.objective),
-                                relative_error=list(trace.relative_error),
-                                core_norm_squared=list(trace.core_norm_squared),
-                                a=a,
-                                core_data=core.data,
-                                core_nrows=core.nrows,
-                                config=checkpoint_config,
+                        trace = ConvergenceTrace()
+                        for vals in zip(
+                            last_snapshot.objective,
+                            last_snapshot.relative_error,
+                            last_snapshot.core_norm_squared,
+                        ):
+                            trace.record(*vals)
+                        continue
+                    if directive is not None:
+                        # Reseed (also the fallback when there is no healthy
+                        # snapshot to restore): deterministic divergence
+                        # re-strikes from the same state, so draw the next
+                        # restart seed instead. A is cleared so the fresh
+                        # factor is used directly next iteration.
+                        factor = initialize(
+                            ucoo,
+                            rank,
+                            "random",
+                            np.random.default_rng(
+                                reseed_seed(seed, monitor.recoveries)
                             ),
                             ctx=run_ctx,
                         )
-                if converged:
-                    break
+                        a = None
+                        prev_objective = np.inf
+                        continue
+                    if monitor.strikes:
+                        # Unhealthy but under the strike ceiling: keep the
+                        # last healthy bookkeeping so a NaN/worsened
+                        # objective never poisons prev_objective or lands in
+                        # a checkpoint.
+                        continue
+                    if prev_objective - objective <= tol * max(
+                        norm_x_squared, 1e-300
+                    ):
+                        converged = True
+                    else:
+                        prev_objective = objective
+                    last_snapshot = CheckpointState(
+                        algorithm="hoqri",
+                        iteration=_iteration,
+                        factor=factor,
+                        prev_objective=prev_objective,
+                        norm_x_squared=norm_x_squared,
+                        converged=converged,
+                        objective=list(trace.objective),
+                        relative_error=list(trace.relative_error),
+                        core_norm_squared=list(trace.core_norm_squared),
+                        a=a,
+                        core_data=core.data,
+                        core_nrows=core.nrows,
+                        config=checkpoint_config,
+                    )
+                    if checkpoint_dir is not None and (
+                        converged
+                        or _iteration == max_iters - 1
+                        or (_iteration - start_iteration + 1)
+                        % max(1, checkpoint_every)
+                        == 0
+                    ):
+                        with timer.phase("checkpoint"):
+                            save_checkpoint(
+                                checkpoint_dir, last_snapshot, ctx=run_ctx
+                            )
+                    if converged:
+                        break
+            except (RunCancelledError, DeadlineExceededError):
+                # Preemption mid-iteration: persist the last completed
+                # iteration so the run resumes bit-for-bit, then let the
+                # trip propagate to the caller.
+                if checkpoint_dir is not None and last_snapshot is not None:
+                    save_checkpoint(checkpoint_dir, last_snapshot, ctx=run_ctx)
+                raise
     finally:
         if owns_ctx:
             run_ctx.close()

@@ -8,12 +8,27 @@ that protocol for either algorithm.
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, Optional
 
 from ..core.s3ttmc import SymmetricInput
 from .result import DecompositionResult
 
-__all__ = ["best_of_restarts"]
+__all__ = ["best_of_restarts", "reseed_seed"]
+
+
+def reseed_seed(base_seed: Optional[int], attempt: int) -> int:
+    """Seed for health-driven reseed ``attempt`` (1-based).
+
+    When the numerical-health watchdog
+    (:class:`repro.runtime.health.HealthMonitor`) decides a run must be
+    re-initialized, the driver draws the replacement factor from this
+    seed. It mirrors the restart convention below — attempt ``k`` uses
+    ``base_seed + k`` — so a reseeded run walks the same seed sequence a
+    best-of-k protocol would, keeping recovery deterministic.
+    """
+    if attempt < 1:
+        raise ValueError("attempt must be >= 1")
+    return (0 if base_seed is None else int(base_seed)) + int(attempt)
 
 
 def best_of_restarts(

@@ -48,6 +48,16 @@ its retry/respawn budget it raises
 :class:`~repro.runtime.faults.BackendUnhealthyError`, which the executor
 turns into a degrade (process → thread → serial) per the policy.
 
+Run-level health rides on the context (:mod:`repro.runtime.health`):
+every chunk attempt and every supervisor round calls
+``ctx.check_health()`` — cooperative cancellation and deadlines trip at
+chunk boundaries, and in-flight process workers are killed and the pool
+reset on the way out. Each partial's producer-side checksum doubles as
+a free finiteness sentinel (``policy.check_finite``); persistently
+non-finite partials raise
+:class:`~repro.runtime.health.NumericalHealthError` rather than
+degrading the backend, since a weaker backend cannot fix numerics.
+
 Reductions are deterministic: partials are staged per chunk slot and the
 final reduce adds them in slot order, so reruns — including runs where
 chunks were retried or executed by different workers — produce
@@ -92,6 +102,7 @@ from ..runtime.faults import (
     InjectedFault,
     WorkerCrashError,
 )
+from ..runtime.health import NumericalHealthError
 from . import shm as _shm
 from .executor import (
     ChunkPlan,
@@ -123,6 +134,47 @@ START_METHOD_ENV_VAR = "REPRO_START_METHOD"
 def default_workers() -> int:
     """Default worker count: one per core."""
     return max(1, os.cpu_count() or 1)
+
+
+class _NonFinitePartialError(RuntimeError):
+    """Internal: a chunk partial's checksum came back non-finite.
+
+    Retried like other transient chunk failures, but exhaustion raises
+    :class:`~repro.runtime.health.NumericalHealthError` instead of
+    :class:`~repro.runtime.faults.BackendUnhealthyError` — degrading to
+    a weaker backend cannot fix numerics.
+    """
+
+
+def _supervisor_wait_timeout(
+    ctx: ExecContext,
+    policy: FallbackPolicy,
+    running: Dict[object, "_WorkerHandle"],
+) -> Optional[float]:
+    """Upper bound for one supervisor ``_mp_wait`` round.
+
+    Starts from the hang-detection deadline (silence past
+    ``policy.chunk_timeout``), then bounds it by the run deadline so an
+    expired run is noticed even while every worker is healthy, and caps
+    it at 100 ms when a cancel token is armed — cancellation arrives
+    from *another* thread, so the supervisor must wake to observe it.
+    With no timeout, deadline or token the wait stays unbounded (the
+    pre-supervision blocking behaviour, zero wake-ups).
+    """
+    timeout: Optional[float] = None
+    if policy.chunk_timeout is not None:
+        now = time.monotonic()
+        deadline = min(
+            h.last_heard + policy.chunk_timeout for h in running.values()
+        )
+        timeout = max(0.005, deadline - now)
+    remaining = ctx.remaining_seconds()
+    if remaining is not None:
+        bound = max(0.005, remaining)
+        timeout = bound if timeout is None else min(timeout, bound)
+    if ctx.cancel_token is not None:
+        timeout = 0.1 if timeout is None else min(timeout, 0.1)
+    return timeout
 
 
 def _checksums_match(expected: float, actual: float) -> bool:
@@ -194,6 +246,9 @@ def _resilient_partial(
     def eval_range(start, stop, rows, row_map, plan, depth) -> np.ndarray:
         attempt = 0
         while True:
+            # Cooperative cancellation/deadline checkpoint: once per
+            # chunk attempt, before any kernel work starts.
+            ctx.check_health(f"{backend_name}.chunk")
             fault = (
                 injector.arm(
                     "chunk", backend=backend_name, slot=slot, attempt=attempt
@@ -209,7 +264,7 @@ def _resilient_partial(
                         )
                     if fault.kind == "error":
                         raise InjectedFault(f"injected error (chunk {slot})")
-                    if fault.kind == "hang":
+                    if fault.kind in ("hang", "slow"):
                         time.sleep(fault.seconds)
                     if fault.kind == "oom":
                         raise MemoryLimitError("injected chunk oom", 0, 0, 0)
@@ -228,9 +283,19 @@ def _resilient_partial(
                     plan=plan,
                     ctx=ctx,
                 )
+                # An injected nan poisons the partial *before* the
+                # checksum (unlike corrupt, which evades it): the
+                # non-finite value rides the checksum to the sentinel.
+                if fault is not None and fault.kind == "nan" and partial.size:
+                    partial.flat[0] = np.nan
                 checksum = float(partial.sum())
                 if fault is not None and fault.kind == "corrupt" and partial.size:
                     partial.flat[0] += fault.scale
+                if policy.check_finite and not math.isfinite(checksum):
+                    raise _NonFinitePartialError(
+                        f"chunk {slot} partial is non-finite "
+                        f"(checksum {checksum!r})"
+                    )
                 if policy.verify_partials and not _checksums_match(
                     checksum, float(partial.sum())
                 ):
@@ -266,7 +331,12 @@ def _resilient_partial(
                     )
                     partial[np.searchsorted(rows, sp.rows)] += sub
                 return partial
-            except (WorkerCrashError, CorruptPartialError, InjectedFault) as exc:
+            except (
+                WorkerCrashError,
+                CorruptPartialError,
+                InjectedFault,
+                _NonFinitePartialError,
+            ) as exc:
                 if isinstance(exc, CorruptPartialError):
                     _note_incident(
                         ctx,
@@ -277,8 +347,23 @@ def _resilient_partial(
                         backend=backend_name,
                         chunk=slot,
                     )
+                elif isinstance(exc, _NonFinitePartialError):
+                    _note_incident(
+                        ctx,
+                        report,
+                        "health.nonfinite_partial",
+                        "health.nonfinite_partials",
+                        "nonfinite_partials",
+                        backend=backend_name,
+                        chunk=slot,
+                    )
                 attempt += 1
                 if attempt > policy.max_retries:
+                    if isinstance(exc, _NonFinitePartialError):
+                        raise NumericalHealthError(
+                            f"chunk {slot} partial stayed non-finite after "
+                            f"{attempt} attempts"
+                        ) from exc
                     raise BackendUnhealthyError(
                         backend_name,
                         f"chunk {slot} failed after {attempt} attempts: {exc}",
@@ -1048,9 +1133,14 @@ class ProcessBackend(Backend):
             handle.task_id = -1
             idle.append(handle)
 
-        def retry_task(task: _ChunkTask, reason: str) -> None:
+        def retry_task(task: _ChunkTask, reason: str, *, health: bool = False) -> None:
             task.attempt += 1
             if task.attempt > policy.max_retries:
+                if health:
+                    raise NumericalHealthError(
+                        f"chunk [{task.start},{task.stop}) stayed non-finite "
+                        f"after {task.attempt} attempts"
+                    )
                 raise BackendUnhealthyError(
                     self.name,
                     f"chunk [{task.start},{task.stop}) failed after "
@@ -1128,6 +1218,17 @@ class ProcessBackend(Backend):
             ) = msg
             task = handle.task
             buffer = self._attach_result(handle, result_name, n_rows, job.cols)
+            if policy.check_finite and not math.isfinite(checksum):
+                # A NaN/Inf anywhere poisons the producer-side sum, so
+                # the checksum doubles as a free finiteness sentinel.
+                _note_incident(
+                    ctx, report, "health.nonfinite_partial",
+                    "health.nonfinite_partials", "nonfinite_partials",
+                    backend=self.name, chunk=task.slot, worker=handle.worker_id,
+                )
+                release(handle)
+                retry_task(task, "non-finite partial", health=True)
+                return
             if policy.verify_partials and not _checksums_match(
                 checksum, float(buffer.sum())
             ):
@@ -1209,6 +1310,10 @@ class ProcessBackend(Backend):
 
         try:
             while pending or running:
+                # Raising here escapes into the BaseException handler
+                # below: in-flight workers are killed and the pool reset,
+                # so a cancelled/expired run leaves nothing running.
+                ctx.check_health("process.supervisor")
                 while pending and idle:
                     dispatch(pending.popleft())
                 if not running:
@@ -1217,15 +1322,7 @@ class ProcessBackend(Backend):
                             self.name, "no workers available"
                         )
                     continue
-                if policy.chunk_timeout is None:
-                    timeout = None
-                else:
-                    now = time.monotonic()
-                    deadline = min(
-                        h.last_heard + policy.chunk_timeout
-                        for h in running.values()
-                    )
-                    timeout = max(0.005, deadline - now)
+                timeout = _supervisor_wait_timeout(ctx, policy, running)
                 for conn in _mp_wait(list(running), timeout):
                     handle = running.get(conn)
                     if handle is None:
@@ -1238,6 +1335,13 @@ class ProcessBackend(Backend):
                     kind = msg[0]
                     if kind == "beat":
                         if msg[1] == handle.task_id:
+                            handle.last_heard = time.monotonic()
+                    elif kind == "result":
+                        # Proactive result-segment announcement: recorded
+                        # before the first chunk_done so a worker killed
+                        # mid-chunk cannot leak its segment.
+                        if msg[1] == handle.task_id:
+                            self._note_result_announce(handle, msg[2])
                             handle.last_heard = time.monotonic()
                     elif msg[1] != handle.task_id:
                         continue  # reply for a superseded dispatch
@@ -1361,9 +1465,14 @@ class ProcessBackend(Backend):
             handle.task = None
             handle.task_id = -1
 
-        def retry_task(task: _ChunkTask, reason: str) -> None:
+        def retry_task(task: _ChunkTask, reason: str, *, health: bool = False) -> None:
             task.attempt += 1
             if task.attempt > policy.max_retries:
+                if health:
+                    raise NumericalHealthError(
+                        f"shard {task.slot} chunk [{task.start},{task.stop}) "
+                        f"stayed non-finite after {task.attempt} attempts"
+                    )
                 raise BackendUnhealthyError(
                     self.name,
                     f"shard {task.slot} chunk [{task.start},{task.stop}) "
@@ -1461,6 +1570,16 @@ class ProcessBackend(Backend):
             ) = msg
             task = handle.task
             buffer = self._attach_result(handle, result_name, n_rows, job.cols)
+            if policy.check_finite and not math.isfinite(checksum):
+                _note_incident(
+                    ctx, report, "health.nonfinite_partial",
+                    "health.nonfinite_partials", "nonfinite_partials",
+                    backend=self.name, chunk=task.slot, shard=task.slot,
+                    worker=handle.worker_id,
+                )
+                release(handle)
+                retry_task(task, "non-finite partial", health=True)
+                return
             if policy.verify_partials and not _checksums_match(
                 checksum, float(buffer.sum())
             ):
@@ -1545,6 +1664,10 @@ class ProcessBackend(Backend):
 
         try:
             while running or any(queues.values()):
+                # Raising here escapes into the BaseException handler
+                # below: in-flight owners are killed and the pool reset,
+                # so a cancelled/expired run leaves nothing running.
+                ctx.check_health("process.supervisor")
                 for worker_id in list(queues):
                     dispatch_owner(worker_id)
                 if not running:
@@ -1553,15 +1676,7 @@ class ProcessBackend(Backend):
                             self.name, "no workers available"
                         )
                     continue
-                if policy.chunk_timeout is None:
-                    timeout = None
-                else:
-                    now = time.monotonic()
-                    deadline = min(
-                        h.last_heard + policy.chunk_timeout
-                        for h in running.values()
-                    )
-                    timeout = max(0.005, deadline - now)
+                timeout = _supervisor_wait_timeout(ctx, policy, running)
                 for conn in _mp_wait(list(running), timeout):
                     handle = running.get(conn)
                     if handle is None:
@@ -1574,6 +1689,13 @@ class ProcessBackend(Backend):
                     kind = msg[0]
                     if kind == "beat":
                         if msg[1] == handle.task_id:
+                            handle.last_heard = time.monotonic()
+                    elif kind == "result":
+                        # Proactive result-segment announcement: recorded
+                        # before the first chunk_done so a worker killed
+                        # mid-chunk cannot leak its segment.
+                        if msg[1] == handle.task_id:
+                            self._note_result_announce(handle, msg[2])
                             handle.last_heard = time.monotonic()
                     elif msg[1] != handle.task_id:
                         continue  # reply for a superseded dispatch
@@ -1637,6 +1759,27 @@ class ProcessBackend(Backend):
         finally:
             ctx.release_bytes(partial_bytes, "parallel partials (sharded)")
             self._handoff(job)
+
+    def _note_result_announce(self, handle: _WorkerHandle, name: str) -> None:
+        """Record a worker's result-segment name from its announcement.
+
+        Workers announce their (worker-owned) result segment as soon as
+        it is created or regrown — *before* computing the chunk — so the
+        parent's :meth:`_retire_worker` unlink path covers a worker
+        killed mid-first-chunk (previously the name was only learned
+        from the first ``chunk_done`` reply, leaking the segment when a
+        cancellation or hang kill landed earlier). A regrow makes the
+        previous attachment stale; drop it here, exactly as
+        :meth:`_attach_result` would.
+        """
+        if handle.result_name and handle.result_name != name:
+            old = self._attached_results.pop(handle.result_name, None)
+            if old is not None:
+                try:
+                    old.close()
+                except Exception:
+                    pass
+        handle.result_name = name
 
     def _attach_result(
         self, handle: _WorkerHandle, name: str, n_rows: int, cols: int

@@ -98,7 +98,9 @@ class ParallelRunReport:
     ``retries`` (chunk re-executions after a crash / corrupt partial /
     worker error), ``respawns`` (process-backend workers replaced after a
     death or hang), ``oom_splits`` (chunk bisections after a memory-limit
-    refusal), ``corrupt_partials`` (checksum mismatches detected), and
+    refusal), ``corrupt_partials`` (checksum mismatches detected),
+    ``nonfinite_partials`` (partials rejected by the finiteness
+    sentinel), and
     ``fallbacks`` / ``fallback_chain`` (backend degradations, e.g.
     ``["thread"]`` when a process run fell back to threads). ``backend``
     reports the backend that produced the returned result.
@@ -126,6 +128,7 @@ class ParallelRunReport:
     respawns: int = 0
     oom_splits: int = 0
     corrupt_partials: int = 0
+    nonfinite_partials: int = 0
     fallbacks: int = 0
     fallback_chain: List[str] = field(default_factory=list)
     worker_busy: Dict[str, float] = field(default_factory=dict)
@@ -348,6 +351,7 @@ def parallel_s3ttmc(
     from .backends import Backend, make_backend  # local: avoid import cycle
 
     ctx = resolve_context(ctx)
+    ctx.check_health("parallel.s3ttmc")
     ucoo = _as_ucoo(tensor)
     factor = np.asarray(factor, dtype=np.float64)
     if factor.ndim != 2 or factor.shape[0] != ucoo.dim:

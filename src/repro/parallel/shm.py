@@ -21,7 +21,8 @@ a chunk, the worker evaluates it into its result buffer, replies, and
 receives the next chunk. While a chunk is running a daemon heartbeat
 thread sends periodic ``("beat", task_id)`` messages over the same pipe
 so the parent can tell a long chunk from a hung worker. Each chunk
-message may carry an injected fault (crash / hang / oom / corrupt — see
+message may carry an injected fault (crash / hang / slow / oom /
+corrupt / nan — see
 :mod:`repro.runtime.faults`) which the worker *executes* but never
 decides: arming lives parent-side so fault plans replay
 deterministically.
@@ -331,6 +332,7 @@ def _run_chunk(
     heartbeat: _Heartbeat,
     kernel: str = "generic",
     chunk_edges=None,
+    notify_result=None,
 ):
     """Evaluate one chunk into the worker's result buffer.
 
@@ -346,11 +348,21 @@ def _run_chunk(
 
     * ``crash`` — ``os._exit(3)`` (pipe EOF at the parent);
     * ``hang`` — sleep ``param`` seconds with heartbeats suppressed;
+    * ``slow`` — sleep ``param`` seconds with heartbeats *running*
+      (pure latency: never trips hang detection, but burns the run's
+      wall-clock deadline);
     * ``oom`` — raise a :class:`~repro.runtime.budget.MemoryLimitError`
       as a too-large chunk would;
     * ``corrupt`` — perturb the result *after* its checksum was taken
       (caught by the parent's partial verification);
+    * ``nan`` — poison the result *before* its checksum is taken (the
+      non-finite sum is caught by the parent's finiteness sentinel);
     * ``error`` — raise a generic injected exception.
+
+    ``notify_result`` (when given) is called with the result segment's
+    name as soon as the buffer exists — before any numeric work — so the
+    parent can reclaim the segment even if this worker is killed
+    mid-chunk.
 
     Returns ``(result_name, n_rows, checksum, build_s, numeric_s,
     plan_cache_hit, peak_bytes)``.
@@ -373,6 +385,8 @@ def _run_chunk(
             heartbeat.suppress(True)
             time.sleep(float(param))
             heartbeat.suppress(False)
+        elif kind == "slow":
+            time.sleep(float(param))
         elif kind == "oom":
             raise MemoryLimitError("injected chunk oom", 0, 0, 0)
         elif kind == "error":
@@ -400,6 +414,8 @@ def _run_chunk(
     n_rows = rows.shape[0]
 
     shm = state.ensure_result(n_rows * cols * 8)
+    if notify_result is not None:
+        notify_result(shm.name)
     block = np.ndarray((n_rows, cols), dtype=np.float64, buffer=shm.buf)
     block[...] = 0.0
     # The kernel is driven under an explicit per-call ExecContext carrying
@@ -423,6 +439,11 @@ def _run_chunk(
         ctx=worker_ctx,
     )
     numeric_seconds = time.perf_counter() - tick
+    # nan poisons *before* the checksum (rides it to the parent's
+    # finiteness sentinel); corrupt perturbs *after* (evades it, caught
+    # by partial verification instead).
+    if fault is not None and fault[0] == "nan" and block.size:
+        block.flat[0] = np.nan
     checksum = float(block.sum())
     if fault is not None and fault[0] == "corrupt" and block.size:
         block.flat[0] += float(fault[1])
@@ -453,7 +474,10 @@ def worker_main(
     heartbeat_interval, kernel, chunk_edges)``
         Evaluate one chunk under the mirrored budget — with the generic
         or compiled engine per the shipped kernel spec — heartbeating
-        every ``heartbeat_interval`` seconds; reply ``("chunk_done", task_id,
+        every ``heartbeat_interval`` seconds. The worker announces its
+        result segment with ``("result", task_id, name)`` as soon as the
+        buffer exists (so the parent can reclaim it if the worker is
+        killed mid-chunk), then replies ``("chunk_done", task_id,
         result_name, n_rows, checksum, build_s, numeric_s, hit, peak)``,
         ``("chunk_oom", task_id, label, nbytes, limit, in_use)`` when the
         mirrored budget refuses an allocation, or ``("chunk_error",
@@ -534,6 +558,9 @@ def worker_main(
                             heartbeat,
                             kernel,
                             chunk_edges,
+                            notify_result=lambda name, _tid=task_id: reply(
+                                ("result", _tid, name)
+                            ),
                         )
                     except MemoryLimitError as oom:
                         reply(

@@ -50,6 +50,7 @@ Usage::
 from __future__ import annotations
 
 import threading
+import time
 import weakref
 from collections import OrderedDict
 from contextlib import ExitStack, contextmanager
@@ -62,6 +63,7 @@ from ..obs.profile import SamplingProfiler
 from . import budget as _budget
 from .budget import MemoryBudget
 from .faults import DEFAULT_FALLBACK, FallbackPolicy, FaultInjector
+from .health import CancelToken, DeadlineExceededError, RunCancelledError
 
 __all__ = [
     "COMPILED_TABLE_CACHE_CAP",
@@ -258,6 +260,20 @@ class ExecContext:
         Not inherited by :meth:`derive`/:meth:`snapshot` children — the
         sampler observes every thread of the process already, and a
         child's ``close()`` must not stop the parent's profiler.
+    deadline_seconds:
+        Optional wall-clock budget for the whole run, measured from
+        context construction. Backends and decomposition loops call
+        :meth:`check_health` at chunk/iteration boundaries; past the
+        deadline it raises
+        :class:`~repro.runtime.health.DeadlineExceededError`. Children
+        from :meth:`derive`/:meth:`snapshot` inherit the parent's
+        *absolute* deadline, not a fresh budget.
+    cancel:
+        Optional :class:`~repro.runtime.health.CancelToken` for
+        cooperative cancellation — cancelling it (from any thread)
+        makes :meth:`check_health` raise
+        :class:`~repro.runtime.health.RunCancelledError` at the next
+        boundary. Children share the parent's token by default.
 
     The context is a context manager: ``with ctx:`` activates it on the
     current thread (budget pushed, collector installed thread-locally,
@@ -279,6 +295,8 @@ class ExecContext:
         faults: Optional[FaultInjector] = None,
         fallback: Optional[FallbackPolicy] = None,
         profiler: Optional["SamplingProfiler"] = None,
+        deadline_seconds: Optional[float] = None,
+        cancel: Optional[CancelToken] = None,
     ) -> None:
         self.budget = budget
         self.collector = collector
@@ -291,6 +309,20 @@ class ExecContext:
         self.faults = faults
         self.fallback = fallback
         self.profiler = profiler
+        if deadline_seconds is not None:
+            deadline_seconds = float(deadline_seconds)
+            if deadline_seconds <= 0:
+                raise ValueError("deadline_seconds must be positive")
+        self.deadline_seconds = deadline_seconds
+        #: Absolute monotonic-clock instant the deadline trips at; the
+        #: clock starts at construction and children inherit it as-is.
+        self._deadline_at = (
+            None
+            if deadline_seconds is None
+            else time.monotonic() + deadline_seconds
+        )
+        self.cancel_token = cancel
+        self._health_tripped = False
         self._backend = None
         self._ambient = False
         self._entered: List[Any] = []
@@ -403,6 +435,48 @@ class ExecContext:
         """This context's fallback policy, else the shared default."""
         return self.fallback if self.fallback is not None else DEFAULT_FALLBACK
 
+    def remaining_seconds(self) -> Optional[float]:
+        """Wall-clock seconds left before the run deadline (may be
+        negative once expired), or ``None`` when no deadline is set."""
+        if self._deadline_at is None:
+            return None
+        return self._deadline_at - time.monotonic()
+
+    def _health_trip(self, kind: str, site: str) -> None:
+        """Emit the ``health.<kind>`` event/counter once per context.
+
+        ``check_health`` keeps raising on every later call, but only the
+        first trip is an observable event — retries of the same trip
+        would inflate counters.
+        """
+        if self._health_tripped:
+            return
+        self._health_tripped = True
+        self.event(f"health.{kind}", site=site)
+        metrics = self.metrics
+        if metrics is not None:
+            metrics.counter(f"health.{kind}").inc()
+
+    def check_health(self, site: str = "") -> None:
+        """Cooperative cancellation / deadline checkpoint.
+
+        Called between chunks (all backends), between decomposition
+        iterations, and inside the process-backend supervisor loop.
+        Raises :class:`~repro.runtime.health.RunCancelledError` when the
+        run's :class:`~repro.runtime.health.CancelToken` (or any of its
+        ancestors) is cancelled, and
+        :class:`~repro.runtime.health.DeadlineExceededError` once the
+        run's wall-clock budget is spent. Cheap when neither is
+        configured — two attribute reads, no clock call.
+        """
+        token = self.cancel_token
+        if token is not None and token.cancelled:
+            self._health_trip("cancelled", site)
+            raise RunCancelledError(token.reason, site)
+        if self._deadline_at is not None and time.monotonic() >= self._deadline_at:
+            self._health_trip("deadline", site)
+            raise DeadlineExceededError(self.deadline_seconds, site)
+
     # -- validation --------------------------------------------------------
 
     def validate(
@@ -491,6 +565,8 @@ class ExecContext:
         reduction: Optional[str] = None,
         sharding: Optional[str] = None,
         seed: Optional[int] = None,
+        deadline_seconds: Optional[float] = None,
+        cancel: Optional[CancelToken] = None,
     ) -> "ExecContext":
         """Child context sharing budget/collector/plan cache, with its own
         backend slot and (optionally) overridden execution settings.
@@ -499,8 +575,15 @@ class ExecContext:
         sites keep working: the driver derives an ephemeral child from the
         ambient context, runs on it, and closes it — while plans persist
         in the shared cache across calls.
+
+        Resilience state is inherited: the child shares the parent's
+        :class:`~repro.runtime.health.CancelToken` (cancelling the run
+        cancels derived work) and the parent's *absolute* deadline —
+        deriving does not restart the clock. Pass ``deadline_seconds=``
+        to arm a fresh budget or ``cancel=`` for an independent token
+        (e.g. ``parent.cancel_token.derive()``).
         """
-        return ExecContext(
+        child = ExecContext(
             budget=self.budget,
             collector=self.collector,
             execution=execution if execution is not None else self.execution,
@@ -511,7 +594,16 @@ class ExecContext:
             plans=self.plans,
             faults=self.faults,
             fallback=self.fallback,
+            deadline_seconds=(
+                deadline_seconds
+                if deadline_seconds is not None
+                else self.deadline_seconds
+            ),
+            cancel=cancel if cancel is not None else self.cancel_token,
         )
+        if deadline_seconds is None:
+            child._deadline_at = self._deadline_at
+        return child
 
     def snapshot(self) -> "ExecContext":
         """Materialize ambient delegation into explicit fields.
@@ -535,7 +627,10 @@ class ExecContext:
             plans=self.plans,
             faults=self.faults,
             fallback=self.fallback,
+            deadline_seconds=self.deadline_seconds,
+            cancel=self.cancel_token,
         )
+        snap._deadline_at = self._deadline_at
         return snap
 
     # -- serialization -----------------------------------------------------
@@ -559,6 +654,7 @@ class ExecContext:
             ),
             "traced": self.collector is not None,
             "fallback": fallback,
+            "deadline_seconds": self.deadline_seconds,
         }
 
     @classmethod
@@ -586,6 +682,7 @@ class ExecContext:
             sharding=spec.get("sharding", "broadcast"),
             seed=spec.get("seed"),
             fallback=fallback,
+            deadline_seconds=spec.get("deadline_seconds"),
         )
 
     # -- activation --------------------------------------------------------

@@ -52,6 +52,16 @@ Fault kinds
 ``corrupt``
     Perturb the chunk's partial *after* its checksum was computed —
     detected by partial verification and recomputed.
+``nan``
+    Poison the chunk's partial with ``NaN`` *before* its checksum is
+    computed — the non-finite value survives transport, is caught by
+    the backends' finiteness sentinel (``check_finite``), and the chunk
+    is recomputed; exhaustion raises
+    :class:`~repro.runtime.health.NumericalHealthError`.
+``slow``
+    Sleep ``seconds`` with heartbeats *running* — pure latency that
+    never trips the per-chunk hang detector but consumes the run's
+    wall-clock budget, exercising ``deadline_seconds``.
 """
 
 from __future__ import annotations
@@ -75,13 +85,18 @@ __all__ = [
     "WorkerCrashError",
     "faults_from_env",
     "parse_fault_specs",
+    "parse_policy_spec",
+    "policy_from_env",
 ]
 
 #: Recognized fault kinds (see module docstring).
-FAULT_KINDS = ("crash", "hang", "oom", "corrupt", "error")
+FAULT_KINDS = ("crash", "hang", "oom", "corrupt", "error", "nan", "slow")
 
 #: Environment variable read by :func:`faults_from_env`.
 FAULTS_ENV_VAR = "REPRO_FAULTS"
+
+#: Environment variable read by :func:`policy_from_env`.
+POLICY_ENV_VAR = "REPRO_POLICY"
 
 
 # ---------------------------------------------------------------------------
@@ -155,7 +170,7 @@ class FaultSpec:
         Fire each matching occurrence with this probability, drawn from
         the injector's seeded generator (still deterministic per seed).
     seconds:
-        Hang duration for ``kind="hang"``.
+        Sleep duration for ``kind="hang"`` / ``kind="slow"``.
     scale:
         Perturbation magnitude for ``kind="corrupt"``.
     """
@@ -185,7 +200,10 @@ class FaultSpec:
 
     def payload(self) -> Tuple[str, float]:
         """Compact picklable form shipped to process workers."""
-        return (self.kind, self.seconds if self.kind == "hang" else self.scale)
+        return (
+            self.kind,
+            self.seconds if self.kind in ("hang", "slow") else self.scale,
+        )
 
 
 class FaultInjector:
@@ -354,6 +372,23 @@ class FallbackPolicy:
     verify_partials:
         Verify each chunk partial against its production-time checksum
         and recompute on mismatch (catches shm transport corruption).
+    check_finite:
+        Reject chunk partials whose checksum is non-finite (a ``NaN`` or
+        ``Inf`` anywhere in the partial poisons its sum, so the sentinel
+        is free — both backends already compute the sum for
+        ``verify_partials``). Rejected partials are recomputed up to
+        ``max_retries``; persistent non-finiteness raises
+        :class:`~repro.runtime.health.NumericalHealthError` instead of
+        degrading the backend (a weaker backend cannot fix numerics).
+    max_unhealthy_iters:
+        Consecutive unhealthy decomposition iterations (non-finite or
+        worsening objective) the
+        :class:`~repro.runtime.health.HealthMonitor` tolerates before
+        directing a recovery.
+    max_health_recoveries:
+        Recoveries (restore-from-checkpoint, then reseed) the watchdog
+        may attempt before raising
+        :class:`~repro.runtime.health.NumericalHealthError`.
     """
 
     max_retries: int = 2
@@ -365,6 +400,9 @@ class FallbackPolicy:
     max_oom_splits: int = 8
     degrade: Tuple[str, ...] = ("thread", "serial")
     verify_partials: bool = True
+    check_finite: bool = True
+    max_unhealthy_iters: int = 3
+    max_health_recoveries: int = 2
 
     def backoff(self, retry: int) -> float:
         """Backoff delay before retry ``retry`` (1-based)."""
@@ -388,3 +426,90 @@ class FallbackPolicy:
 
 #: Shared default policy (used when a context has no explicit one).
 DEFAULT_FALLBACK = FallbackPolicy()
+
+_POLICY_BOOL_FIELDS = ("verify_partials", "check_finite")
+_POLICY_INT_FIELDS = (
+    "max_retries",
+    "max_respawns",
+    "max_oom_splits",
+    "max_unhealthy_iters",
+    "max_health_recoveries",
+)
+_POLICY_FLOAT_FIELDS = (
+    "backoff_seconds",
+    "backoff_multiplier",
+    "heartbeat_interval",
+)
+
+
+def parse_policy_spec(text: str) -> FallbackPolicy:
+    """Parse a compact policy string into a :class:`FallbackPolicy`.
+
+    Grammar (mirroring :func:`parse_fault_specs`): comma-separated
+    ``key=value`` pairs over :data:`DEFAULT_FALLBACK`. Keys are the
+    policy field names; values are coerced per field — integers for the
+    ceilings, floats for the timings, ``chunk_timeout`` accepts a float
+    or ``none``, booleans accept ``1/0/true/false/yes/no/on/off``, and
+    ``degrade`` is a ``>``-separated backend chain (empty disables
+    fallback). Example::
+
+        "max_retries=4,chunk_timeout=2.5,degrade=thread>serial"
+        "check_finite=false,degrade="
+    """
+    overrides: Dict[str, Any] = {}
+    for pair in text.split(","):
+        pair = pair.strip()
+        if not pair:
+            continue
+        if "=" not in pair:
+            raise ValueError(f"policy option {pair!r} must be key=value")
+        key, value = (s.strip() for s in pair.split("=", 1))
+        if key in _POLICY_INT_FIELDS:
+            overrides[key] = int(value)
+        elif key in _POLICY_FLOAT_FIELDS:
+            overrides[key] = float(value)
+        elif key in _POLICY_BOOL_FIELDS:
+            lowered = value.lower()
+            if lowered in ("1", "true", "yes", "on"):
+                overrides[key] = True
+            elif lowered in ("0", "false", "no", "off"):
+                overrides[key] = False
+            else:
+                raise ValueError(
+                    f"policy option {key}={value!r} must be a boolean "
+                    f"(1/0/true/false/yes/no/on/off)"
+                )
+        elif key == "chunk_timeout":
+            overrides[key] = (
+                None if value.lower() in ("", "none") else float(value)
+            )
+        elif key == "degrade":
+            overrides[key] = tuple(
+                name.strip() for name in value.split(">") if name.strip()
+            )
+        else:
+            known = (
+                _POLICY_INT_FIELDS
+                + _POLICY_FLOAT_FIELDS
+                + _POLICY_BOOL_FIELDS
+                + ("chunk_timeout", "degrade")
+            )
+            raise ValueError(
+                f"unknown policy field {key!r}; expected one of "
+                f"{sorted(known)}"
+            )
+    return DEFAULT_FALLBACK.with_(**overrides)
+
+
+def policy_from_env() -> Optional[FallbackPolicy]:
+    """Policy built from ``REPRO_POLICY``, or ``None`` when unset.
+
+    Lets the bench harness and CI reshape a run's resilience without
+    code changes::
+
+        REPRO_POLICY="max_retries=4,chunk_timeout=2" python -m repro.bench ...
+    """
+    text = os.environ.get(POLICY_ENV_VAR, "").strip()
+    if not text:
+        return None
+    return parse_policy_spec(text)

@@ -4,6 +4,7 @@ Examples::
 
     python -m repro.verify --config smoke          # CI gate (<2 min)
     python -m repro.verify --config full --seeds 4
+    python -m repro.verify --config chaos --schedules 50   # resilience soak
     python -m repro.verify --case "order=3,dim=7,rank=4,unnz=25,dist=uniform,seed=0" \
         --check plan-reuse
 
@@ -36,9 +37,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "--config",
-        choices=("smoke", "full"),
+        choices=("smoke", "full", "chaos"),
         default="smoke",
-        help="workload matrix size (default: smoke)",
+        help="workload matrix size, or 'chaos' for the resilience soak "
+        "(default: smoke)",
+    )
+    parser.add_argument(
+        "--schedules",
+        type=int,
+        default=50,
+        help="number of seeded chaos schedules (--config chaos only; "
+        "default: 50)",
     )
     parser.add_argument(
         "--seeds",
@@ -112,6 +121,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 check=args.check,
                 on_case=on_case,
                 trace_path=trace_path,
+                schedules=args.schedules,
             )
             if not report.results:
                 print(f"no check named {args.check!r} ran", file=sys.stderr)

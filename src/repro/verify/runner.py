@@ -6,7 +6,11 @@ differential matrix plus the post-case invariants, and returns the
 results. :func:`run_suite` maps that over the seeded workload matrix for
 a config (``smoke`` / ``full``), prepends the budget-preflight canary,
 and folds everything into a :class:`VerifyReport` whose failure section
-is a list of copy-pasteable repro lines.
+is a list of copy-pasteable repro lines. The ``chaos`` config instead
+runs the resilience soak (:mod:`repro.verify.chaos`): seeded schedules
+of concurrent faults, cancellations and deadlines, each asserted to
+either complete with oracle-verified output or fail with exactly one
+typed error — budget drained and no shm leaks either way.
 
 Both honour the same observability hooks as the bench harness: with
 ``REPRO_TRACE=path.jsonl`` every case's spans/metrics are appended to the
@@ -112,14 +116,30 @@ def run_suite(
     check: Optional[str] = None,
     on_case: Optional[Callable[[Workload, List[CheckResult]], None]] = None,
     trace_path: Optional[str] = None,
+    schedules: int = 50,
 ) -> VerifyReport:
     """Run the whole seeded matrix for a config.
 
     ``on_case`` is a progress hook called after each case with its spec
     and results (the CLI uses it for live per-case lines); ``trace_path``
-    is forwarded to every :func:`run_case`.
+    is forwarded to every :func:`run_case`. For ``config="chaos"`` the
+    seeded schedule soak runs instead of the differential matrix;
+    ``schedules`` sizes it and ``seeds`` is ignored.
     """
     report = VerifyReport()
+    if config == "chaos":
+        from .chaos import chaos_schedules, run_chaos_case
+
+        for sched in chaos_schedules(
+            schedules, base_seed=base_seed, include_process=include_process
+        ):
+            results = run_chaos_case(sched, trace_path=trace_path)
+            if check is not None:
+                results = [r for r in results if r.check == check]
+            report.results.extend(results)
+            if on_case is not None:
+                on_case(sched, results)
+        return report
     if check is None or check == "budget-preflight":
         report.results.append(check_budget_preflight())
     for spec in workloads_for(config, seeds=seeds, base_seed=base_seed):
