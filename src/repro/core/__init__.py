@@ -36,7 +36,7 @@ from .compile import (
 from .engine import DEFAULT_BLOCK_BYTES, KERNELS, lattice_ttmc
 from .lattice import Lattice, LatticeLevel, build_lattice
 from .layouts import LevelLayout, compact_layout, full_layout, layout_for
-from .plan import TTMcPlan, build_plan, get_plan
+from .plan import TTMcPlan, build_plan, content_fingerprint, get_plan
 from .s3ttmc import s3ttmc
 from .s3ttmc_tc import TTMcTCResult, s3ttmc_tc, times_core
 from .stats import KernelStats
@@ -73,6 +73,7 @@ __all__ = [
     "Lattice",
     "LatticeLevel",
     "TTMcPlan",
+    "content_fingerprint",
     "build_plan",
     "get_plan",
     "LevelLayout",

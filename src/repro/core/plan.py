@@ -10,6 +10,7 @@ non-zero batch) so repeated kernel invocations pay only the numeric work;
 
 from __future__ import annotations
 
+import hashlib
 import zlib
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
@@ -19,7 +20,13 @@ import numpy as np
 from ..formats.ucoo import SparseSymmetricTensor
 from .lattice import Lattice, build_lattice
 
-__all__ = ["TTMcPlan", "build_plan", "get_plan", "pattern_fingerprint"]
+__all__ = [
+    "TTMcPlan",
+    "build_plan",
+    "get_plan",
+    "pattern_fingerprint",
+    "content_fingerprint",
+]
 
 _CACHE_ATTR = "_s3ttmc_plan_cache"
 
@@ -34,6 +41,30 @@ def pattern_fingerprint(indices: np.ndarray) -> int:
     """
     indices = np.ascontiguousarray(indices, dtype=np.int64)
     return zlib.crc32(indices)
+
+
+def content_fingerprint(tensor: SparseSymmetricTensor) -> str:
+    """Full content fingerprint of a tensor: dims, order, indices, values.
+
+    :func:`pattern_fingerprint` deliberately ignores values — plans are
+    pattern-only, and two tensors with identical sparsity *should* share
+    a plan. A **result** cache must not make that identification: two
+    tensors with the same pattern but different values are different
+    inputs. This digest (BLAKE2b over the shape metadata and the raw
+    index/value bytes) is the key the serve layer's result cache uses;
+    collisions are cryptographically negligible, so content-identical
+    submissions — and only those — alias.
+    """
+    indices = np.ascontiguousarray(tensor.indices, dtype=np.int64)
+    values = np.ascontiguousarray(tensor.values, dtype=np.float64)
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(
+        f"order={int(tensor.order)};dim={int(tensor.dim)};"
+        f"unnz={indices.shape[0]}".encode()
+    )
+    digest.update(indices.tobytes())
+    digest.update(values.tobytes())
+    return digest.hexdigest()
 
 
 @dataclass(frozen=True)

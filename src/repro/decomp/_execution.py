@@ -99,7 +99,9 @@ def acquire_backend(ctx: ExecContext, kernel: str) -> Optional[Backend]:
     if ctx.execution == "serial":
         return None
     if ctx.backend is None:
-        ctx.adopt_backend(make_backend(ctx.execution, ctx.n_workers))
+        ctx.adopt_backend(
+            make_backend(ctx.execution, ctx.n_workers, run_token=ctx.run_token)
+        )
     return ctx.backend
 
 

@@ -363,7 +363,9 @@ def hooi(
                             rank,
                             "random",
                             np.random.default_rng(
-                                reseed_seed(seed, monitor.recoveries)
+                                reseed_seed(
+                                    seed, monitor.recoveries, ctx=run_ctx
+                                )
                             ),
                             ctx=run_ctx,
                         )

@@ -271,7 +271,9 @@ def hoqri(
                             rank,
                             "random",
                             np.random.default_rng(
-                                reseed_seed(seed, monitor.recoveries)
+                                reseed_seed(
+                                    seed, monitor.recoveries, ctx=run_ctx
+                                )
                             ),
                             ctx=run_ctx,
                         )

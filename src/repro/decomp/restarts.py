@@ -11,12 +11,18 @@ from __future__ import annotations
 from typing import Callable, Optional
 
 from ..core.s3ttmc import SymmetricInput
+from ..runtime.context import ExecContext, resolve_context
 from .result import DecompositionResult
 
 __all__ = ["best_of_restarts", "reseed_seed"]
 
 
-def reseed_seed(base_seed: Optional[int], attempt: int) -> int:
+def reseed_seed(
+    base_seed: Optional[int],
+    attempt: int,
+    *,
+    ctx: Optional[ExecContext] = None,
+) -> int:
     """Seed for health-driven reseed ``attempt`` (1-based).
 
     When the numerical-health watchdog
@@ -25,10 +31,26 @@ def reseed_seed(base_seed: Optional[int], attempt: int) -> int:
     seed. It mirrors the restart convention below — attempt ``k`` uses
     ``base_seed + k`` — so a reseeded run walks the same seed sequence a
     best-of-k protocol would, keeping recovery deterministic.
+
+    A seedless run (``base_seed=None`` and no context seed) derives its
+    base from the context's ``run_token`` instead of collapsing to ``0``:
+    collapsing would make every seedless job's recovery walk the exact
+    seed sequence of an explicit ``base_seed=0`` job — and of every
+    *other* seedless job — correlating "independent" tenant runs in a
+    shared service. Token-derived bases are unique per run yet stable
+    within it, so recovery stays deterministic for any one run.
     """
     if attempt < 1:
         raise ValueError("attempt must be >= 1")
-    return (0 if base_seed is None else int(base_seed)) + int(attempt)
+    if base_seed is None:
+        rctx = resolve_context(ctx)
+        if rctx.seed is not None:
+            base_seed = int(rctx.seed)
+        else:
+            # run_token is 8 hex chars; the int is < 2**32 and unique
+            # per context.
+            base_seed = int(rctx.run_token, 16)
+    return int(base_seed) + int(attempt)
 
 
 def best_of_restarts(

@@ -811,9 +811,17 @@ class ProcessBackend(Backend):
     name = "process"
 
     def __init__(
-        self, n_workers: Optional[int] = None, *, start_method: Optional[str] = None
+        self,
+        n_workers: Optional[int] = None,
+        *,
+        start_method: Optional[str] = None,
+        run_token: Optional[str] = None,
     ) -> None:
         super().__init__(n_workers)
+        # Every segment this backend (or its workers) creates is
+        # namespaced under this token, so concurrent backends in one
+        # parent can never collide on names or sweep each other.
+        self._run_token = str(run_token) if run_token else os.urandom(4).hex()
         if start_method is None:
             start_method = os.environ.get(START_METHOD_ENV_VAR) or None
         if start_method is None:
@@ -844,11 +852,17 @@ class ProcessBackend(Backend):
         parent_conn, child_conn = self._ctx.Pipe(duplex=True)
         proc = self._ctx.Process(
             target=_shm.worker_main,
-            args=(child_conn, worker_id, self._untrack_attach),
+            args=(child_conn, worker_id, self._untrack_attach, self._run_token),
             name=f"s3ttmc-worker-{worker_id}",
             daemon=True,
         )
-        proc.start()
+        # Under a fork start method, forking while a sibling thread is
+        # mid segment-create/attach would clone a held resource-tracker
+        # lock into the child, deadlocking its first attach. Holding the
+        # tracker guard across the fork makes spawn and segment traffic
+        # mutually exclusive (see shm.tracker_guard).
+        with _shm.tracker_guard():
+            proc.start()
         child_conn.close()
         return _WorkerHandle(worker_id, proc, parent_conn)
 
@@ -864,7 +878,8 @@ class ProcessBackend(Backend):
             try:  # pragma: no cover - tracker internals vary across versions
                 from multiprocessing import resource_tracker
 
-                resource_tracker.ensure_running()
+                with _shm.tracker_guard():
+                    resource_tracker.ensure_running()
             except Exception:
                 pass
         self._workers = [
@@ -956,8 +971,9 @@ class ProcessBackend(Backend):
         self._drop_shards()
         for label in ("indices", "values"):
             _shm.close_and_unlink(self._owned.pop(label, None))
-        idx_shm, _v, idx_spec = _shm.create_shared_array(job.indices)
-        val_shm, _v, val_spec = _shm.create_shared_array(job.values)
+        tok = self._run_token
+        idx_shm, _v, idx_spec = _shm.create_shared_array(job.indices, run_token=tok)
+        val_shm, _v, val_spec = _shm.create_shared_array(job.values, run_token=tok)
         self._owned["indices"] = idx_shm
         self._owned["values"] = val_shm
         self._tensor_token = token
@@ -991,9 +1007,14 @@ class ProcessBackend(Backend):
         shards = shards_for_ranges(job.tensor, job.ranges, job.rank)
         self._tensor_gen += 1
         gen = self._tensor_gen
+        tok = self._run_token
         for shard in shards:
-            idx_shm, _v, idx_spec = _shm.create_shared_array(shard.indices)
-            val_shm, _v, val_spec = _shm.create_shared_array(shard.values)
+            idx_shm, _v, idx_spec = _shm.create_shared_array(
+                shard.indices, run_token=tok
+            )
+            val_shm, _v, val_spec = _shm.create_shared_array(
+                shard.values, run_token=tok
+            )
             self._owned[f"shard{shard.shard_id}:indices"] = idx_shm
             self._owned[f"shard{shard.shard_id}:values"] = val_shm
             self._shard_msgs[shard.shard_id] = (
@@ -1026,7 +1047,9 @@ class ProcessBackend(Backend):
             self._factor_view[...] = factor  # in-place: workers keep mapping
             return
         _shm.close_and_unlink(self._owned.pop("factor", None))
-        shm, view, spec = _shm.create_shared_array(factor)
+        shm, view, spec = _shm.create_shared_array(
+            factor, run_token=self._run_token
+        )
         self._owned["factor"] = shm
         self._factor_view = view
         self._factor_spec = spec
@@ -1068,6 +1091,15 @@ class ProcessBackend(Backend):
         self._shard_token = None
         self._shard_msgs = {}
         self._shards = []
+        # Per-run sweep: reclaim anything in this backend's namespace the
+        # explicit teardown above missed (crash paths). Never touches a
+        # concurrent backend's segments.
+        _shm.sweep_run_segments(self._run_token)
+
+    @property
+    def run_token(self) -> str:
+        """Namespace token stamped on every segment this backend creates."""
+        return self._run_token
 
     def __del__(self) -> None:  # pragma: no cover - interpreter teardown
         try:
@@ -1811,12 +1843,24 @@ BACKENDS = {
 }
 
 
-def make_backend(name: str, n_workers: Optional[int] = None) -> Backend:
-    """Instantiate a backend by name (``serial`` / ``thread`` / ``process``)."""
+def make_backend(
+    name: str,
+    n_workers: Optional[int] = None,
+    *,
+    run_token: Optional[str] = None,
+) -> Backend:
+    """Instantiate a backend by name (``serial`` / ``thread`` / ``process``).
+
+    ``run_token`` namespaces the process backend's shared-memory
+    segments (usually the creating :class:`ExecContext`'s token);
+    serial/thread backends create no segments and ignore it.
+    """
     try:
         cls = BACKENDS[name]
     except KeyError:
         raise ValueError(
             f"unknown backend {name!r}; expected one of {sorted(BACKENDS)}"
         ) from None
+    if name == "process":
+        return cls(n_workers, run_token=run_token)
     return cls(n_workers)

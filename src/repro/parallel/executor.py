@@ -380,13 +380,13 @@ def parallel_s3ttmc(
             backend = ctx.backend
         else:
             name = ctx.execution if ctx.execution in ("thread", "process") else "thread"
-            backend = make_backend(name, n_workers)
+            backend = make_backend(name, n_workers, run_token=ctx.run_token)
             if ctx.is_ambient:
                 owns_backend = True  # never pin a pool on the ambient default
             else:
                 ctx.adopt_backend(backend)
     elif isinstance(backend, str):
-        backend = make_backend(backend, n_workers)
+        backend = make_backend(backend, n_workers, run_token=ctx.run_token)
         owns_backend = True
     elif not isinstance(backend, Backend):
         raise TypeError(f"backend must be a name or Backend, got {type(backend)!r}")
@@ -471,7 +471,7 @@ def parallel_s3ttmc(
                     ctx.close()
                 else:
                     backend.close()
-                backend = make_backend(weaker, n_workers)
+                backend = make_backend(weaker, n_workers, run_token=ctx.run_token)
                 if not owns_backend and not ctx.is_ambient:
                     ctx.adopt_backend(backend)
                 else:

@@ -40,11 +40,20 @@ teardown paths (a worker dying mid-job, a backend never closed) cannot
 leak ``/dev/shm`` segments from the parent; segments owned by a
 *crashed* worker are unlinked by the parent supervisor via
 :func:`unlink_segment_by_name`.
+
+The registry is guarded by a lock and every entry carries the *run
+token* of the context/backend that created it, and namespaced segments
+embed that token (plus the creating pid) in their kernel name —
+``rp<token>-<pid>-<seq>``. Two process backends running concurrently in
+one parent therefore can never collide on a name or sweep each other's
+segments: :meth:`~repro.parallel.backends.ProcessBackend.close` sweeps
+only its own token via :func:`sweep_run_segments`.
 """
 
 from __future__ import annotations
 
 import atexit
+import itertools
 import os
 import threading
 import time
@@ -62,8 +71,43 @@ __all__ = [
     "attach_shared_array",
     "close_and_unlink",
     "unlink_segment_by_name",
+    "sweep_run_segments",
+    "live_segments",
+    "tracker_guard",
     "worker_main",
 ]
+
+
+# ---------------------------------------------------------------------------
+# Fork safety
+# ---------------------------------------------------------------------------
+
+_TRACKER_LOCK = threading.RLock()
+_TRACKER_LOCK_PID = os.getpid()
+
+
+def tracker_guard() -> threading.RLock:
+    """Lock serializing resource-tracker traffic against worker forks.
+
+    ``SharedMemory`` create/attach/unlink all message the shared
+    ``multiprocessing.resource_tracker`` under the tracker's internal
+    lock. Forking a worker while another thread sits inside that
+    critical section clones a *held* tracker lock into the child, which
+    then deadlocks at its first segment attach — observed with two
+    process backends driven from concurrent threads (the serve pool, or
+    any multi-tenant caller). Every tracker-touching path in this module
+    runs under this lock, and :class:`~repro.parallel.backends.ProcessBackend`
+    holds it across ``Process.start()``, so a fork can never overlap a
+    registration. The same ordering covers :data:`_REGISTRY_LOCK`: it is
+    only ever taken under this lock, so a fork cannot clone it held
+    either. Fork children inherit the parent's instance in an arbitrary
+    state; the pid check hands them a fresh lock instead.
+    """
+    global _TRACKER_LOCK, _TRACKER_LOCK_PID
+    if _TRACKER_LOCK_PID != os.getpid():
+        _TRACKER_LOCK = threading.RLock()
+        _TRACKER_LOCK_PID = os.getpid()
+    return _TRACKER_LOCK
 
 
 # ---------------------------------------------------------------------------
@@ -71,17 +115,21 @@ __all__ = [
 # ---------------------------------------------------------------------------
 
 _REGISTRY_LOCK = threading.Lock()
-_LIVE_SEGMENTS: set = set()  # names created (and not yet unlinked) here
+# name -> run token of the creating context/backend ("" when the segment
+# was created outside any run namespace). Iterating the dict yields the
+# names, so ``set(_LIVE_SEGMENTS)`` keeps working for leak checks.
+_LIVE_SEGMENTS: Dict[str, str] = {}
+_NAME_COUNTER = itertools.count()
 
 
-def _register_segment(name: str) -> None:
-    with _REGISTRY_LOCK:
-        _LIVE_SEGMENTS.add(name)
+def _register_segment(name: str, run_token: str = "") -> None:
+    with tracker_guard(), _REGISTRY_LOCK:
+        _LIVE_SEGMENTS[name] = run_token
 
 
 def _unregister_segment(name: str) -> None:
-    with _REGISTRY_LOCK:
-        _LIVE_SEGMENTS.discard(name)
+    with tracker_guard(), _REGISTRY_LOCK:
+        _LIVE_SEGMENTS.pop(name, None)
 
 
 def _sweep_segments() -> None:
@@ -92,11 +140,63 @@ def _sweep_segments() -> None:
     teardown). Normal paths unlink eagerly; this sweep then finds an
     empty registry and does nothing.
     """
-    with _REGISTRY_LOCK:
+    with tracker_guard(), _REGISTRY_LOCK:
         leaked = list(_LIVE_SEGMENTS)
         _LIVE_SEGMENTS.clear()
     for name in leaked:
         unlink_segment_by_name(name)
+
+
+def sweep_run_segments(run_token: str) -> list:
+    """Unlink every live segment registered under ``run_token``.
+
+    The per-run analogue of the atexit sweep: a backend closing (or a
+    service retiring a job's context) reclaims exactly its own segments
+    and can never touch a concurrent run's. Returns the names swept so
+    callers can report what a crashed path left behind.
+    """
+    if not run_token:
+        return []
+    with tracker_guard(), _REGISTRY_LOCK:
+        names = [n for n, tok in _LIVE_SEGMENTS.items() if tok == run_token]
+    for name in names:
+        unlink_segment_by_name(name)
+    return names
+
+
+def live_segments(run_token: Optional[str] = None) -> set:
+    """Names of live segments — all of them, or one run's namespace."""
+    with tracker_guard(), _REGISTRY_LOCK:
+        if run_token is None:
+            return set(_LIVE_SEGMENTS)
+        return {n for n, tok in _LIVE_SEGMENTS.items() if tok == run_token}
+
+
+def _new_segment(nbytes: int, run_token: str = "") -> SharedMemory:
+    """Create a registered segment, namespaced under ``run_token``.
+
+    With a token the kernel name is ``rp<token>-<pid>-<seq>`` — unique
+    across concurrent runs (token), across parent/worker processes
+    (pid), and across segments in one process (seq) — and short enough
+    for the 31-char POSIX limit on macOS. Without a token the kernel
+    assigns the name, as before.
+    """
+    with tracker_guard():
+        if not run_token:
+            shm = SharedMemory(create=True, size=max(1, nbytes))
+            _register_segment(shm.name)
+            return shm
+        for _ in range(128):
+            name = f"rp{run_token}-{os.getpid():x}-{next(_NAME_COUNTER):x}"
+            try:
+                shm = SharedMemory(name=name, create=True, size=max(1, nbytes))
+            except FileExistsError:  # stale segment from a dead run: skip name
+                continue
+            _register_segment(shm.name, run_token)
+            return shm
+    raise RuntimeError(
+        f"could not allocate a shm name under run token {run_token!r}"
+    )
 
 
 atexit.register(_sweep_segments)
@@ -109,24 +209,25 @@ def unlink_segment_by_name(name: str) -> None:
     died without running its own teardown, and by the atexit sweep.
     Missing segments are fine (someone else already cleaned up).
     """
-    try:
-        shm = SharedMemory(name=name)
-    except FileNotFoundError:
+    with tracker_guard():
+        try:
+            shm = SharedMemory(name=name)
+        except FileNotFoundError:
+            _unregister_segment(name)
+            return
+        except Exception:
+            return
+        try:
+            shm.close()
+        except Exception:
+            pass
+        try:
+            # unlink() also unregisters with this process's resource tracker,
+            # balancing the registration the attach above just made.
+            shm.unlink()
+        except Exception:
+            pass
         _unregister_segment(name)
-        return
-    except Exception:
-        return
-    try:
-        shm.close()
-    except Exception:
-        pass
-    try:
-        # unlink() also unregisters with this process's resource tracker,
-        # balancing the registration the attach above just made.
-        shm.unlink()
-    except Exception:
-        pass
-    _unregister_segment(name)
 
 
 @dataclass(frozen=True)
@@ -146,18 +247,18 @@ class ShmArraySpec:
 
 
 def create_shared_array(
-    array: np.ndarray, *, name_hint: str = ""
+    array: np.ndarray, *, name_hint: str = "", run_token: str = ""
 ) -> Tuple[SharedMemory, np.ndarray, ShmArraySpec]:
     """Copy ``array`` into a fresh shared segment.
 
     Returns ``(shm, view, spec)``; the creator owns the segment and must
     :func:`close_and_unlink` it when done (the atexit sweep covers
-    abnormal exits). ``name_hint`` is only a debug aid — the kernel
-    assigns the actual unique name.
+    abnormal exits). ``name_hint`` is only a debug aid. With a
+    ``run_token`` the segment name is namespaced under that run (see
+    :func:`_new_segment`); otherwise the kernel assigns it.
     """
     array = np.ascontiguousarray(array)
-    shm = SharedMemory(create=True, size=max(1, array.nbytes))
-    _register_segment(shm.name)
+    shm = _new_segment(array.nbytes, run_token)
     try:
         view = np.ndarray(array.shape, dtype=array.dtype, buffer=shm.buf)
         view[...] = array
@@ -179,12 +280,13 @@ def attach_shared_array(
     and unregistering here would instead *cancel* the creator's
     registration — so leave it off (the default).
     """
-    shm = SharedMemory(name=spec.name)
-    if untrack:
-        try:  # pragma: no cover - tracker internals vary across versions
-            resource_tracker.unregister(shm._name, "shared_memory")  # type: ignore[attr-defined]
-        except Exception:
-            pass
+    with tracker_guard():
+        shm = SharedMemory(name=spec.name)
+        if untrack:
+            try:  # pragma: no cover - tracker internals vary across versions
+                resource_tracker.unregister(shm._name, "shared_memory")  # type: ignore[attr-defined]
+            except Exception:
+                pass
     view = np.ndarray(spec.shape, dtype=np.dtype(spec.dtype), buffer=shm.buf)
     if not writeable:
         view.flags.writeable = False
@@ -195,15 +297,16 @@ def close_and_unlink(shm: Optional[SharedMemory]) -> None:
     """Best-effort teardown (idempotent; segments may already be gone)."""
     if shm is None:
         return
-    try:
-        shm.close()
-    except Exception:
-        pass
-    try:
-        shm.unlink()
-    except Exception:
-        pass
-    _unregister_segment(shm.name)
+    with tracker_guard():
+        try:
+            shm.close()
+        except Exception:
+            pass
+        try:
+            shm.unlink()
+        except Exception:
+            pass
+        _unregister_segment(shm.name)
 
 
 # ---------------------------------------------------------------------------
@@ -271,8 +374,9 @@ class _Heartbeat:
 class _WorkerState:
     """Everything one worker process keeps alive between calls."""
 
-    def __init__(self, untrack_attach: bool = False) -> None:
+    def __init__(self, untrack_attach: bool = False, run_token: str = "") -> None:
         self.untrack_attach = untrack_attach
+        self.run_token = run_token
         self.tensor_gen = -1
         self.shard_id = -1  # >= 0 when this worker owns a tensor shard
         self.dim = 0
@@ -306,8 +410,7 @@ class _WorkerState:
         if self.result is not None and self.result.size >= nbytes:
             return self.result
         close_and_unlink(self.result)
-        self.result = SharedMemory(create=True, size=max(1, nbytes))
-        _register_segment(self.result.name)
+        self.result = _new_segment(nbytes, self.run_token)
         return self.result
 
     def teardown(self) -> None:
@@ -452,7 +555,10 @@ def _run_chunk(
 
 
 def worker_main(
-    conn: Connection, worker_id: int, untrack_attach: bool = False
+    conn: Connection,
+    worker_id: int,
+    untrack_attach: bool = False,
+    run_token: str = "",
 ) -> None:
     """Persistent worker loop; one per process, fed over a duplex pipe.
 
@@ -497,7 +603,7 @@ def worker_main(
     # of the parent's budget would be silently invisible — so drop it and
     # run against this process's own ambient state.
     reset_thread_runtime_state()
-    state = _WorkerState(untrack_attach)
+    state = _WorkerState(untrack_attach, run_token)
     send_lock = threading.Lock()
     heartbeat = _Heartbeat(conn, send_lock)
 

@@ -49,6 +49,7 @@ Usage::
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 import weakref
@@ -322,6 +323,14 @@ class ExecContext:
             else time.monotonic() + deadline_seconds
         )
         self.cancel_token = cancel
+        #: Unique token naming this run. Namespaces the run's shared-memory
+        #: segments (see :mod:`repro.parallel.shm`) and seeds health-driven
+        #: reseeds of seedless runs (see
+        #: :func:`repro.decomp.restarts.reseed_seed`), so concurrent runs in
+        #: one process can never collide or correlate. :meth:`derive` mints
+        #: a fresh token (a child job is a new run); :meth:`snapshot` keeps
+        #: it (same run, materialized ambient state).
+        self.run_token = os.urandom(4).hex()
         self._health_tripped = False
         self._backend = None
         self._ambient = False
@@ -545,6 +554,18 @@ class ExecContext:
         self._backend = backend
         return backend
 
+    def release_backend(self):
+        """Detach and return the owned backend without closing it.
+
+        The inverse of :meth:`adopt_backend`, for pool owners (the serve
+        layer) that lend a persistent backend to a per-job context: the
+        job releases it on completion so :meth:`close` cannot tear down
+        a backend the pool still owns. Returns ``None`` if nothing was
+        adopted.
+        """
+        backend, self._backend = self._backend, None
+        return backend
+
     def close(self) -> None:
         """Close the owned backend and stop the owned profiler
         (idempotent); the context stays usable — the next parallel run
@@ -560,6 +581,8 @@ class ExecContext:
     def derive(
         self,
         *,
+        budget: Optional[MemoryBudget] = None,
+        collector: Optional["_trace.TraceCollector"] = None,
         execution: Optional[str] = None,
         n_workers: Optional[int] = None,
         reduction: Optional[str] = None,
@@ -582,10 +605,16 @@ class ExecContext:
         deriving does not restart the clock. Pass ``deadline_seconds=``
         to arm a fresh budget or ``cancel=`` for an independent token
         (e.g. ``parent.cancel_token.derive()``).
+
+        Multi-tenant isolation: pass ``budget=`` / ``collector=`` to give
+        the child its *own* accounting instead of sharing the parent's —
+        the serve layer derives one such child per job so a tenant
+        tripping its limit or deadline cannot disturb a sibling's budget
+        or trace. The child always gets a fresh ``run_token``.
         """
         child = ExecContext(
-            budget=self.budget,
-            collector=self.collector,
+            budget=budget if budget is not None else self.budget,
+            collector=collector if collector is not None else self.collector,
             execution=execution if execution is not None else self.execution,
             n_workers=n_workers if n_workers is not None else self.n_workers,
             reduction=reduction if reduction is not None else self.reduction,
@@ -631,6 +660,7 @@ class ExecContext:
             cancel=self.cancel_token,
         )
         snap._deadline_at = self._deadline_at
+        snap.run_token = self.run_token  # same run, materialized
         return snap
 
     # -- serialization -----------------------------------------------------

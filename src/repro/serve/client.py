@@ -1,0 +1,92 @@
+"""Small blocking client for the serve daemon (JSON-lines over TCP).
+
+One request per connection: simple, stateless, and safe to use from
+multiple threads or processes at once — exactly what the CI smoke
+driver and tests need. For high-rate use, talk to
+:class:`~repro.serve.service.DecompositionService` in-process instead.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any, Dict, Optional
+
+from .jobs import JobSpec
+from .wire import spec_to_wire
+
+__all__ = ["ServeClient", "RemoteServeError"]
+
+
+class RemoteServeError(RuntimeError):
+    """A daemon-side error reply. ``error`` is the remote class name."""
+
+    def __init__(self, error: str, message: str) -> None:
+        self.error = error
+        super().__init__(f"{error}: {message}")
+
+
+class ServeClient:
+    """Blocking client for the serve daemon: one TCP connection per
+    request, one JSON line each way. Methods mirror the daemon ops
+    (``ping`` … ``shutdown``); an ``ok=False`` reply raises
+    :class:`RemoteServeError` carrying the remote error class name."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 0, *, timeout: float = 60.0
+    ) -> None:
+        self.host = host
+        self.port = int(port)
+        self.timeout = float(timeout)
+
+    def request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one request and return the daemon's reply (raises
+        :class:`RemoteServeError` on an ``ok=False`` reply)."""
+        with socket.create_connection(
+            (self.host, self.port), timeout=self.timeout
+        ) as sock:
+            sock.sendall(json.dumps(payload).encode() + b"\n")
+            with sock.makefile("rb") as stream:
+                line = stream.readline()
+        if not line:
+            raise RemoteServeError("ConnectionClosed", "no reply from daemon")
+        reply = json.loads(line)
+        if not reply.get("ok"):
+            raise RemoteServeError(
+                reply.get("error", "UnknownError"), reply.get("message", "")
+            )
+        return reply
+
+    def ping(self) -> bool:
+        return bool(self.request({"op": "ping"}).get("pong"))
+
+    def submit(self, spec: JobSpec) -> Dict[str, Any]:
+        return self.request({"op": "submit", "spec": spec_to_wire(spec)})
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        return self.request({"op": "status", "job_id": job_id})["status"]
+
+    def result(self, job_id: str) -> Dict[str, Any]:
+        return self.request({"op": "result", "job_id": job_id})
+
+    def cancel(self, job_id: str) -> bool:
+        return bool(self.request({"op": "cancel", "job_id": job_id})["cancelled"])
+
+    def preempt(self, job_id: str) -> bool:
+        return bool(self.request({"op": "preempt", "job_id": job_id})["preempted"])
+
+    def stats(self) -> Dict[str, Any]:
+        return self.request({"op": "stats"})["stats"]
+
+    def shutdown(self, *, drain: bool = True) -> Dict[str, Any]:
+        return self.request({"op": "shutdown", "drain": drain})
+
+
+def connect_from_banner(banner: str, *, timeout: float = 60.0) -> Optional[ServeClient]:
+    """Parse ``serve: listening on HOST:PORT`` into a client."""
+    marker = "serve: listening on "
+    if marker not in banner:
+        return None
+    address = banner.split(marker, 1)[1].strip()
+    host, _, port = address.rpartition(":")
+    return ServeClient(host, int(port), timeout=timeout)

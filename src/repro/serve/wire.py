@@ -1,0 +1,90 @@
+"""JSON wire codecs for the serve daemon protocol.
+
+The daemon speaks JSON-lines over TCP: one request object per line, one
+response object per line. These helpers convert between
+:class:`~repro.serve.jobs.JobSpec` / driver results and plain
+JSON-serializable dicts. Tensors cross the wire as explicit
+``{order, dim, indices, values}`` payloads — fine for the service's
+interactive/smoke uses; bulk ingest should go through the in-process
+API.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+import numpy as np
+
+from ..formats.ucoo import SparseSymmetricTensor
+from .jobs import JobSpec
+
+__all__ = ["spec_to_wire", "spec_from_wire", "result_to_wire"]
+
+_SPEC_SCALARS = (
+    "kind",
+    "rank",
+    "tenant",
+    "kernel",
+    "memoize",
+    "max_iters",
+    "tol",
+    "init",
+    "seed",
+    "svd_method",
+    "deadline_seconds",
+    "use_cache",
+)
+
+
+def spec_to_wire(spec: JobSpec) -> Dict[str, Any]:
+    """Encode a :class:`JobSpec` (tensor included) as a JSON-safe dict."""
+    payload: Dict[str, Any] = {
+        name: getattr(spec, name) for name in _SPEC_SCALARS
+    }
+    payload["tensor"] = {
+        "order": int(spec.tensor.order),
+        "dim": int(spec.tensor.dim),
+        "indices": np.asarray(spec.tensor.indices).tolist(),
+        "values": np.asarray(spec.tensor.values).tolist(),
+    }
+    if spec.factor is not None:
+        payload["factor"] = np.asarray(spec.factor).tolist()
+    return payload
+
+
+def spec_from_wire(payload: Dict[str, Any]) -> JobSpec:
+    """Decode a :func:`spec_to_wire` payload back into a :class:`JobSpec`."""
+    tensor_payload = payload["tensor"]
+    tensor = SparseSymmetricTensor(
+        int(tensor_payload["order"]),
+        int(tensor_payload["dim"]),
+        np.asarray(tensor_payload["indices"], dtype=np.int64),
+        np.asarray(tensor_payload["values"], dtype=np.float64),
+        assume_canonical=True,
+    )
+    kwargs: Dict[str, Any] = {
+        name: payload[name] for name in _SPEC_SCALARS if name in payload
+    }
+    factor = payload.get("factor")
+    if factor is not None:
+        factor = np.asarray(factor, dtype=np.float64)
+    return JobSpec(tensor=tensor, factor=factor, **kwargs)
+
+
+def result_to_wire(kind: str, result: Any) -> Dict[str, Any]:
+    """Serialize a driver result for the daemon's ``result`` reply."""
+    if kind == "s3ttmc":
+        data = np.asarray(result.data)
+        return {
+            "kind": kind,
+            "data": data.tolist(),
+            "shape": list(data.shape),
+            "checksum": float(data.sum()),
+        }
+    return {
+        "kind": kind,
+        "factor": np.asarray(result.factor).tolist(),
+        "relative_error": float(result.relative_error),
+        "converged": bool(result.converged),
+        "algorithm": result.algorithm,
+    }

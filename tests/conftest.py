@@ -11,7 +11,12 @@ from repro.formats import SparseSymmetricTensor
 #: Per-test deadline for the supervision/recovery suites. A regression in
 #: hang detection or worker respawn would otherwise wedge the whole run —
 #: precisely the suites where a deadlock is a plausible failure mode.
-_TIMEOUT_FILES = {"test_faults.py", "test_checkpoint.py", "test_parallel_backends.py"}
+_TIMEOUT_FILES = {
+    "test_faults.py",
+    "test_checkpoint.py",
+    "test_parallel_backends.py",
+    "test_serve.py",
+}
 _TIMEOUT_SECONDS = 120
 
 

@@ -2,6 +2,7 @@
 serialization, budget propagation under every execution, and isolation
 between concurrent runs."""
 
+import asyncio
 import threading
 
 import numpy as np
@@ -317,3 +318,93 @@ class TestConcurrencyIsolation:
             hooi(x, 2, max_iters=1, ctx=ctx)
         assert ctx.collector.find("hooi.iteration")
         assert not ambient.spans
+
+
+class TestRunTokens:
+    def test_every_context_gets_a_distinct_token(self):
+        a, b = ExecContext(), ExecContext()
+        assert a.run_token != b.run_token
+        assert len(a.run_token) == 8
+        int(a.run_token, 16)  # hex-parsable (reseed derivation relies on it)
+
+    def test_derive_mints_fresh_token_snapshot_keeps_it(self):
+        parent = ExecContext(budget=MemoryBudget(), collector=TraceCollector())
+        child = parent.derive()
+        assert child.run_token != parent.run_token  # child = new logical run
+        assert parent.snapshot().run_token == parent.run_token
+
+    def test_release_backend_detaches_without_closing(self):
+        ctx = ExecContext()
+        backend = _DummyBackend()
+        ctx.adopt_backend(backend)
+        released = ctx.release_backend()
+        assert released is backend
+        assert not backend.closed
+        ctx.close()  # no longer owns it: close() must not touch it
+        assert not backend.closed
+        assert ctx.release_backend() is None  # idempotent
+
+
+class TestDerivedJobIsolation:
+    """Satellite: two jobs derived from one base context, run concurrently
+    on an asyncio loop (the serve execution model) — one tripping its
+    deadline must leave the sibling's budget, deadline, and trace
+    untouched."""
+
+    def test_deadline_trip_spares_sibling(self, rng):
+        from repro.runtime.health import CancelToken, DeadlineExceededError
+
+        x = make_random_tensor(3, 16, 150, rng)
+        base = ExecContext(seed=1)
+        budget_a, budget_b = MemoryBudget(), MemoryBudget()
+        col_a, col_b = TraceCollector(), TraceCollector()
+        job_a = base.derive(
+            budget=budget_a,
+            collector=col_a,
+            deadline_seconds=0.05,
+            cancel=CancelToken(),
+        )
+        job_b = base.derive(
+            budget=budget_b, collector=col_b, cancel=CancelToken()
+        )
+
+        async def main():
+            def run(ctx, iters):
+                return hooi(x, 3, max_iters=iters, tol=0.0, seed=2, ctx=ctx)
+
+            return await asyncio.gather(
+                asyncio.to_thread(run, job_a, 5000),
+                asyncio.to_thread(run, job_b, 3),
+                return_exceptions=True,
+            )
+
+        result_a, result_b = asyncio.run(main())
+        assert isinstance(result_a, DeadlineExceededError)
+        assert not isinstance(result_b, BaseException), result_b
+
+        # Sibling b: derived isolation held — its own budget and trace,
+        # no deadline, and a run identical to a solo one.
+        assert job_b.deadline_seconds is None
+        assert not job_b.cancel_token.cancelled
+        assert len(col_b.find("hooi.iteration")) == 3
+        assert not [e for e in col_b.events if e.name.startswith("health.")]
+        assert budget_b.peak > 0
+        # a's failure was recorded against a's trace only.
+        assert [e for e in col_a.events if e.name.startswith("health.")]
+        solo = hooi(x, 3, max_iters=3, tol=0.0, seed=2)
+        assert np.array_equal(result_b.factor, solo.factor)
+
+    def test_derive_overrides_budget_and_collector(self):
+        base = ExecContext(
+            budget=MemoryBudget(), collector=TraceCollector(), seed=9
+        )
+        own_budget, own_col = MemoryBudget(), TraceCollector()
+        child = base.derive(budget=own_budget, collector=own_col)
+        assert child.budget is own_budget
+        assert child.collector is own_col
+        assert child.plans is base.plans  # plans stay shared (pure caches)
+        assert child.seed == 9
+        # Defaults still inherit.
+        plain = base.derive()
+        assert plain.budget is base.budget
+        assert plain.collector is base.collector

@@ -181,9 +181,25 @@ class TestHealthMonitor:
 
     def test_reseed_seed_convention(self):
         assert reseed_seed(5, 2) == 7
-        assert reseed_seed(None, 1) == 1
         with pytest.raises(ValueError):
             reseed_seed(0, 0)
+
+    def test_reseed_seed_none_uses_context_seed(self):
+        with ExecContext(seed=11) as ctx:
+            assert reseed_seed(None, 1, ctx=ctx) == 12
+            assert reseed_seed(None, 3, ctx=ctx) == 14
+
+    def test_reseed_seed_seedless_runs_are_decorrelated(self):
+        # A seedless run must NOT walk base_seed=0's sequence (nor any
+        # other seedless run's): bases derive from the unique run token.
+        a, b = ExecContext(), ExecContext()
+        seq_a = [reseed_seed(None, k, ctx=a) for k in (1, 2, 3)]
+        seq_b = [reseed_seed(None, k, ctx=b) for k in (1, 2, 3)]
+        assert seq_a != [1, 2, 3]
+        assert seq_b != [1, 2, 3]
+        assert seq_a != seq_b
+        # ... while staying deterministic within one run.
+        assert seq_a == [reseed_seed(None, k, ctx=a) for k in (1, 2, 3)]
 
 
 class TestBackendHealth:

@@ -1,10 +1,13 @@
 """Backend v2 tests: correctness across backends, plan-cache reuse,
 blocked reduction, process-worker persistence, and decomposition wiring."""
 
+import threading
+
 import numpy as np
 import pytest
 
 from repro.core import s3ttmc
+from repro.parallel import shm as _shm
 from repro.decomp import hooi, hoqri
 from repro.obs.trace import TraceCollector
 from repro.parallel import (
@@ -227,3 +230,89 @@ class TestDecompositionWiring:
         x = make_random_tensor(3, 8, 20, rng)
         with pytest.raises(ValueError, match="execution"):
             hooi(x, 2, execution="cluster")
+
+
+class TestShmRunTokens:
+    """Satellite regression: the shm registry is thread-safe and segment
+    names are namespaced per run token, so two concurrent process-backend
+    runs can never collide on a name or free each other's segments."""
+
+    def test_segment_names_namespaced(self, rng):
+        token = "cafe0001"
+        arr = rng.random(16)
+        shm, view, spec = _shm.create_shared_array(arr, run_token=token)
+        try:
+            assert shm.name.startswith(f"rp{token}-")
+            assert len(shm.name) <= 31  # macOS PSHMNAMLEN
+            assert shm.name in _shm.live_segments(token)
+            assert shm.name not in _shm.live_segments("beef0002")
+        finally:
+            shm.close()
+        swept = _shm.sweep_run_segments(token)
+        assert shm.name in swept
+        assert _shm.live_segments(token) == set()
+
+    def test_sweep_touches_only_its_own_token(self, rng):
+        a, _, _ = _shm.create_shared_array(rng.random(8), run_token="aaaa0001")
+        b, _, _ = _shm.create_shared_array(rng.random(8), run_token="bbbb0002")
+        try:
+            swept = _shm.sweep_run_segments("aaaa0001")
+            assert swept == [a.name]
+            assert b.name in _shm.live_segments("bbbb0002")
+        finally:
+            a.close()
+            b.close()
+            _shm.sweep_run_segments("bbbb0002")
+
+    def test_backends_get_distinct_tokens(self):
+        one = make_backend("process", 2)
+        two = make_backend("process", 2)
+        try:
+            assert one.run_token != two.run_token
+        finally:
+            one.close()
+            two.close()
+
+    def test_concurrent_process_backends_no_leak_no_cross_free(self, rng):
+        """Two threads each drive their own process backend over s3ttmc
+        at the same time: both results match the serial kernel, and the
+        registry returns to its starting state — nothing leaked, and
+        neither close() freed the other run's segments."""
+        before = set(_shm._LIVE_SEGMENTS)
+        x1 = make_random_tensor(3, 10, 50, rng)
+        x2 = make_random_tensor(4, 9, 40, rng)
+        u1 = rng.random((10, 3))
+        u2 = rng.random((9, 2))
+        results = {}
+        errors = []
+        gate = threading.Barrier(2)
+        # Workers spawn lazily at first execute — i.e. from the two
+        # racing threads below. Pre-fix this deadlocked: a fork landing
+        # inside the sibling's segment registration cloned a held
+        # resource-tracker lock into the child.
+        backends = {"one": make_backend("process", 2), "two": make_backend("process", 2)}
+
+        def drive(key, x, u):
+            try:
+                gate.wait(timeout=60)
+                # Run twice so the second call reuses segments created
+                # while the sibling run is mid-flight.
+                parallel_s3ttmc(x, u, backend=backends[key])
+                results[key] = parallel_s3ttmc(x, u, backend=backends[key]).unfolding
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append((key, exc))
+
+        threads = [
+            threading.Thread(target=drive, args=("one", x1, u1)),
+            threading.Thread(target=drive, args=("two", x2, u2)),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        for backend in backends.values():
+            backend.close()
+        assert not errors, errors
+        assert np.allclose(results["one"], s3ttmc(x1, u1).unfolding, atol=1e-10)
+        assert np.allclose(results["two"], s3ttmc(x2, u2).unfolding, atol=1e-10)
+        assert set(_shm._LIVE_SEGMENTS) == before

@@ -46,6 +46,7 @@ LAYERS = {
     "validation": 8,
     "verify": 8,
     "bench": 9,
+    "serve": 9,
 }
 
 #: (importing group, imported group) pairs permitted as *lazy* imports.

@@ -1,0 +1,154 @@
+#!/usr/bin/env python
+"""CI smoke test for the serve daemon (``python -m repro.serve``).
+
+Boots the daemon as a subprocess, then drives one end-to-end pass over
+the wire protocol:
+
+* ping;
+* submit a seeded HOOI job and a bitwise-identical duplicate — the
+  duplicate must come back ``done`` with ``cache_hit=True``;
+* submit the same workload as an over-quota tenant — the daemon must
+  refuse it with a typed ``QuotaExceededError`` *before* running
+  anything (``stats`` still shows zero submissions for that tenant);
+* fetch the completed result and check the factor shape and that the
+  duplicate's factor is exactly equal;
+* ``shutdown`` and assert the exit code is 0 and the final hygiene
+  line reports ``budgets_undrained=0``.
+
+Exit code 0 means every step passed. Run from the repo root:
+
+    PYTHONPATH=src python tools/serve_smoke.py
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+import numpy as np  # noqa: E402
+
+from repro.formats.ucoo import SparseSymmetricTensor  # noqa: E402
+from repro.serve import JobSpec  # noqa: E402
+from repro.serve.client import RemoteServeError, connect_from_banner  # noqa: E402
+
+QUOTA_TENANT = "smallco"
+QUOTA_BYTES = 2048
+
+
+def make_tensor(seed: int = 20250704) -> SparseSymmetricTensor:
+    rng = np.random.default_rng(seed)
+    raw = rng.integers(0, 8, size=(60, 3))
+    values = rng.uniform(0.1, 1.0, size=60)
+    return SparseSymmetricTensor(3, 8, raw, values, combine="first")
+
+
+def boot_daemon() -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC) + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.serve",
+            "--port",
+            "0",
+            "--pool",
+            "2",
+            "--quota",
+            f"{QUOTA_TENANT}={QUOTA_BYTES}",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+
+
+def main() -> int:
+    tensor = make_tensor()
+    proc = boot_daemon()
+    client = None
+    output = []
+    try:
+        deadline = time.monotonic() + 60.0
+        while client is None:
+            line = proc.stdout.readline()
+            if not line:
+                raise RuntimeError("daemon exited before printing its banner")
+            output.append(line)
+            client = connect_from_banner(line)
+            if time.monotonic() > deadline:
+                raise RuntimeError("timed out waiting for the daemon banner")
+        print(f"serve_smoke: daemon up at {client.host}:{client.port}")
+
+        assert client.ping(), "ping failed"
+
+        spec = JobSpec(kind="hooi", tensor=tensor, rank=4, seed=7, max_iters=5)
+        first = client.submit(spec)
+        result = client.result(first["job_id"])
+        factor = np.asarray(result["result"]["factor"])
+        assert factor.shape == (8, 4), f"bad factor shape {factor.shape}"
+        print(f"serve_smoke: job {first['job_id']} done, factor {factor.shape}")
+
+        dup = client.submit(spec)
+        assert dup["state"] == "done" and dup["cache_hit"], (
+            f"duplicate not served from cache: {dup}"
+        )
+        dup_factor = np.asarray(
+            client.result(dup["job_id"])["result"]["factor"]
+        )
+        assert np.array_equal(dup_factor, factor), "cached factor differs"
+        print("serve_smoke: duplicate served from cache, factors identical")
+
+        try:
+            client.submit(
+                JobSpec(
+                    kind="hooi",
+                    tensor=tensor,
+                    rank=4,
+                    seed=7,
+                    tenant=QUOTA_TENANT,
+                )
+            )
+        except RemoteServeError as exc:
+            assert exc.error == "QuotaExceededError", exc
+        else:
+            raise AssertionError("over-quota submit was not rejected")
+        stats = client.stats()
+        counters = stats["counters"]
+        # Only the two default-tenant submissions were admitted; the
+        # over-quota one was rejected at admission and never ran.
+        assert counters["rejected"] >= 1, counters
+        assert counters["submitted"] == 2, counters
+        print("serve_smoke: over-quota tenant rejected typed, nothing ran")
+
+        reply = client.shutdown()
+        counters = reply["counters"]
+        assert counters["cache_hits"] >= 1, counters
+        assert reply["hygiene"]["budgets_undrained"] == 0, reply["hygiene"]
+
+        returncode = proc.wait(timeout=60)
+        output.extend(proc.stdout.readlines())
+        tail = "".join(output)
+        assert returncode == 0, f"daemon exit code {returncode}:\n{tail}"
+        assert "serve: shutdown clean (budgets_undrained=0" in tail, tail
+        print("serve_smoke: clean shutdown, budgets drained")
+        return 0
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=10)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
